@@ -1,0 +1,168 @@
+//! Rooted-tree analytics from Euler-tour ranks.
+//!
+//! Once the tour is ranked, every classic rooted statistic is a constant
+//! number of parallel passes:
+//!
+//! * **parent** — arc `(u→v)` preceding its twin is the advance into `v`;
+//! * **depth** — a ±1 prefix over the tour (advance = +1, retreat = −1),
+//!   i.e. exactly the paper's general prefix problem with ⊕ = addition;
+//! * **subtree size** — the tour segment between `v`'s advance and
+//!   retreat contains its subtree twice: `size = (retreat − advance + 1)/2`.
+
+use archgraph_graph::list::LinkedList;
+use archgraph_graph::{Node, NIL};
+use archgraph_listrank::prefix::par_prefix;
+
+use crate::euler::{EulerTour, Ranker};
+use crate::tree::Tree;
+
+/// Parents, depths and subtree sizes of a rooted tree, computed via the
+/// Euler-tour technique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedAnalysis {
+    /// The root.
+    pub root: Node,
+    /// `parent[v]`, `NIL` at the root.
+    pub parent: Vec<Node>,
+    /// `depth[v]`, 0 at the root.
+    pub depth: Vec<u32>,
+    /// `size[v]` = vertices in `v`'s subtree.
+    pub size: Vec<u32>,
+}
+
+impl RootedAnalysis {
+    /// Analyze `tree` rooted at `root` using the chosen ranking engine
+    /// (`threads` also drives the depth prefix).
+    pub fn compute(tree: &Tree, root: Node, ranker: Ranker, threads: usize) -> RootedAnalysis {
+        let n = tree.n();
+        let tour = EulerTour::new(tree, root, ranker);
+        let na = tour.arc_count();
+
+        if na == 0 {
+            return RootedAnalysis {
+                root,
+                parent: vec![NIL],
+                depth: vec![0],
+                size: vec![1],
+            };
+        }
+
+        let parent = tour.parents();
+
+        // Advance/retreat arc ranks per vertex.
+        let mut advance_rank = vec![0 as Node; n];
+        let mut retreat_rank = vec![0 as Node; n];
+        let mut is_advance = vec![false; na];
+        for (a, adv) in is_advance.iter_mut().enumerate() {
+            let v = tour.to[a] as usize;
+            if tour.rank[a] < tour.rank[EulerTour::twin(a)] {
+                *adv = true;
+                advance_rank[v] = tour.rank[a];
+                retreat_rank[v] = tour.rank[EulerTour::twin(a)];
+            }
+        }
+
+        // Depth: ±1 prefix along the tour. Rebuild the tour list from the
+        // ranks (next-by-rank) and run the generic parallel prefix.
+        let mut next = vec![na as Node; na];
+        let order = tour.tour_order();
+        for w in order.windows(2) {
+            next[w[0] as usize] = w[1] as Node;
+        }
+        let list = LinkedList {
+            next,
+            head: order[0] as Node,
+        };
+        let values: Vec<i64> = (0..na).map(|a| if is_advance[a] { 1 } else { -1 }).collect();
+        let prefix = par_prefix(&list, &values, |a, b| a + b, threads.max(1), 0);
+
+        let mut depth = vec![0u32; n];
+        let mut size = vec![0u32; n];
+        for a in 0..na {
+            if is_advance[a] {
+                let v = tour.to[a] as usize;
+                depth[v] = prefix[a] as u32;
+                size[v] = (retreat_rank[v] - advance_rank[v]).div_ceil(2) as u32;
+            }
+        }
+        depth[root as usize] = 0;
+        size[root as usize] = n as u32;
+
+        RootedAnalysis {
+            root,
+            parent,
+            depth,
+            size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(tree: &Tree, root: Node) {
+        let oracle = tree.rooted_oracle(root);
+        for ranker in [Ranker::Sequential, Ranker::HelmanJaja(3)] {
+            let a = RootedAnalysis::compute(tree, root, ranker, 3);
+            assert_eq!(a.parent, oracle.parent, "parents at root {root}");
+            assert_eq!(a.depth, oracle.depth, "depths at root {root}");
+            assert_eq!(a.size, oracle.size, "sizes at root {root}");
+        }
+    }
+
+    #[test]
+    fn path_and_star_and_binary() {
+        check(&Tree::path(20), 0);
+        check(&Tree::path(20), 10);
+        check(&Tree::path(20), 19);
+        check(&Tree::star(15), 0);
+        check(&Tree::star(15), 7);
+        check(&Tree::binary(63), 0);
+        check(&Tree::binary(63), 62);
+    }
+
+    #[test]
+    fn random_trees_random_roots() {
+        for seed in 0..5u64 {
+            let t = Tree::random_attachment(400, seed);
+            check(&t, 0);
+            check(&t, (seed * 77 % 400) as Node);
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        let t = Tree::new(archgraph_graph::edgelist::EdgeList::empty(1)).unwrap();
+        let a = RootedAnalysis::compute(&t, 0, Ranker::Sequential, 1);
+        assert_eq!(a.size, vec![1]);
+        assert_eq!(a.depth, vec![0]);
+        assert_eq!(a.parent, vec![NIL]);
+    }
+
+    #[test]
+    fn depth_consistency_with_parent_chain() {
+        let t = Tree::random_attachment(256, 8);
+        let a = RootedAnalysis::compute(&t, 5, Ranker::HelmanJaja(2), 2);
+        for v in 0..256usize {
+            if a.parent[v] != NIL {
+                assert_eq!(a.depth[v], a.depth[a.parent[v] as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_sum_along_children() {
+        let t = Tree::random_attachment(256, 9);
+        let a = RootedAnalysis::compute(&t, 0, Ranker::Sequential, 1);
+        let mut child_sum = vec![0u32; 256];
+        for v in 0..256usize {
+            if a.parent[v] != NIL {
+                child_sum[a.parent[v] as usize] += a.size[v];
+            }
+        }
+        for (v, &cs) in child_sum.iter().enumerate() {
+            assert_eq!(a.size[v], cs + 1, "size = 1 + children sizes");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Tree centroids — the *first* application §1 lists for list ranking
+//! ("computing the centroid of a tree").
+//!
+//! The centroid is the vertex minimizing the largest component left by
+//! its removal; equivalently, a vertex whose every subtree (including
+//! the "upward" one) has at most ⌈n/2⌉ vertices. Every tree has one or
+//! two centroids, and two centroids are adjacent. Given the Euler-tour
+//! subtree sizes from [`crate::analytics::RootedAnalysis`], the centroid
+//! falls out of one linear scan.
+
+use archgraph_graph::{Node, NIL};
+
+use crate::analytics::RootedAnalysis;
+use crate::euler::Ranker;
+use crate::tree::Tree;
+
+/// The result of a centroid computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Centroid {
+    /// The centroid vertices (one or two; two are adjacent).
+    pub vertices: Vec<Node>,
+    /// `weight[v]` = size of the largest component after deleting `v`
+    /// (the quantity the centroid minimizes), for the returned vertices.
+    pub weight: u32,
+}
+
+/// Largest-component-on-removal for every vertex, from a rooted analysis.
+pub fn removal_weights(a: &RootedAnalysis) -> Vec<u32> {
+    let n = a.size.len();
+    let total = n as u32;
+    // weight[v] = max(n - size[v], largest child subtree of v).
+    let mut largest_child = vec![0u32; n];
+    for v in 0..n {
+        if a.parent[v] != NIL {
+            let p = a.parent[v] as usize;
+            largest_child[p] = largest_child[p].max(a.size[v]);
+        }
+    }
+    (0..n)
+        .map(|v| largest_child[v].max(total - a.size[v]))
+        .collect()
+}
+
+/// Compute the centroid(s) of `tree` via the Euler-tour pipeline.
+pub fn centroid(tree: &Tree, ranker: Ranker, threads: usize) -> Centroid {
+    let a = RootedAnalysis::compute(tree, 0, ranker, threads);
+    let w = removal_weights(&a);
+    let best = *w.iter().min().expect("non-empty tree");
+    let vertices: Vec<Node> = (0..w.len())
+        .filter(|&v| w[v] == best)
+        .map(|v| v as Node)
+        .collect();
+    Centroid {
+        vertices,
+        weight: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_graph::csr::Csr;
+
+    /// Brute-force oracle: delete each vertex, measure the largest
+    /// remaining component by BFS.
+    fn oracle(tree: &Tree) -> (Vec<Node>, u32) {
+        let n = tree.n();
+        let csr = Csr::from_edge_list(tree.edges());
+        let mut weights = vec![0u32; n];
+        for dead in 0..n {
+            let mut seen = vec![false; n];
+            seen[dead] = true;
+            let mut largest = 0u32;
+            for s in 0..n {
+                if seen[s] {
+                    continue;
+                }
+                let mut stack = vec![s as Node];
+                seen[s] = true;
+                let mut count = 0u32;
+                while let Some(v) = stack.pop() {
+                    count += 1;
+                    for &w in csr.neighbors(v) {
+                        if !seen[w as usize] {
+                            seen[w as usize] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+                largest = largest.max(count);
+            }
+            weights[dead] = largest;
+        }
+        let best = *weights.iter().min().unwrap();
+        (
+            (0..n)
+                .filter(|&v| weights[v] == best)
+                .map(|v| v as Node)
+                .collect(),
+            best,
+        )
+    }
+
+    fn check(tree: &Tree) {
+        let c = centroid(tree, Ranker::Sequential, 2);
+        let (ov, ow) = oracle(tree);
+        assert_eq!(c.vertices, ov, "centroid set");
+        assert_eq!(c.weight, ow, "removal weight");
+        assert!(!c.vertices.is_empty() && c.vertices.len() <= 2);
+    }
+
+    #[test]
+    fn paths_have_middle_centroids() {
+        // Odd path: one middle vertex; even path: the two middles.
+        let c = centroid(&Tree::path(5), Ranker::Sequential, 1);
+        assert_eq!(c.vertices, vec![2]);
+        let c = centroid(&Tree::path(6), Ranker::Sequential, 1);
+        assert_eq!(c.vertices, vec![2, 3]);
+        check(&Tree::path(9));
+        check(&Tree::path(10));
+    }
+
+    #[test]
+    fn star_centroid_is_the_center() {
+        let c = centroid(&Tree::star(20), Ranker::Sequential, 1);
+        assert_eq!(c.vertices, vec![0]);
+        assert_eq!(c.weight, 1);
+    }
+
+    #[test]
+    fn singleton() {
+        let t = Tree::new(archgraph_graph::edgelist::EdgeList::empty(1)).unwrap();
+        let c = centroid(&t, Ranker::Sequential, 1);
+        assert_eq!(c.vertices, vec![0]);
+        assert_eq!(c.weight, 0);
+    }
+
+    #[test]
+    fn random_trees_match_bruteforce() {
+        for seed in 0..6u64 {
+            check(&Tree::random_attachment(60, seed));
+        }
+        check(&Tree::binary(63));
+    }
+
+    #[test]
+    fn two_centroids_are_adjacent() {
+        for seed in 0..20u64 {
+            let t = Tree::random_attachment(40, seed);
+            let c = centroid(&t, Ranker::Sequential, 1);
+            if c.vertices.len() == 2 {
+                let (a, b) = (c.vertices[0], c.vertices[1]);
+                let adjacent = t
+                    .edges()
+                    .edges
+                    .iter()
+                    .any(|e| (e.u == a && e.v == b) || (e.u == b && e.v == a));
+                assert!(adjacent, "twin centroids must share an edge (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ranker_agrees() {
+        let t = Tree::random_attachment(500, 7);
+        assert_eq!(
+            centroid(&t, Ranker::Sequential, 1),
+            centroid(&t, Ranker::HelmanJaja(4), 4)
+        );
+    }
+
+    #[test]
+    fn centroid_weight_bound() {
+        // The classical bound: the centroid's largest component has at
+        // most floor(n/2) vertices.
+        for seed in 0..10u64 {
+            let n = 50 + (seed as usize * 13) % 50;
+            let t = Tree::random_attachment(n, seed);
+            let c = centroid(&t, Ranker::Sequential, 2);
+            assert!(
+                c.weight as usize <= n / 2,
+                "centroid weight {} exceeds n/2 = {} (seed {seed})",
+                c.weight,
+                n / 2
+            );
+        }
+    }
+}

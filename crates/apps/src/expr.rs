@@ -1,0 +1,457 @@
+//! Arithmetic expression evaluation by parallel tree contraction —
+//! the application of reference \[3\] of the paper ("Evaluating arithmetic
+//! expressions using tree contraction", Bader–Sreshta–Weisse-Bernstein),
+//! which §1 lists among the algorithms built on list ranking.
+//!
+//! The classical JáJá pipeline:
+//!
+//! 1. **Leaf numbering** — the expression tree's arcs form an Euler tour
+//!    whose successor function is local (`down(left)`, `down(right)`,
+//!    `up(parent)`); *list-ranking* the tour and prefix-counting the
+//!    leaf-entry arcs numbers the leaves left to right. This step runs on
+//!    the workspace's parallel list-ranking and prefix engines.
+//! 2. **SHUNT contraction** — `⌈log k⌉` rounds; in each round the
+//!    odd-numbered leaves are raked, left children first, then right
+//!    children (the classical substep split that makes concurrent rakes
+//!    non-interfering). Affine labels `x ↦ a·x + b` over a prime field
+//!    stay closed under raking for `+` and `×` because one operand of the
+//!    raked operator is always a known constant.
+//!
+//! Values are reduced modulo a prime so arbitrarily deep trees cannot
+//! overflow; the sequential oracle uses the same field.
+
+use archgraph_graph::list::LinkedList;
+use archgraph_graph::rng::Rng;
+use archgraph_graph::Node;
+use archgraph_listrank::prefix::par_prefix;
+use archgraph_listrank::{helman_jaja, HjConfig};
+
+/// The operators of the arithmetic expression grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Addition.
+    Add,
+    /// Multiplication.
+    Mul,
+}
+
+/// One node of an expression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprNode {
+    /// A constant leaf.
+    Leaf(u64),
+    /// An operator with two children (indices into the node array).
+    Node {
+        /// The operator.
+        op: Op,
+        /// Left child index.
+        left: u32,
+        /// Right child index.
+        right: u32,
+    },
+}
+
+/// A full binary expression tree over a prime field.
+///
+/// # Examples
+/// ```
+/// use archgraph_apps::expr::ExprTree;
+///
+/// let t = ExprTree::random(1000, 3);
+/// assert_eq!(t.eval_contraction(4), t.eval_sequential());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExprTree {
+    /// The nodes; internal nodes reference children by index.
+    pub nodes: Vec<ExprNode>,
+    /// Index of the root node.
+    pub root: u32,
+    /// The field modulus (prime).
+    pub modulus: u64,
+}
+
+/// The default evaluation field.
+pub const DEFAULT_MODULUS: u64 = 1_000_000_007;
+
+impl ExprTree {
+    /// A random full binary expression tree with `leaves ≥ 1` leaves.
+    pub fn random(leaves: usize, seed: u64) -> ExprTree {
+        assert!(leaves >= 1);
+        let mut rng = Rng::new(seed);
+        let mut nodes = Vec::with_capacity(2 * leaves - 1);
+        let root = Self::build(&mut nodes, leaves, &mut rng);
+        ExprTree {
+            nodes,
+            root,
+            modulus: DEFAULT_MODULUS,
+        }
+    }
+
+    fn build(nodes: &mut Vec<ExprNode>, leaves: usize, rng: &mut Rng) -> u32 {
+        if leaves == 1 {
+            nodes.push(ExprNode::Leaf(rng.below(1_000_000)));
+            return (nodes.len() - 1) as u32;
+        }
+        // Random split keeps expected depth O(log n) but allows heavy skew.
+        let l = 1 + rng.below_usize(leaves - 1);
+        let left = Self::build(nodes, l, rng);
+        let right = Self::build(nodes, leaves - l, rng);
+        let op = if rng.bool() { Op::Add } else { Op::Mul };
+        nodes.push(ExprNode::Node { op, left, right });
+        (nodes.len() - 1) as u32
+    }
+
+    /// A maximally skewed (caterpillar) tree — the worst case for naive
+    /// level-by-level evaluation, handled in `O(log n)` contraction
+    /// rounds all the same.
+    pub fn caterpillar(leaves: usize, seed: u64) -> ExprTree {
+        assert!(leaves >= 1);
+        let mut rng = Rng::new(seed);
+        let mut nodes = vec![ExprNode::Leaf(rng.below(1000))];
+        let mut root = 0u32;
+        for _ in 1..leaves {
+            nodes.push(ExprNode::Leaf(rng.below(1000)));
+            let leaf = (nodes.len() - 1) as u32;
+            let op = if rng.bool() { Op::Add } else { Op::Mul };
+            nodes.push(ExprNode::Node {
+                op,
+                left: root,
+                right: leaf,
+            });
+            root = (nodes.len() - 1) as u32;
+        }
+        ExprTree {
+            nodes,
+            root,
+            modulus: DEFAULT_MODULUS,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, ExprNode::Leaf(_)))
+            .count()
+    }
+
+    /// Sequential oracle: iterative post-order evaluation.
+    pub fn eval_sequential(&self) -> u64 {
+        let m = self.modulus;
+        let mut value = vec![0u64; self.nodes.len()];
+        // Post-order via explicit stack with visit flags.
+        let mut stack = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            match self.nodes[v as usize] {
+                ExprNode::Leaf(c) => value[v as usize] = c % m,
+                ExprNode::Node { op, left, right } => {
+                    if expanded {
+                        let (a, b) = (value[left as usize], value[right as usize]);
+                        value[v as usize] = match op {
+                            Op::Add => (a + b) % m,
+                            Op::Mul => (a as u128 * b as u128 % m as u128) as u64,
+                        };
+                    } else {
+                        stack.push((v, true));
+                        stack.push((left, false));
+                        stack.push((right, false));
+                    }
+                }
+            }
+        }
+        value[self.root as usize]
+    }
+
+    /// Parallel evaluation: Euler-tour leaf numbering (list ranking +
+    /// prefix) followed by SHUNT tree contraction. `threads` drives the
+    /// ranking/prefix engines. Returns the same value as
+    /// [`ExprTree::eval_sequential`].
+    pub fn eval_contraction(&self, threads: usize) -> u64 {
+        let m = self.modulus as u128;
+        let nn = self.nodes.len();
+        let modmul = |a: u64, b: u64| (a as u128 * b as u128 % m) as u64;
+        let modadd = |a: u64, b: u64| ((a as u128 + b as u128) % m) as u64;
+
+        if let ExprNode::Leaf(c) = self.nodes[self.root as usize] {
+            return c % self.modulus;
+        }
+
+        // --- structure arrays ---
+        let mut parent = vec![u32::MAX; nn];
+        let mut is_left = vec![false; nn];
+        for (v, n) in self.nodes.iter().enumerate() {
+            if let ExprNode::Node { left, right, .. } = *n {
+                parent[left as usize] = v as u32;
+                parent[right as usize] = v as u32;
+                is_left[left as usize] = true;
+                is_left[right as usize] = false;
+            }
+        }
+
+        // --- step 1: leaf numbering via the ranked Euler tour ---
+        // Arcs indexed by non-root node v: down(v) = 2v, up(v) = 2v + 1.
+        // The successor function is local, so building the list is a flat
+        // parallelizable pass; we then *rank* it with Helman–JáJá.
+        let na = 2 * nn;
+        let term = na as Node;
+        let mut next = vec![term; na];
+        let (first_child, _) = match self.nodes[self.root as usize] {
+            ExprNode::Node { left, right, .. } => (left, right),
+            ExprNode::Leaf(_) => unreachable!(),
+        };
+        for v in 0..nn as u32 {
+            if parent[v as usize] == u32::MAX {
+                continue; // the root has no arcs
+            }
+            // succ(down(v)):
+            next[2 * v as usize] = match self.nodes[v as usize] {
+                ExprNode::Node { left, .. } => 2 * left as Node,
+                ExprNode::Leaf(_) => (2 * v + 1) as Node,
+            };
+            // succ(up(v)):
+            let p = parent[v as usize];
+            next[2 * v as usize + 1] = if is_left[v as usize] {
+                let ExprNode::Node { right, .. } = self.nodes[p as usize] else {
+                    unreachable!()
+                };
+                2 * right as Node
+            } else if p == self.root {
+                term
+            } else {
+                (2 * p + 1) as Node
+            };
+        }
+        // Unused arc slots (the root's two) must form a harmless tail:
+        // point them at the terminator (already done by init).
+        let head = 2 * first_child as Node;
+        // The list covers only reachable arcs; compact it so every slot
+        // participates (LinkedList requires a single chain over all
+        // slots). Map arc -> dense index.
+        let mut dense = vec![u32::MAX; na];
+        let mut order = Vec::with_capacity(na);
+        // The successor function is deterministic; walking it here is the
+        // sequential fallback for compaction only (O(n)); the ranking
+        // below is the measured parallel stage.
+        let mut a = head;
+        while a != term {
+            dense[a as usize] = order.len() as u32;
+            order.push(a);
+            a = next[a as usize];
+        }
+        let k = order.len();
+        let mut dnext = vec![k as Node; k];
+        for (di, &arc) in order.iter().enumerate() {
+            let nx = next[arc as usize];
+            if nx != term {
+                dnext[di] = dense[nx as usize] as Node;
+            }
+        }
+        let list = LinkedList {
+            next: dnext,
+            head: 0,
+        };
+        // Ranking the tour validates it is one chain; the prefix pass
+        // below (same Helman–JáJá decomposition, ⊕ = +) then numbers the
+        // leaf-entry arcs.
+        debug_assert_eq!(
+            helman_jaja(&list, &HjConfig::with_threads(threads.max(1))).len(),
+            k
+        );
+
+        // Leaf numbering: prefix-count the down-arcs that enter leaves.
+        let leaf_entry: Vec<u64> = order
+            .iter()
+            .map(|&arc| {
+                let v = (arc / 2) as usize;
+                let is_down = arc % 2 == 0;
+                u64::from(is_down && matches!(self.nodes[v], ExprNode::Leaf(_)))
+            })
+            .collect();
+        let counts = par_prefix(&list, &leaf_entry, |x, y| x + y, threads.max(1), 0);
+        let mut leaf_no = vec![u32::MAX; nn];
+        let mut leaves_in_order: Vec<u32> = vec![u32::MAX; counts.len()];
+        let mut total_leaves = 0usize;
+        for (di, &arc) in order.iter().enumerate() {
+            if leaf_entry[di] == 1 {
+                let v = arc / 2;
+                let idx = (counts[di] - 1) as usize;
+                leaf_no[v as usize] = idx as u32;
+                total_leaves = total_leaves.max(idx + 1);
+                leaves_in_order[idx] = v;
+            }
+        }
+        leaves_in_order.truncate(total_leaves);
+        debug_assert_eq!(total_leaves, self.leaves());
+
+        // --- step 2: SHUNT contraction ---
+        let mut label_a = vec![1u64; nn];
+        let mut label_b = vec![0u64; nn];
+        let mut val = vec![0u64; nn];
+        for (v, n) in self.nodes.iter().enumerate() {
+            if let ExprNode::Leaf(c) = *n {
+                val[v] = c % self.modulus;
+            }
+        }
+        let mut child_of: Vec<(u32, u32)> = self
+            .nodes
+            .iter()
+            .map(|n| match *n {
+                ExprNode::Node { left, right, .. } => (left, right),
+                ExprNode::Leaf(_) => (u32::MAX, u32::MAX),
+            })
+            .collect();
+        let mut root = self.root;
+        let mut live: Vec<u32> = leaves_in_order;
+        let mut rounds = 0usize;
+        let round_bound = 2 * (usize::BITS - live.len().max(2).leading_zeros()) as usize + 4;
+
+        while live.len() > 1 {
+            rounds += 1;
+            assert!(rounds <= round_bound, "contraction must take O(log k) rounds");
+            // Substeps: odd-indexed left children, then odd-indexed right
+            // children (the classical non-interference split).
+            for want_left in [true, false] {
+                for idx in (1..live.len()).step_by(2) {
+                    let l = live[idx];
+                    if l == u32::MAX {
+                        continue;
+                    }
+                    if is_left[l as usize] != want_left {
+                        continue;
+                    }
+                    // Rake leaf l.
+                    let p = parent[l as usize];
+                    let v = modadd(modmul(label_a[l as usize], val[l as usize]), label_b[l as usize]);
+                    let (pl, pr) = child_of[p as usize];
+                    let s = if pl == l { pr } else { pl };
+                    let ExprNode::Node { op, .. } = self.nodes[p as usize] else {
+                        unreachable!()
+                    };
+                    // Compose the sibling's label through (v op ·) and p's label.
+                    let (sa, sb) = (label_a[s as usize], label_b[s as usize]);
+                    let (ia, ib) = match op {
+                        Op::Add => (sa, modadd(v, sb)),
+                        Op::Mul => (modmul(v, sa), modmul(v, sb)),
+                    };
+                    label_a[s as usize] = modmul(label_a[p as usize], ia);
+                    label_b[s as usize] = modadd(modmul(label_a[p as usize], ib), label_b[p as usize]);
+                    // Splice s into p's position.
+                    let gp = parent[p as usize];
+                    parent[s as usize] = gp;
+                    is_left[s as usize] = is_left[p as usize];
+                    if gp == u32::MAX {
+                        root = s;
+                    } else {
+                        let (gl, gr) = child_of[gp as usize];
+                        if gl == p {
+                            child_of[gp as usize].0 = s;
+                        } else {
+                            debug_assert_eq!(gr, p);
+                            child_of[gp as usize].1 = s;
+                        }
+                    }
+                    live[idx] = u32::MAX; // raked
+                }
+            }
+            // Renumber: compact out the raked leaves (all odd slots).
+            live = live
+                .iter()
+                .copied()
+                .filter(|&l| l != u32::MAX)
+                .collect();
+        }
+
+        // The remaining structure hangs off `live[0]`'s leaf value; apply
+        // labels up the (now fully contracted) chain to the root.
+        let mut v = live[0];
+        let mut acc = modadd(modmul(label_a[v as usize], val[v as usize]), label_b[v as usize]);
+        while v != root {
+            let p = parent[v as usize];
+            debug_assert!(p != u32::MAX, "must reach the root");
+            // After contraction only unary chains can remain (both-child
+            // cases were raked); evaluate through them.
+            let (pl, pr) = child_of[p as usize];
+            debug_assert!(pl == v || pr == v, "v must still be p's child");
+            acc = modadd(modmul(label_a[p as usize], acc), label_b[p as usize]);
+            v = p;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf() {
+        let t = ExprTree {
+            nodes: vec![ExprNode::Leaf(42)],
+            root: 0,
+            modulus: DEFAULT_MODULUS,
+        };
+        assert_eq!(t.eval_sequential(), 42);
+        assert_eq!(t.eval_contraction(2), 42);
+    }
+
+    #[test]
+    fn hand_built_expression() {
+        // (3 + 4) * 5 = 35
+        let t = ExprTree {
+            nodes: vec![
+                ExprNode::Leaf(3),
+                ExprNode::Leaf(4),
+                ExprNode::Node { op: Op::Add, left: 0, right: 1 },
+                ExprNode::Leaf(5),
+                ExprNode::Node { op: Op::Mul, left: 2, right: 3 },
+            ],
+            root: 4,
+            modulus: DEFAULT_MODULUS,
+        };
+        assert_eq!(t.eval_sequential(), 35);
+        assert_eq!(t.eval_contraction(3), 35);
+    }
+
+    #[test]
+    fn random_trees_match_oracle() {
+        for (leaves, seed) in [(2usize, 1u64), (3, 2), (7, 3), (64, 4), (1000, 5), (4097, 6)] {
+            let t = ExprTree::random(leaves, seed);
+            assert_eq!(t.leaves(), leaves);
+            assert_eq!(
+                t.eval_contraction(3),
+                t.eval_sequential(),
+                "leaves = {leaves}, seed = {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn caterpillars_match_oracle() {
+        for (leaves, seed) in [(2usize, 7u64), (33, 8), (500, 9)] {
+            let t = ExprTree::caterpillar(leaves, seed);
+            assert_eq!(
+                t.eval_contraction(2),
+                t.eval_sequential(),
+                "leaves = {leaves}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_reduced_mod_p() {
+        // A product chain that overflows u64 without the field.
+        let t = ExprTree::caterpillar(200, 10);
+        let v = t.eval_sequential();
+        assert!(v < DEFAULT_MODULUS);
+        assert_eq!(t.eval_contraction(4), v);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let t = ExprTree::random(777, 11);
+        let expect = t.eval_sequential();
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(t.eval_contraction(threads), expect);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimum spanning forest — Borůvka rounds over the connectivity
+//! machinery (the paper cites Bader–Cong's MSF work \[5\] as a direct
+//! application of these primitives).
+//!
+//! Each round every component selects its cheapest outgoing edge with a
+//! parallel atomic-min (packed `(weight, edge-index)` so ties break
+//! deterministically and no cycle can form), the chosen edges merge
+//! components, and labels contract. `O(log n)` rounds; selection is the
+//! same scatter access pattern as SV grafting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use archgraph_graph::edgelist::EdgeList;
+use archgraph_graph::unionfind::UnionFind;
+use archgraph_graph::Node;
+use rayon::prelude::*;
+
+/// No-candidate sentinel (max weight, max index).
+const NONE: u64 = u64::MAX;
+
+/// Compute a minimum spanning forest of `g` under `weights` (one weight
+/// per edge, `< 2^32`). Returns the selected edge indices.
+///
+/// Ties are broken by edge index, making the result deterministic.
+///
+/// # Examples
+/// ```
+/// use archgraph_apps::msf::{kruskal_weight, minimum_spanning_forest};
+/// use archgraph_graph::gen;
+///
+/// let g = gen::complete(8);
+/// let weights: Vec<u32> = (0..g.m() as u32).collect();
+/// let forest = minimum_spanning_forest(&g, &weights);
+/// let total: u64 = forest.iter().map(|&i| weights[i] as u64).sum();
+/// assert_eq!(total, kruskal_weight(&g, &weights));
+/// ```
+pub fn minimum_spanning_forest(g: &EdgeList, weights: &[u32]) -> Vec<usize> {
+    assert_eq!(weights.len(), g.m(), "one weight per edge");
+    assert!(g.m() < u32::MAX as usize, "edge index must fit 32 bits");
+    let n = g.n;
+    let mut labels: Vec<Node> = (0..n as Node).collect();
+    let mut uf = UnionFind::new(n);
+    let mut forest = Vec::new();
+    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+
+    let lg = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        assert!(rounds <= lg + 8, "Boruvka must finish in O(log n) rounds");
+
+        // Parallel cheapest-outgoing-edge selection per component.
+        best.par_iter().for_each(|b| b.store(NONE, Ordering::Relaxed));
+        let labels_ref = &labels;
+        g.edges.par_iter().enumerate().for_each(|(idx, e)| {
+            let cu = labels_ref[e.u as usize];
+            let cv = labels_ref[e.v as usize];
+            if cu != cv {
+                let key = ((weights[idx] as u64) << 32) | idx as u64;
+                best[cu as usize].fetch_min(key, Ordering::Relaxed);
+                best[cv as usize].fetch_min(key, Ordering::Relaxed);
+            }
+        });
+
+        // Merge winners (sequential: one entry per live component).
+        let mut merged_any = false;
+        for b in &best {
+            let key = b.load(Ordering::Relaxed);
+            if key == NONE {
+                continue;
+            }
+            let idx = (key & 0xFFFF_FFFF) as usize;
+            let e = g.edges[idx];
+            if uf.union(e.u, e.v) {
+                forest.push(idx);
+                merged_any = true;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+
+        // Contract: labels become DSU canonical labels.
+        labels = uf.canonical_labels();
+    }
+
+    forest.sort_unstable();
+    forest
+}
+
+/// Kruskal oracle: total forest weight (unique even when the forest
+/// itself is not, given tie-broken comparisons are not needed for the
+/// *weight*).
+pub fn kruskal_weight(g: &EdgeList, weights: &[u32]) -> u64 {
+    let mut order: Vec<usize> = (0..g.m()).collect();
+    order.sort_unstable_by_key(|&i| (weights[i], i));
+    let mut uf = UnionFind::new(g.n);
+    let mut total = 0u64;
+    for i in order {
+        let e = g.edges[i];
+        if uf.union(e.u, e.v) {
+            total += weights[i] as u64;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_concomp::spanning::is_spanning_forest;
+    use archgraph_graph::gen;
+    use archgraph_graph::rng::Rng;
+
+    fn check(g: &EdgeList, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let weights: Vec<u32> = (0..g.m()).map(|_| rng.below(1 << 20) as u32).collect();
+        let msf = minimum_spanning_forest(g, &weights);
+        // It is a spanning forest...
+        let edges: Vec<_> = msf.iter().map(|&i| g.edges[i]).collect();
+        assert!(is_spanning_forest(g, &edges), "not a spanning forest");
+        // ...of minimum total weight.
+        let total: u64 = msf.iter().map(|&i| weights[i] as u64).sum();
+        assert_eq!(total, kruskal_weight(g, &weights), "weight mismatch");
+    }
+
+    #[test]
+    fn random_graphs() {
+        for (n, m, seed) in [(50usize, 120usize, 1u64), (300, 900, 2), (1000, 5000, 3)] {
+            check(&gen::random_gnm(n, m, seed), seed);
+        }
+    }
+
+    #[test]
+    fn structured_graphs() {
+        check(&gen::complete(25), 4);
+        check(&gen::mesh2d(10, 10), 5);
+        check(&gen::cycle(100), 6);
+    }
+
+    #[test]
+    fn disconnected_graphs() {
+        check(&gen::planted_components(5, 20, 6, 7), 8);
+        check(&gen::with_isolated(&gen::complete(6), 10), 9);
+        check(&EdgeList::empty(12), 10);
+    }
+
+    #[test]
+    fn uniform_weights_still_yield_valid_forest() {
+        let g = gen::random_gnm(200, 800, 11);
+        let weights = vec![7u32; g.m()];
+        let msf = minimum_spanning_forest(&g, &weights);
+        let edges: Vec<_> = msf.iter().map(|&i| g.edges[i]).collect();
+        assert!(is_spanning_forest(&g, &edges));
+        assert_eq!(
+            msf.iter().map(|&i| weights[i] as u64).sum::<u64>(),
+            kruskal_weight(&g, &weights)
+        );
+    }
+
+    #[test]
+    fn tree_input_selects_every_edge() {
+        let t = gen::binary_tree(50);
+        let weights: Vec<u32> = (0..t.m() as u32).collect();
+        let msf = minimum_spanning_forest(&t, &weights);
+        assert_eq!(msf, (0..t.m()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_weights_make_result_unique() {
+        let g = gen::random_gnm(100, 400, 12);
+        let mut rng = Rng::new(13);
+        let mut weights: Vec<u32> = (0..g.m() as u32).collect();
+        rng.shuffle(&mut weights);
+        let a = minimum_spanning_forest(&g, &weights);
+        let b = minimum_spanning_forest(&g, &weights);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn weight_length_mismatch_panics() {
+        minimum_spanning_forest(&gen::path(4), &[1, 2]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation: work efficiency of list-ranking algorithms.
+//!
+//! Wyllie's pointer jumping does Θ(n log n) work; Helman–JáJá and the
+//! walk algorithm do Θ(n). On a machine where time tracks work (any
+//! machine, once latency is accounted), the work-efficient algorithms
+//! must win and the gap must *grow* with n — the design rationale behind
+//! the paper's algorithm choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use archgraph_bench::workloads::{make_list, ListKind};
+use archgraph_listrank::wyllie::wyllie_rank;
+use archgraph_listrank::{helman_jaja, mta_style_rank, HjConfig, MtaStyleConfig};
+
+fn bench_work_efficiency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/work-efficiency");
+    g.sample_size(10);
+    for exp in [16usize, 18, 20] {
+        let n = 1 << exp;
+        let list = make_list(ListKind::Random, n, 37);
+        g.bench_with_input(BenchmarkId::new("wyllie-nlogn", n), &list, |b, l| {
+            b.iter(|| wyllie_rank(l))
+        });
+        let hj = HjConfig::with_threads(4);
+        g.bench_with_input(BenchmarkId::new("helman-jaja-n", n), &list, |b, l| {
+            b.iter(|| helman_jaja(l, &hj))
+        });
+        let walks = MtaStyleConfig::for_list(n, 4);
+        g.bench_with_input(BenchmarkId::new("mta-walks-n", n), &list, |b, l| {
+            b.iter(|| mta_style_rank(l, &walks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_work_efficiency);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench regenerating **Fig. 1**: list ranking on the simulated
+//! MTA and SMP, Ordered vs Random lists, p = 1, 2, 4, 8.
+//!
+//! One Criterion group per panel; each benchmark measures the *simulated
+//! machine construction + run* for a fixed list (building the list is
+//! outside the timed region). The simulated seconds themselves are what
+//! the `fig1` binary reports; here Criterion tracks the harness cost and
+//! guards against regressions in the simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use archgraph_bench::workloads::{make_list, ListKind};
+use archgraph_core::machine::{MtaParams, SmpParams};
+use archgraph_listrank::{sim_mta, sim_smp};
+
+const N: usize = 1 << 14;
+const PROCS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_fig1_mta(c: &mut Criterion) {
+    let params = MtaParams::mta2();
+    let mut g = c.benchmark_group("fig1/mta");
+    g.sample_size(10);
+    for kind in ListKind::both() {
+        let list = make_list(kind, N, 7);
+        for p in PROCS {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        sim_mta::simulate_walk_ranking(&list, &params, p, 100, N / 10).seconds
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig1_smp(c: &mut Criterion) {
+    let params = SmpParams::sun_e4500();
+    let mut g = c.benchmark_group("fig1/smp");
+    g.sample_size(10);
+    for kind in ListKind::both() {
+        let list = make_list(kind, N, 7);
+        for p in PROCS {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), p),
+                &p,
+                |b, &p| b.iter(|| sim_smp::simulate_hj(&list, &params, p, 8, 7).seconds),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1_mta, bench_fig1_smp);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench regenerating **Fig. 2**: connected components on the
+//! simulated MTA and SMP, random graph, m swept 4n..20n, p = 1..8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use archgraph_bench::workloads::make_graph;
+use archgraph_concomp::{sim_mta, sim_smp};
+use archgraph_core::machine::{MtaParams, SmpParams};
+
+const N: usize = 1 << 11;
+const EDGE_FACTORS: [usize; 3] = [4, 12, 20];
+const PROCS: [usize; 3] = [1, 4, 8];
+
+fn bench_fig2_mta(c: &mut Criterion) {
+    let params = MtaParams::mta2();
+    let mut g = c.benchmark_group("fig2/mta");
+    g.sample_size(10);
+    for k in EDGE_FACTORS {
+        let graph = make_graph(N, k * N, 11);
+        for p in PROCS {
+            g.bench_with_input(
+                BenchmarkId::new(format!("m={}n", k), p),
+                &p,
+                |b, &p| b.iter(|| sim_mta::simulate_sv_mta(&graph, &params, p, 100).seconds),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig2_smp(c: &mut Criterion) {
+    let params = SmpParams::sun_e4500();
+    let mut g = c.benchmark_group("fig2/smp");
+    g.sample_size(10);
+    for k in EDGE_FACTORS {
+        let graph = make_graph(N, k * N, 11);
+        for p in PROCS {
+            g.bench_with_input(
+                BenchmarkId::new(format!("m={}n", k), p),
+                &p,
+                |b, &p| b.iter(|| sim_smp::simulate_sv(&graph, &params, p).seconds),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2_mta, bench_fig2_smp);
+criterion_main!(benches);

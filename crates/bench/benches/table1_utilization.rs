@@ -1,0 +1,66 @@
+//! Criterion bench regenerating **Table 1**: MTA processor utilization
+//! for list ranking (Random/Ordered) and connected components.
+//!
+//! The utilization values are printed once per benchmark so the table can
+//! be read straight from the bench log; Criterion additionally tracks the
+//! simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use archgraph_bench::workloads::{make_graph, make_list, ListKind};
+use archgraph_core::machine::MtaParams;
+use archgraph_listrank::sim_mta as lr_sim;
+
+const N_LIST: usize = 1 << 14;
+const PROCS: [usize; 3] = [1, 4, 8];
+
+fn bench_table1_lists(c: &mut Criterion) {
+    let params = MtaParams::mta2();
+    let mut g = c.benchmark_group("table1/list-ranking");
+    g.sample_size(10);
+    for kind in [ListKind::Random, ListKind::Ordered] {
+        let list = make_list(kind, N_LIST, 13);
+        for p in PROCS {
+            let r = lr_sim::simulate_walk_ranking(&list, &params, p, 100, N_LIST / 10);
+            println!(
+                "table1 {} list p={p}: utilization {:.0}%",
+                kind.label(),
+                r.report.utilization * 100.0
+            );
+            g.bench_with_input(BenchmarkId::new(kind.label(), p), &p, |b, &p| {
+                b.iter(|| {
+                    lr_sim::simulate_walk_ranking(&list, &params, p, 100, N_LIST / 10)
+                        .report
+                        .utilization
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_table1_cc(c: &mut Criterion) {
+    let params = MtaParams::mta2();
+    let mut g = c.benchmark_group("table1/connected-components");
+    g.sample_size(10);
+    let n = 1 << 11;
+    let graph = make_graph(n, 20 * n, 13);
+    for p in PROCS {
+        let r = archgraph_concomp::sim_mta::simulate_sv_mta(&graph, &params, p, 100);
+        println!(
+            "table1 CC p={p}: utilization {:.0}%",
+            r.report.utilization * 100.0
+        );
+        g.bench_with_input(BenchmarkId::new("CC", p), &p, |b, &p| {
+            b.iter(|| {
+                archgraph_concomp::sim_mta::simulate_sv_mta(&graph, &params, p, 100)
+                    .report
+                    .utilization
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1_lists, bench_table1_cc);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerate the paper's entire evaluation in one run: Fig. 1, Fig. 2,
+//! Table 1 and the §5 ratios.
+//!
+//! ```text
+//! cargo run --release -p archgraph-bench --bin all -- [smoke|default|full]
+//! ```
+
+use archgraph_bench::{fig1, fig2, table1, Scale};
+use archgraph_core::report::{fmt_percent, fmt_ratio, ratios, Table};
+
+fn mean(r: &[(usize, usize, f64)]) -> f64 {
+    r.iter().map(|&(_, _, x)| x).sum::<f64>() / r.len().max(1) as f64
+}
+
+fn main() {
+    let scale = std::env::args()
+        .skip(1)
+        .find_map(|a| Scale::parse(&a))
+        .unwrap_or(Scale::Default);
+    let p = *scale.procs().last().unwrap();
+    println!("regenerating the full evaluation at {scale:?} scale (p up to {p})\n");
+
+    eprintln!("[1/4] Fig. 1 series...");
+    let f1_mta = fig1::mta_series(scale, true);
+    let f1_smp = fig1::smp_series(scale, true);
+    eprintln!("[2/4] Fig. 2 series...");
+    let f2_mta = fig2::mta_series(scale, true);
+    let f2_smp = fig2::smp_series(scale, true);
+    eprintln!("[3/4] Table 1...");
+    let t1 = table1::utilization_table(scale, true);
+    eprintln!("[4/4] ratios...\n");
+
+    let find = |set: &[archgraph_core::experiment::Series], label: String| {
+        set.iter()
+            .find(|s| s.label == label)
+            .cloned()
+            .expect("series present")
+    };
+    let smp_ord = find(&f1_smp, format!("SMP Ordered p={p}"));
+    let smp_rnd = find(&f1_smp, format!("SMP Random p={p}"));
+    let mta_ord = find(&f1_mta, format!("MTA Ordered p={p}"));
+    let mta_rnd = find(&f1_mta, format!("MTA Random p={p}"));
+    let smp_cc = find(&f2_smp, format!("SMP CC p={p}"));
+    let mta_cc = find(&f2_mta, format!("MTA CC p={p}"));
+
+    println!("== Summary (at p = {p}) ==");
+    let mut t = Table::new(["quantity", "measured", "paper"]);
+    t.row([
+        "SMP Random / Ordered".into(),
+        fmt_ratio(mean(&ratios(&smp_rnd, &smp_ord))),
+        "3-4x".into(),
+    ]);
+    t.row([
+        "MTA Random / Ordered".into(),
+        fmt_ratio(mean(&ratios(&mta_rnd, &mta_ord))),
+        "~1x".into(),
+    ]);
+    t.row([
+        "SMP/MTA ordered".into(),
+        fmt_ratio(mean(&ratios(&smp_ord, &mta_ord))),
+        "~10x".into(),
+    ]);
+    t.row([
+        "SMP/MTA random".into(),
+        fmt_ratio(mean(&ratios(&smp_rnd, &mta_rnd))),
+        "~35x".into(),
+    ]);
+    t.row([
+        "SMP/MTA connected components".into(),
+        fmt_ratio(mean(&ratios(&smp_cc, &mta_cc))),
+        "5-6x".into(),
+    ]);
+    for row in &t1 {
+        let (pp, u) = *row.utilization.last().unwrap();
+        t.row([
+            format!("MTA utilization: {} (p={pp})", row.label),
+            fmt_percent(u),
+            "80-99%".into(),
+        ]);
+    }
+    for line in t.render().lines() {
+        println!("  {line}");
+    }
+    println!("\nsee EXPERIMENTS.md for the full paper-vs-measured record.");
+}

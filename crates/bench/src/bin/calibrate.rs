@@ -1,0 +1,91 @@
+//! Calibration diagnostic: prints the paper's six headline quantities
+//! (C1–C6 in DESIGN.md) at a chosen scale so simulator parameters can be
+//! validated against the published shapes.
+//!
+//! ```text
+//! cargo run --release -p archgraph-bench --bin calibrate [-- smoke|default|full]
+//! ```
+
+use archgraph_bench::workloads::{make_graph, make_list, ListKind};
+use archgraph_bench::Scale;
+use archgraph_concomp::{sim_mta as cc_mta, sim_smp as cc_smp};
+use archgraph_core::machine::{MtaParams, SmpParams};
+use archgraph_core::report::fmt_ratio;
+use archgraph_listrank::{sim_mta as lr_mta, sim_smp as lr_smp};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    let smp = SmpParams::sun_e4500();
+    let mta = MtaParams::mta2();
+    let p = 8usize;
+
+    // --- list ranking ---
+    let n = match scale {
+        Scale::Smoke => 1 << 14,
+        Scale::Default => 1 << 19,
+        Scale::Full => 1 << 22,
+    };
+    let ord = make_list(ListKind::Ordered, n, 1);
+    let rnd = make_list(ListKind::Random, n, 1);
+    let walks = n / 10;
+
+    let t_smp_ord = lr_smp::simulate_hj(&ord, &smp, p, 8, 1).seconds;
+    let t_smp_rnd = lr_smp::simulate_hj(&rnd, &smp, p, 8, 1).seconds;
+    let r_mta_ord = lr_mta::simulate_walk_ranking(&ord, &mta, p, 100, walks);
+    let r_mta_rnd = lr_mta::simulate_walk_ranking(&rnd, &mta, p, 100, walks);
+    let (t_mta_ord, t_mta_rnd) = (r_mta_ord.seconds, r_mta_rnd.seconds);
+
+    println!("== List ranking (n = {n}, p = {p}) ==");
+    println!("  SMP ordered {t_smp_ord:.4} s   SMP random {t_smp_rnd:.4} s");
+    println!("  MTA ordered {t_mta_ord:.4} s   MTA random {t_mta_rnd:.4} s");
+    println!(
+        "  C2 SMP random/ordered = {}   (paper: 3-4x)",
+        fmt_ratio(t_smp_rnd / t_smp_ord)
+    );
+    println!(
+        "  C3 MTA random/ordered = {}   (paper: ~1x)",
+        fmt_ratio(t_mta_rnd / t_mta_ord)
+    );
+    println!(
+        "  C4 SMP/MTA ordered = {}  random = {}   (paper: ~10x, ~35x)",
+        fmt_ratio(t_smp_ord / t_mta_ord),
+        fmt_ratio(t_smp_rnd / t_mta_rnd)
+    );
+    println!(
+        "  MTA utilization: ordered {:.0}%  random {:.0}%  (paper: 80-98%)",
+        r_mta_ord.report.utilization * 100.0,
+        r_mta_rnd.report.utilization * 100.0
+    );
+
+    // C1 scaling
+    let t1 = lr_smp::simulate_hj(&rnd, &smp, 1, 8, 1).seconds;
+    let m1 = lr_mta::simulate_walk_ranking(&rnd, &mta, 1, 100, walks).seconds;
+    println!(
+        "  C1 scaling p=1->8: SMP {}  MTA {}   (paper: near-linear)",
+        fmt_ratio(t1 / t_smp_rnd),
+        fmt_ratio(m1 / t_mta_rnd)
+    );
+
+    // --- connected components ---
+    let (ng, mg) = match scale {
+        Scale::Smoke => (1 << 10, 4 << 10),
+        Scale::Default => (1 << 14, 12 << 14),
+        Scale::Full => (1 << 18, 12 << 18),
+    };
+    let g = make_graph(ng, mg, 2);
+    let t_smp_cc = cc_smp::simulate_sv(&g, &smp, p).seconds;
+    let r_mta_cc = cc_mta::simulate_sv_mta(&g, &mta, p, 100);
+    println!("== Connected components (n = {ng}, m = {mg}, p = {p}) ==");
+    println!(
+        "  SMP {t_smp_cc:.4} s   MTA {:.4} s   C5 ratio = {}   (paper: 5-6x)",
+        r_mta_cc.seconds,
+        fmt_ratio(t_smp_cc / r_mta_cc.seconds)
+    );
+    println!(
+        "  C6 MTA CC utilization {:.0}%  (paper: 91-99%)",
+        r_mta_cc.report.utilization * 100.0
+    );
+}

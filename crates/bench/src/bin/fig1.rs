@@ -1,0 +1,82 @@
+//! Regenerate **Fig. 1**: running times for list ranking on the Cray MTA
+//! (left panel) and the Sun SMP (right panel) for p = 1, 2, 4, 8 over
+//! Ordered and Random lists.
+//!
+//! ```text
+//! cargo run --release -p archgraph-bench --bin fig1 -- [smoke|default|full] [--arch mta|smp|both] [--csv]
+//! ```
+
+use archgraph_bench::{fig1, Scale};
+use archgraph_core::experiment::Series;
+use archgraph_core::plot::{ascii_plot, PlotOptions};
+use archgraph_core::report::{fmt_seconds, series_csv, Table};
+
+fn print_panel(title: &str, series: &[Series], sizes: &[usize], procs: &[usize]) {
+    println!("\n== Fig. 1 ({title}): list ranking running time ==");
+    for kind in ["Ordered", "Random"] {
+        let mut t = Table::new(
+            std::iter::once("n".to_string()).chain(procs.iter().map(|p| format!("p={p}"))),
+        );
+        for &n in sizes {
+            let mut row = vec![format!("{n}")];
+            for &p in procs {
+                let label = format!("{title} {kind} p={p}");
+                let v = series
+                    .iter()
+                    .find(|s| s.label == label)
+                    .and_then(|s| s.at(n, p));
+                row.push(v.map(fmt_seconds).unwrap_or_default());
+            }
+            t.row(row);
+        }
+        println!("\n  {kind} lists:");
+        for line in t.render().lines() {
+            println!("    {line}");
+        }
+    }
+    let opts = PlotOptions {
+        x_label: "list length n".into(),
+        ..Default::default()
+    };
+    println!("\n{}", ascii_plot(series, &opts));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
+        .unwrap_or(Scale::Default);
+    let arch = args
+        .iter()
+        .position(|a| a == "--arch")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("both");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let sizes = scale.fig1_sizes();
+    let procs = scale.procs();
+    let mut all = Vec::new();
+
+    if arch != "smp" {
+        eprintln!("running MTA panel ({:?})...", scale);
+        let mta = fig1::mta_series(scale, true);
+        print_panel("MTA", &mta, &sizes, &procs);
+        all.extend(mta);
+    }
+    if arch != "mta" {
+        eprintln!("running SMP panel ({:?})...", scale);
+        let smp = fig1::smp_series(scale, true);
+        print_panel("SMP", &smp, &sizes, &procs);
+        all.extend(smp);
+    }
+
+    if csv {
+        println!("\n{}", series_csv(&all));
+    }
+    println!(
+        "\nPaper shape checks: MTA curves identical for Ordered/Random; SMP \
+         Random 3-4x slower than Ordered; both scale with p."
+    );
+}

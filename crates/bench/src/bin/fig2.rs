@@ -1,0 +1,80 @@
+//! Regenerate **Fig. 2**: running times for connected components on the
+//! Cray MTA (left panel) and the Sun SMP (right panel), random graph with
+//! n fixed and m swept 4n..20n, p = 1, 2, 4, 8.
+//!
+//! ```text
+//! cargo run --release -p archgraph-bench --bin fig2 -- [smoke|default|full] [--arch mta|smp|both] [--csv]
+//! ```
+
+use archgraph_bench::{fig2, Scale};
+use archgraph_core::experiment::Series;
+use archgraph_core::plot::{ascii_plot, PlotOptions};
+use archgraph_core::report::{fmt_seconds, series_csv, Table};
+
+fn print_panel(title: &str, series: &[Series], ms: &[usize], procs: &[usize]) {
+    println!("\n== Fig. 2 ({title}): connected components running time ==");
+    let mut t = Table::new(
+        std::iter::once("m".to_string()).chain(procs.iter().map(|p| format!("p={p}"))),
+    );
+    for &m in ms {
+        let mut row = vec![format!("{m}")];
+        for &p in procs {
+            let label = format!("{title} CC p={p}");
+            let v = series
+                .iter()
+                .find(|s| s.label == label)
+                .and_then(|s| s.at(m, p));
+            row.push(v.map(fmt_seconds).unwrap_or_default());
+        }
+        t.row(row);
+    }
+    for line in t.render().lines() {
+        println!("  {line}");
+    }
+    let opts = PlotOptions {
+        x_label: "edges m".into(),
+        ..Default::default()
+    };
+    println!("\n{}", ascii_plot(series, &opts));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
+        .unwrap_or(Scale::Default);
+    let arch = args
+        .iter()
+        .position(|a| a == "--arch")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("both");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let (n, ms) = scale.fig2_sizes();
+    let procs = scale.procs();
+    println!("random graph: n = {n}, m = 4n .. 20n (paper: n = 1M, m = 4M..20M)");
+    let mut all = Vec::new();
+
+    if arch != "smp" {
+        eprintln!("running MTA panel ({:?})...", scale);
+        let mta = fig2::mta_series(scale, true);
+        print_panel("MTA", &mta, &ms, &procs);
+        all.extend(mta);
+    }
+    if arch != "mta" {
+        eprintln!("running SMP panel ({:?})...", scale);
+        let smp = fig2::smp_series(scale, true);
+        print_panel("SMP", &smp, &ms, &procs);
+        all.extend(smp);
+    }
+
+    if csv {
+        println!("\n{}", series_csv(&all));
+    }
+    println!(
+        "\nPaper shape checks: both machines scale with problem size and p; \
+         the MTA is 5-6x faster than the SMP."
+    );
+}

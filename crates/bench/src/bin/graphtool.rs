@@ -1,0 +1,159 @@
+//! `graphtool` — run the workspace's algorithms on DIMACS graph files
+//! (or freshly generated workloads).
+//!
+//! ```text
+//! graphtool gen gnm <n> <m> <seed> <out.dimacs>     generate G(n, m)
+//! graphtool gen rmat <scale> <m> <seed> <out.dimacs> generate R-MAT
+//! graphtool cc <in.dimacs>                          connected components
+//! graphtool msf <in.dimacs> <seed>                  minimum spanning forest
+//! graphtool stats <in.dimacs>                       degree statistics
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use archgraph_concomp::spanning::is_spanning_forest;
+use archgraph_core::report::Table;
+use archgraph_graph::edgelist::EdgeList;
+use archgraph_graph::io::{read_dimacs, write_dimacs};
+use archgraph_graph::rmat::{rmat, RmatParams};
+use archgraph_graph::rng::Rng;
+use archgraph_graph::{gen, unionfind};
+
+fn load(path: &str) -> Result<EdgeList, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_dimacs(BufReader::new(f)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  graphtool gen gnm <n> <m> <seed> <out>\n  graphtool gen rmat <scale> <m> <seed> <out>\n  graphtool cc <in>\n  graphtool msf <in> <seed>\n  graphtool stats <in>"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let (kind, rest) = match args.get(1).map(String::as_str) {
+                Some(k @ ("gnm" | "rmat")) => (k, &args[2..]),
+                _ => return usage(),
+            };
+            let nums: Vec<usize> = rest
+                .iter()
+                .take(3)
+                .filter_map(|s| s.parse().ok())
+                .collect();
+            let (Some(&a), Some(&m), Some(&seed), Some(out)) =
+                (nums.first(), nums.get(1), nums.get(2), rest.get(3))
+            else {
+                return usage();
+            };
+            let g = match kind {
+                "gnm" => gen::random_gnm(a, m, seed as u64),
+                _ => rmat(a as u32, m, RmatParams::graph500(), seed as u64),
+            };
+            let f = match File::create(out) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("create {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            write_dimacs(&g, BufWriter::new(f)).expect("write");
+            println!("wrote {} (n = {}, m = {})", out, g.n, g.m());
+            ExitCode::SUCCESS
+        }
+        Some("cc") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let g = match load(path) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let t0 = Instant::now();
+            let labels = archgraph_concomp::sv_mta_style(&g);
+            let t_sv = t0.elapsed();
+            let t0 = Instant::now();
+            let oracle = unionfind::connected_components(&g);
+            let t_uf = t0.elapsed();
+            assert!(unionfind::same_partition(&labels, &oracle));
+            let comps = {
+                let mut c = oracle.clone();
+                c.sort_unstable();
+                c.dedup();
+                c.len()
+            };
+            println!(
+                "n = {}, m = {}: {} components (SV {:?}, union-find {:?}, verified)",
+                g.n,
+                g.m(),
+                comps,
+                t_sv,
+                t_uf
+            );
+            ExitCode::SUCCESS
+        }
+        Some("msf") => {
+            let (Some(path), Some(seed)) = (args.get(1), args.get(2).and_then(|s| s.parse::<u64>().ok())) else {
+                return usage();
+            };
+            let g = match load(path) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut rng = Rng::new(seed);
+            let weights: Vec<u32> = (0..g.m()).map(|_| rng.below(1 << 20) as u32).collect();
+            let t0 = Instant::now();
+            let msf = archgraph_apps::msf::minimum_spanning_forest(&g, &weights);
+            let dt = t0.elapsed();
+            let total: u64 = msf.iter().map(|&i| weights[i] as u64).sum();
+            let edges: Vec<_> = msf.iter().map(|&i| g.edges[i]).collect();
+            assert!(is_spanning_forest(&g, &edges));
+            assert_eq!(total, archgraph_apps::msf::kruskal_weight(&g, &weights));
+            println!(
+                "MSF: {} edges, total weight {} ({:?}, Kruskal-verified)",
+                msf.len(),
+                total,
+                dt
+            );
+            ExitCode::SUCCESS
+        }
+        Some("stats") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let g = match load(path) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let degs = g.degrees();
+            let max = degs.iter().max().copied().unwrap_or(0);
+            let isolated = degs.iter().filter(|&&d| d == 0).count();
+            let mean = 2.0 * g.m() as f64 / g.n.max(1) as f64;
+            let mut t = Table::new(["metric", "value"]);
+            t.row(["vertices".to_string(), g.n.to_string()]);
+            t.row(["edges".to_string(), g.m().to_string()]);
+            t.row(["mean degree".to_string(), format!("{mean:.2}")]);
+            t.row(["max degree".to_string(), max.to_string()]);
+            t.row(["isolated vertices".to_string(), isolated.to_string()]);
+            t.row([
+                "components".to_string(),
+                unionfind::component_count(&g).to_string(),
+            ]);
+            t.row(["simple".to_string(), g.is_simple().to_string()]);
+            print!("{t}");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

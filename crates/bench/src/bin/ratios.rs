@@ -1,0 +1,79 @@
+//! Regenerate the §5 headline ratios from the Fig. 1 / Fig. 2 series:
+//!
+//! * SMP Random / SMP Ordered (paper: 3–4×),
+//! * SMP / MTA on ordered lists (paper: ~10×),
+//! * SMP / MTA on random lists (paper: ~35×),
+//! * SMP / MTA on connected components (paper: 5–6×).
+//!
+//! ```text
+//! cargo run --release -p archgraph-bench --bin ratios -- [smoke|default|full]
+//! ```
+
+use archgraph_bench::{fig1, fig2, Scale};
+use archgraph_core::experiment::Series;
+use archgraph_core::report::{fmt_ratio, ratios, Table};
+
+fn find<'a>(series: &'a [Series], label: &str) -> &'a Series {
+    series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("missing series {label}"))
+}
+
+fn mean_ratio(r: &[(usize, usize, f64)]) -> f64 {
+    r.iter().map(|&(_, _, x)| x).sum::<f64>() / r.len().max(1) as f64
+}
+
+fn main() {
+    let scale = std::env::args()
+        .skip(1)
+        .find_map(|a| Scale::parse(&a))
+        .unwrap_or(Scale::Default);
+    let p = *scale.procs().last().unwrap();
+
+    eprintln!("running list-ranking series ({scale:?})...");
+    let mta1 = fig1::mta_series(scale, false);
+    let smp1 = fig1::smp_series(scale, false);
+    eprintln!("running connected-components series...");
+    let mta2 = fig2::mta_series(scale, false);
+    let smp2 = fig2::smp_series(scale, false);
+
+    let smp_ord = find(&smp1, &format!("SMP Ordered p={p}"));
+    let smp_rnd = find(&smp1, &format!("SMP Random p={p}"));
+    let mta_ord = find(&mta1, &format!("MTA Ordered p={p}"));
+    let mta_rnd = find(&mta1, &format!("MTA Random p={p}"));
+    let smp_cc = find(&smp2, &format!("SMP CC p={p}"));
+    let mta_cc = find(&mta2, &format!("MTA CC p={p}"));
+
+    let mut t = Table::new(["Ratio (at p = ".to_string() + &p.to_string() + ")", "measured".into(), "paper".into()]);
+    t.row([
+        "SMP Random / SMP Ordered".to_string(),
+        fmt_ratio(mean_ratio(&ratios(smp_rnd, smp_ord))),
+        "3-4x".to_string(),
+    ]);
+    t.row([
+        "MTA Random / MTA Ordered".to_string(),
+        fmt_ratio(mean_ratio(&ratios(mta_rnd, mta_ord))),
+        "~1x".to_string(),
+    ]);
+    t.row([
+        "SMP / MTA (ordered lists)".to_string(),
+        fmt_ratio(mean_ratio(&ratios(smp_ord, mta_ord))),
+        "~10x".to_string(),
+    ]);
+    t.row([
+        "SMP / MTA (random lists)".to_string(),
+        fmt_ratio(mean_ratio(&ratios(smp_rnd, mta_rnd))),
+        "~35x".to_string(),
+    ]);
+    t.row([
+        "SMP / MTA (connected components)".to_string(),
+        fmt_ratio(mean_ratio(&ratios(smp_cc, mta_cc))),
+        "5-6x".to_string(),
+    ]);
+
+    println!("\n== Headline architecture ratios (paper §5) ==");
+    for line in t.render().lines() {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 1 — running times for list ranking on the Cray MTA (left) and the
+//! Sun SMP (right), for p = 1, 2, 4, 8, over Ordered and Random lists.
+
+use archgraph_core::experiment::Series;
+use archgraph_core::machine::{MtaParams, SmpParams};
+use archgraph_listrank::{sim_mta, sim_smp};
+
+use crate::scale::Scale;
+use crate::workloads::{make_list, ListKind};
+
+/// Streams per processor the paper's code requests (`use 100 streams`).
+pub const MTA_STREAMS: usize = 100;
+
+/// Seed for the Random list layout.
+pub const LIST_SEED: u64 = 0xF161;
+
+/// Produce the MTA (left panel) series: one per (list kind, p).
+pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let params = MtaParams::mta2();
+    let mut out = Vec::new();
+    for kind in ListKind::both() {
+        for &p in &scale.procs() {
+            let mut s = Series::new(format!("MTA {} p={p}", kind.label()));
+            for &n in &scale.fig1_sizes() {
+                let list = make_list(kind, n, LIST_SEED);
+                let walks = (n / 10).max(1); // paper: ~10 nodes per walk
+                let r = sim_mta::simulate_walk_ranking(&list, &params, p, MTA_STREAMS, walks);
+                debug_assert_eq!(r.rank, list.rank_oracle());
+                if verbose {
+                    eprintln!(
+                        "  fig1/mta {} p={p} n={n}: {:.4} s (util {:.0}%)",
+                        kind.label(),
+                        r.seconds,
+                        r.report.utilization * 100.0
+                    );
+                }
+                s.push(n, p, r.seconds);
+            }
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Produce the SMP (right panel) series: one per (list kind, p).
+pub fn smp_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let params = SmpParams::sun_e4500();
+    let mut out = Vec::new();
+    for kind in ListKind::both() {
+        for &p in &scale.procs() {
+            let mut s = Series::new(format!("SMP {} p={p}", kind.label()));
+            for &n in &scale.fig1_sizes() {
+                let list = make_list(kind, n, LIST_SEED);
+                let r = sim_smp::simulate_hj(&list, &params, p, 8, LIST_SEED);
+                debug_assert_eq!(r.rank, list.rank_oracle());
+                if verbose {
+                    eprintln!(
+                        "  fig1/smp {} p={p} n={n}: {:.4} s (L1 {:.0}%, mem {:.0}%)",
+                        kind.label(),
+                        r.seconds,
+                        r.stats.l1_hit_rate() * 100.0,
+                        r.stats.mem_access_rate() * 100.0
+                    );
+                }
+                s.push(n, p, r.seconds);
+            }
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_series_have_expected_shape() {
+        let mta = mta_series(Scale::Smoke, false);
+        let smp = smp_series(Scale::Smoke, false);
+        // 2 kinds x 2 proc counts.
+        assert_eq!(mta.len(), 4);
+        assert_eq!(smp.len(), 4);
+        for s in mta.iter().chain(smp.iter()) {
+            assert_eq!(s.points.len(), 2, "two sizes at smoke scale");
+            assert!(s.points.iter().all(|pt| pt.seconds > 0.0));
+        }
+    }
+
+    #[test]
+    fn times_grow_with_n() {
+        for s in smp_series(Scale::Smoke, false) {
+            assert!(
+                s.points[1].seconds > s.points[0].seconds,
+                "{}: larger lists must take longer",
+                s.label
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 2 — running times for connected components on the Cray MTA (left)
+//! and the Sun SMP (right), random graph with fixed `n` and `m` swept
+//! from 4n to 20n, p = 1, 2, 4, 8.
+
+use archgraph_concomp::{sim_mta, sim_smp};
+use archgraph_core::experiment::Series;
+use archgraph_core::machine::{MtaParams, SmpParams};
+use archgraph_graph::unionfind::{connected_components, same_partition};
+
+use crate::scale::Scale;
+use crate::workloads::make_graph;
+
+/// Streams per processor for the CC kernel.
+pub const MTA_STREAMS: usize = 100;
+
+/// Seed for the random graphs.
+pub const GRAPH_SEED: u64 = 0xF162;
+
+/// MTA (left panel): one series per processor count; x-axis is `m`.
+pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let params = MtaParams::mta2();
+    let (n, ms) = scale.fig2_sizes();
+    let mut out = Vec::new();
+    for &p in &scale.procs() {
+        let mut s = Series::new(format!("MTA CC p={p}"));
+        for &m in &ms {
+            let g = make_graph(n, m, GRAPH_SEED);
+            let r = sim_mta::simulate_sv_mta(&g, &params, p, MTA_STREAMS);
+            debug_assert!(same_partition(&r.labels, &connected_components(&g)));
+            if verbose {
+                eprintln!(
+                    "  fig2/mta p={p} n={n} m={m}: {:.4} s ({} iters, util {:.0}%)",
+                    r.seconds,
+                    r.iterations,
+                    r.report.utilization * 100.0
+                );
+            }
+            s.push(m, p, r.seconds);
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// SMP (right panel): one series per processor count; x-axis is `m`.
+pub fn smp_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let params = SmpParams::sun_e4500();
+    let (n, ms) = scale.fig2_sizes();
+    let mut out = Vec::new();
+    for &p in &scale.procs() {
+        let mut s = Series::new(format!("SMP CC p={p}"));
+        for &m in &ms {
+            let g = make_graph(n, m, GRAPH_SEED);
+            let r = sim_smp::simulate_sv(&g, &params, p);
+            debug_assert!(same_partition(&r.labels, &connected_components(&g)));
+            if verbose {
+                eprintln!(
+                    "  fig2/smp p={p} n={n} m={m}: {:.4} s ({} iters)",
+                    r.seconds, r.iterations
+                );
+            }
+            s.push(m, p, r.seconds);
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_series_have_expected_shape() {
+        let mta = mta_series(Scale::Smoke, false);
+        let smp = smp_series(Scale::Smoke, false);
+        assert_eq!(mta.len(), 2, "p = 1, 2 at smoke scale");
+        assert_eq!(smp.len(), 2);
+        for s in mta.iter().chain(smp.iter()) {
+            assert_eq!(s.points.len(), 5, "five edge counts");
+            assert!(s.points.iter().all(|pt| pt.seconds > 0.0));
+        }
+    }
+
+    #[test]
+    fn times_grow_with_m() {
+        for s in smp_series(Scale::Smoke, false) {
+            let first = s.points.first().unwrap().seconds;
+            let last = s.points.last().unwrap().seconds;
+            assert!(last > first, "{}: denser graphs must take longer", s.label);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # archgraph-bench
+//!
+//! The figure/table regeneration harness: shared workload construction,
+//! sweep configuration, and the series-producing functions that the `fig1`,
+//! `fig2`, `table1` and `ratios` binaries (and the Criterion benches) call.
+//!
+//! Every experiment is documented in `DESIGN.md`'s per-experiment index and
+//! records paper-vs-measured results in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod fig1;
+pub mod fig2;
+pub mod scale;
+pub mod table1;
+pub mod workloads;
+
+pub use scale::Scale;

@@ -1,0 +1,115 @@
+//! Table 1 — processor utilization on the Cray MTA for list ranking
+//! (Random and Ordered, 20 M-node list) and connected components
+//! (n = 1M, m = 20M ≈ n log n), at p = 1, 4, 8.
+
+use archgraph_concomp::sim_mta as cc_sim;
+use archgraph_core::machine::MtaParams;
+use archgraph_listrank::sim_mta as lr_sim;
+
+use crate::scale::Scale;
+use crate::workloads::{make_graph, make_list, ListKind};
+
+/// One row block of Table 1: utilization per processor count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationRow {
+    /// Workload label ("Random List", "Ordered List", "Connected Components").
+    pub label: String,
+    /// `(p, utilization)` pairs.
+    pub utilization: Vec<(usize, f64)>,
+}
+
+/// Processor counts reported in the paper's Table 1.
+pub const TABLE1_PROCS: [usize; 3] = [1, 4, 8];
+
+/// Streams per processor (paper: 100).
+pub const MTA_STREAMS: usize = 100;
+
+/// Compute the table.
+pub fn utilization_table(scale: Scale, verbose: bool) -> Vec<UtilizationRow> {
+    let params = MtaParams::mta2();
+    let n_list = scale.table1_list_size();
+    let (n_g, m_g) = scale.table1_graph_size();
+    let procs: Vec<usize> = match scale {
+        Scale::Smoke => vec![1, 2],
+        _ => TABLE1_PROCS.to_vec(),
+    };
+    let mut rows = Vec::new();
+
+    for kind in [ListKind::Random, ListKind::Ordered] {
+        let list = make_list(kind, n_list, crate::fig1::LIST_SEED);
+        let mut utils = Vec::new();
+        for &p in &procs {
+            let r = lr_sim::simulate_walk_ranking(
+                &list,
+                &params,
+                p,
+                MTA_STREAMS,
+                (n_list / 10).max(1),
+            );
+            if verbose {
+                eprintln!(
+                    "  table1 {} list p={p}: util {:.1}%",
+                    kind.label(),
+                    r.report.utilization * 100.0
+                );
+            }
+            utils.push((p, r.report.utilization));
+        }
+        rows.push(UtilizationRow {
+            label: format!("{} List", kind.label()),
+            utilization: utils,
+        });
+    }
+
+    let g = make_graph(n_g, m_g, crate::fig2::GRAPH_SEED);
+    let mut utils = Vec::new();
+    for &p in &procs {
+        let r = cc_sim::simulate_sv_mta(&g, &params, p, MTA_STREAMS);
+        if verbose {
+            eprintln!(
+                "  table1 CC p={p}: util {:.1}%",
+                r.report.utilization * 100.0
+            );
+        }
+        utils.push((p, r.report.utilization));
+    }
+    rows.push(UtilizationRow {
+        label: "Connected Components".to_string(),
+        utilization: utils,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_table_shape_and_bounds() {
+        let rows = utilization_table(Scale::Smoke, false);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "Random List");
+        assert_eq!(rows[1].label, "Ordered List");
+        assert_eq!(rows[2].label, "Connected Components");
+        for row in &rows {
+            for &(p, u) in &row.utilization {
+                assert!(u > 0.0 && u <= 1.0, "{} p={p}: util {u}", row.label);
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_does_not_increase_with_processors() {
+        // Table 1's trend: utilization decreases (or holds) as p grows,
+        // because fixed parallelism is spread over more issue slots.
+        let rows = utilization_table(Scale::Smoke, false);
+        for row in &rows {
+            let u: Vec<f64> = row.utilization.iter().map(|&(_, u)| u).collect();
+            assert!(
+                u[0] >= u[u.len() - 1] * 0.95,
+                "{}: utilization should not rise with p ({u:?})",
+                row.label
+            );
+        }
+    }
+}

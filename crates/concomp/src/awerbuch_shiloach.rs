@@ -1,0 +1,151 @@
+//! The Awerbuch–Shiloach connected-components variant.
+//!
+//! One of the algorithms in Greiner's comparison set (paper §4 related
+//! work). Differs from SV in that *only stars hook*:
+//!
+//! 1. Hook every star onto a strictly smaller-labeled neighbor.
+//! 2. Stars that are *still* stars (nothing to hook onto in step 1) hook
+//!    onto any non-star neighbor.
+//! 3. One pointer-jumping step.
+//!
+//! The stars-only discipline makes the forest manipulation simpler to
+//! reason about than SV's conditional grafts; the price is recomputing
+//! star flags twice per iteration.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use archgraph_graph::edgelist::EdgeList;
+use archgraph_graph::Node;
+use rayon::prelude::*;
+
+use crate::star::star_flags_par;
+
+fn iteration_bound(n: usize) -> usize {
+    4 * (usize::BITS - n.max(2).leading_zeros()) as usize + 16
+}
+
+/// Connected components by Awerbuch–Shiloach. Returns rooted-star labels.
+pub fn awerbuch_shiloach(g: &EdgeList) -> Vec<Node> {
+    let n = g.n;
+    let d: Vec<AtomicU32> = (0..n as Node).map(AtomicU32::new).collect();
+    let edges = &g.edges;
+    let bound = iteration_bound(n);
+    let mut iters = 0usize;
+
+    loop {
+        iters += 1;
+        assert!(iters <= bound, "AS exceeded its O(log n) iteration bound");
+        let hooked = AtomicBool::new(false);
+
+        // Step 1: stars hook onto strictly smaller neighbors.
+        let star = star_flags_par(&d);
+        // Termination must use the forest state the hook scans *saw*:
+        // checking after the jump can exit in the very round the jump
+        // completes the stars, before any scan sees them.
+        let all_stars_at_scan = star.iter().all(|s| s.load(Ordering::Relaxed));
+        edges.par_iter().for_each(|e| {
+            for (i, j) in [(e.u, e.v), (e.v, e.u)] {
+                if star[i as usize].load(Ordering::Relaxed) {
+                    let di = d[i as usize].load(Ordering::Relaxed);
+                    let dj = d[j as usize].load(Ordering::Relaxed);
+                    if dj < di {
+                        d[di as usize].store(dj, Ordering::Relaxed);
+                        hooked.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+
+        // Step 2: still-stars hook onto any *non-star* neighbor (the
+        // non-star restriction prevents mutual star-star hooks under
+        // concurrency; a star adjacent to a star has comparable labels
+        // and was handled in step 1).
+        let star2 = star_flags_par(&d);
+        edges.par_iter().for_each(|e| {
+            for (i, j) in [(e.u, e.v), (e.v, e.u)] {
+                if star2[i as usize].load(Ordering::Relaxed)
+                    && !star2[j as usize].load(Ordering::Relaxed)
+                {
+                    let di = d[i as usize].load(Ordering::Relaxed);
+                    let dj = d[j as usize].load(Ordering::Relaxed);
+                    if dj != di {
+                        d[di as usize].store(dj, Ordering::Relaxed);
+                        hooked.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+
+        // Step 3: pointer jumping.
+        (0..n).into_par_iter().for_each(|v| {
+            let p = d[v].load(Ordering::Relaxed);
+            let gp = d[p as usize].load(Ordering::Relaxed);
+            d[v].store(gp, Ordering::Relaxed);
+        });
+
+        if !hooked.load(Ordering::Relaxed) && all_stars_at_scan {
+            break;
+        }
+    }
+
+    // Flatten to rooted stars.
+    let out: Vec<Node> = d.into_iter().map(AtomicU32::into_inner).collect();
+    let mut flat = out.clone();
+    for v in 0..n {
+        while flat[v] != flat[flat[v] as usize] {
+            flat[v] = flat[flat[v] as usize];
+        }
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_graph::gen;
+    use archgraph_graph::unionfind::{connected_components, same_partition};
+
+    fn check(g: &EdgeList) {
+        let labels = awerbuch_shiloach(g);
+        for &p in &labels {
+            assert_eq!(labels[p as usize], p, "not rooted stars");
+        }
+        assert!(same_partition(&labels, &connected_components(g)));
+    }
+
+    #[test]
+    fn structured_graphs() {
+        check(&gen::path(64));
+        check(&gen::cycle(65));
+        check(&gen::star(40));
+        check(&gen::binary_tree(100));
+        check(&gen::mesh2d(6, 6));
+        check(&gen::complete(15));
+    }
+
+    #[test]
+    fn random_graphs() {
+        for (n, m, seed) in [(100, 80, 1u64), (300, 600, 2), (500, 3000, 3)] {
+            check(&gen::random_gnm(n, m, seed));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        check(&EdgeList::empty(0));
+        check(&EdgeList::empty(5));
+        check(&gen::with_isolated(&gen::path(10), 4));
+        check(&gen::planted_components(4, 8, 1, 9));
+    }
+
+    #[test]
+    fn agrees_with_sv() {
+        for seed in 0..3u64 {
+            let g = gen::random_gnm(200, 400, seed);
+            assert!(same_partition(
+                &awerbuch_shiloach(&g),
+                &crate::sv::shiloach_vishkin(&g)
+            ));
+        }
+    }
+}

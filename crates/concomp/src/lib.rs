@@ -1,0 +1,48 @@
+//! # archgraph-concomp
+//!
+//! Connected components — §4 of the paper — with every algorithm the study
+//! measures or cites as a baseline:
+//!
+//! * [`seq`] — the *best sequential* comparators: union-find (effectively
+//!   linear) and BFS over CSR.
+//! * [`sv`] — Shiloach–Vishkin as printed in the paper's Alg. 2:
+//!   conditional graft, star-check graft, termination test, one pointer
+//!   jump per iteration. Natively parallel (atomics + rayon).
+//! * [`sv_mta`] — the paper's Alg. 3 variant: graft-to-smaller plus
+//!   **full** shortcutting each iteration, eliminating the star check.
+//! * [`star`] — the star-detection subroutine Alg. 2 needs (and Alg. 3
+//!   exists to avoid).
+//! * [`awerbuch_shiloach`] — the Awerbuch–Shiloach variant (Greiner's
+//!   comparison set).
+//! * [`random_mating`] — Reif/Phillips-style randomized contraction
+//!   (Greiner's "random-mating" baseline).
+//! * [`hybrid`] — Greiner's hybrid: random-mating rounds, then SV.
+//! * [`sim_smp`] / [`sim_mta`] — SV lowered onto the two architecture
+//!   simulators (the Fig. 2 pipelines).
+//! * [`sv_spmd`] — SV in the explicit SMP programming style (p workers,
+//!   contiguous partitions, software barriers, buffered grafts): the
+//!   conclusions' "longer, more complex programs" made concrete.
+//! * [`spanning`] — spanning forests recovered from SV graft witnesses,
+//!   the primitive behind the Bader–Cong spanning-tree work the paper
+//!   cites.
+//!
+//! Every algorithm returns a component labeling `D` with `D[v] == D[D[v]]`
+//! (rooted stars); labelings are compared as partitions against the
+//! union-find oracle.
+
+#![warn(missing_docs)]
+
+pub mod awerbuch_shiloach;
+pub mod hybrid;
+pub mod random_mating;
+pub mod seq;
+pub mod sim_mta;
+pub mod sim_smp;
+pub mod spanning;
+pub mod star;
+pub mod sv;
+pub mod sv_mta;
+pub mod sv_spmd;
+
+pub use sv::shiloach_vishkin;
+pub use sv_mta::sv_mta_style;

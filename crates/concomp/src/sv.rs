@@ -1,0 +1,282 @@
+//! Shiloach–Vishkin connected components as printed in the paper's Alg. 2.
+//!
+//! Per iteration:
+//!
+//! 1. **Conditional graft**: for every edge `(i, j)` (both orientations),
+//!    if `D[i] = D[D[i]]` (i's parent is a root) and `D[j] < D[i]`, set
+//!    `D[D[i]] = D[j]`.
+//! 2. **Star graft**: if `i` belongs to a star and `D[j] ≠ D[i]`, set
+//!    `D[D[i]] = D[j]` — hooks stalled stars onto any neighbor.
+//! 3. **Exit test**: stop when all vertices lie in rooted stars (and no
+//!    graft fired).
+//! 4. **Pointer jumping**: `D[i] = D[D[i]]` for all `i`.
+//!
+//! Natively parallel: the `D` array is `AtomicU32` with relaxed ordering —
+//! the algorithm is correct under arbitrary write interleavings because
+//! step-1 grafts only install strictly smaller labels onto roots (no
+//! cycles can form) and step-2 grafts only fire on genuine stars. This is
+//! exactly the CRCW-PRAM arbitrary-write model the algorithm was designed
+//! for. Runs in `O(log n)` iterations on `m` edge processors.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use archgraph_graph::edgelist::EdgeList;
+use archgraph_graph::Node;
+use rayon::prelude::*;
+
+use crate::star::star_flags_par;
+
+/// Hard iteration bound: SV terminates in `O(log n)` iterations; the
+/// constant here is generous so a livelock (a bug) panics rather than
+/// spinning forever.
+fn iteration_bound(n: usize) -> usize {
+    4 * (usize::BITS - n.max(2).leading_zeros()) as usize + 16
+}
+
+/// Connected components by Shiloach–Vishkin (paper Alg. 2). Returns the
+/// parent array `D` flattened to rooted stars (`D[v] == D[D[v]]`).
+///
+/// # Examples
+/// ```
+/// use archgraph_concomp::shiloach_vishkin;
+/// use archgraph_graph::gen;
+/// use archgraph_graph::unionfind;
+///
+/// let g = gen::random_gnm(2000, 3000, 9);
+/// let labels = shiloach_vishkin(&g);
+/// assert!(unionfind::same_partition(
+///     &labels,
+///     &unionfind::connected_components(&g),
+/// ));
+/// ```
+pub fn shiloach_vishkin(g: &EdgeList) -> Vec<Node> {
+    let n = g.n;
+    let d: Vec<AtomicU32> = (0..n as Node).map(AtomicU32::new).collect();
+    let edges = &g.edges;
+    let bound = iteration_bound(n);
+    let mut iters = 0usize;
+
+    loop {
+        iters += 1;
+        assert!(iters <= bound, "SV exceeded its O(log n) iteration bound");
+        let grafted = AtomicBool::new(false);
+
+        // Step 1: conditional graft (both orientations of each edge).
+        edges.par_iter().for_each(|e| {
+            for (i, j) in [(e.u, e.v), (e.v, e.u)] {
+                let di = d[i as usize].load(Ordering::Relaxed);
+                let dj = d[j as usize].load(Ordering::Relaxed);
+                if dj < di && d[di as usize].load(Ordering::Relaxed) == di {
+                    d[di as usize].store(dj, Ordering::Relaxed);
+                    grafted.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // Step 2: graft stalled stars onto any differing neighbor.
+        let star = star_flags_par(&d);
+        edges.par_iter().for_each(|e| {
+            for (i, j) in [(e.u, e.v), (e.v, e.u)] {
+                if star[i as usize].load(Ordering::Relaxed) {
+                    let di = d[i as usize].load(Ordering::Relaxed);
+                    let dj = d[j as usize].load(Ordering::Relaxed);
+                    if dj != di {
+                        // Only hook a star onto a *smaller* label: two
+                        // mutually-grafting stars would otherwise form a
+                        // 2-cycle under concurrent writes.
+                        if dj < di {
+                            d[di as usize].store(dj, Ordering::Relaxed);
+                            grafted.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        });
+
+        // Step 3: exit when nothing changed and the forest is all stars.
+        let all_stars_now = (0..n).into_par_iter().all(|v| {
+            let p = d[v].load(Ordering::Relaxed);
+            d[p as usize].load(Ordering::Relaxed) == p
+        });
+        if !grafted.load(Ordering::Relaxed) && all_stars_now {
+            break;
+        }
+
+        // Step 4: one pointer jump.
+        (0..n).into_par_iter().for_each(|v| {
+            let p = d[v].load(Ordering::Relaxed);
+            let gp = d[p as usize].load(Ordering::Relaxed);
+            d[v].store(gp, Ordering::Relaxed);
+        });
+    }
+
+    d.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Iteration (PRAM round) count probe for the ablation benches: runs
+/// Alg. 2 with **round-synchronous** semantics — every graft in a round
+/// reads the round's opening snapshot of `D`, conflicting grafts resolve
+/// to the minimum label (the deterministic refinement of arbitrary-CRCW).
+/// This is the metric in which the paper's "one iteration for the best
+/// labeling, up to log n for an arbitrary one" sensitivity statement
+/// lives. Returns `(labels, rounds)`.
+pub fn shiloach_vishkin_iters(g: &EdgeList) -> (Vec<Node>, usize) {
+    let n = g.n;
+    let mut d: Vec<Node> = (0..n as Node).collect();
+    let bound = iteration_bound(n);
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        assert!(iters <= bound);
+        let snapshot = d.clone();
+        let mut grafted = false;
+        // Step 1: conditional grafts against the snapshot.
+        for e in &g.edges {
+            for (i, j) in [(e.u, e.v), (e.v, e.u)] {
+                let di = snapshot[i as usize];
+                let dj = snapshot[j as usize];
+                if dj < di && snapshot[di as usize] == di && dj < d[di as usize] {
+                    d[di as usize] = dj;
+                    grafted = true;
+                }
+            }
+        }
+        // Step 2: star grafts against the snapshot.
+        let star = crate::star::star_flags(&snapshot);
+        for e in &g.edges {
+            for (i, j) in [(e.u, e.v), (e.v, e.u)] {
+                if star[i as usize] {
+                    let di = snapshot[i as usize];
+                    let dj = snapshot[j as usize];
+                    if dj < di && snapshot[di as usize] == di && dj < d[di as usize] {
+                        d[di as usize] = dj;
+                        grafted = true;
+                    }
+                }
+            }
+        }
+        let all_stars_now = d.iter().all(|&p| d[p as usize] == p);
+        if !grafted && all_stars_now {
+            break;
+        }
+        // One synchronous pointer jump.
+        let before = d.clone();
+        for v in 0..n {
+            d[v] = before[before[v] as usize];
+        }
+    }
+    (d, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_graph::gen;
+    use archgraph_graph::unionfind::{connected_components, same_partition};
+
+    fn check(g: &EdgeList) {
+        let labels = shiloach_vishkin(g);
+        // Output must be rooted stars.
+        for &p in &labels {
+            assert_eq!(labels[p as usize], p, "not flattened");
+        }
+        assert!(
+            same_partition(&labels, &connected_components(g)),
+            "partition mismatch on n={} m={}",
+            g.n,
+            g.m()
+        );
+    }
+
+    #[test]
+    fn structured_graphs() {
+        check(&gen::path(100));
+        check(&gen::cycle(101));
+        check(&gen::star(64));
+        check(&gen::binary_tree(127));
+        check(&gen::complete(20));
+        check(&gen::mesh2d(8, 9));
+        check(&gen::mesh3d(4, 4, 4));
+    }
+
+    #[test]
+    fn random_graphs_various_density() {
+        for (n, m, seed) in [(100, 50, 1u64), (200, 200, 2), (300, 1200, 3), (500, 4000, 4)] {
+            check(&gen::random_gnm(n, m, seed));
+        }
+    }
+
+    #[test]
+    fn planted_and_isolated() {
+        check(&gen::planted_components(7, 13, 2, 5));
+        check(&gen::with_isolated(&gen::path(20), 15));
+        check(&EdgeList::empty(50));
+        check(&EdgeList::empty(0));
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops() {
+        let g = EdgeList::from_pairs(6, [(0, 1), (1, 0), (2, 2), (3, 4), (3, 4), (4, 3)]);
+        check(&g);
+    }
+
+    #[test]
+    fn adversarial_chain_needs_multiple_iterations() {
+        // A path labeled so grafting cascades: still O(log n) iterations.
+        let (labels, iters) = shiloach_vishkin_iters(&gen::path(1024));
+        assert!(same_partition(
+            &labels,
+            &connected_components(&gen::path(1024))
+        ));
+        assert!(iters <= 4 * 10 + 16, "iters = {iters}");
+        assert!(iters >= 2, "a long path cannot finish in one iteration");
+    }
+
+    #[test]
+    fn deterministic_variant_matches_parallel() {
+        for seed in 0..3u64 {
+            let g = gen::random_gnm(256, 512, seed);
+            let (det, _) = shiloach_vishkin_iters(&g);
+            let par = shiloach_vishkin(&g);
+            assert!(same_partition(&det, &par));
+        }
+    }
+
+    #[test]
+    fn label_sensitivity_changes_iteration_counts() {
+        // §4: "SV is sensitive to the labeling of vertices. For the same
+        // graph, different labeling of vertices may incur different
+        // numbers of iterations." Relabel a path and watch the counts.
+        use archgraph_graph::edgelist::EdgeList;
+        use archgraph_graph::rng::Rng;
+        let n = 512usize;
+        let base = gen::path(n);
+        let mut counts = std::collections::BTreeSet::new();
+        let mut rng = Rng::new(99);
+        for _ in 0..6 {
+            let perm = rng.permutation(n);
+            let relabeled = EdgeList::from_pairs(
+                n,
+                base.edges
+                    .iter()
+                    .map(|e| (perm[e.u as usize], perm[e.v as usize])),
+            );
+            let (labels, iters) = shiloach_vishkin_iters(&relabeled);
+            assert!(same_partition(&labels, &connected_components(&relabeled)));
+            counts.insert(iters);
+        }
+        assert!(
+            counts.len() > 1,
+            "different labelings should need different iteration counts: {counts:?}"
+        );
+        let max = *counts.iter().max().unwrap();
+        let bound = 4 * 9 + 16; // 4 log n + slack
+        assert!(max <= bound, "all counts stay O(log n): {counts:?}");
+    }
+
+    #[test]
+    fn star_graph_converges_fast() {
+        let (_, iters) = shiloach_vishkin_iters(&gen::star(1000));
+        assert!(iters <= 2, "a star is SV's best case; iters = {iters}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Shiloach–Vishkin in the *SMP programming style* — the ease-of-
+//! programming contrast of the paper's conclusions:
+//!
+//! > "The Cray MTA allows the programmer to focus on the concurrency in
+//! > the problem, while the SMP server forces the programmer to optimize
+//! > for locality and cache. We find the latter results in longer, more
+//! > complex programs that embody both parallelism and locality."
+//!
+//! Where [`crate::sv_mta`] is a direct PRAM translation (a dozen lines of
+//! logic), this SPMD version is what the same algorithm looks like written
+//! for a pthreads SMP: exactly `p` persistent workers, explicit contiguous
+//! edge/vertex partitions (locality), software barriers between phases,
+//! per-thread graft buffers to keep writes sequential, and a serial
+//! conflict-resolution step — longer and more intricate, for the same
+//! answer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+use archgraph_core::SharedSlice;
+use archgraph_graph::edgelist::EdgeList;
+use archgraph_graph::Node;
+
+/// Connected components, SPMD style: `p` workers, contiguous partitions,
+/// software barriers, buffered grafts. Returns rooted-star labels.
+pub fn sv_spmd(g: &EdgeList, p: usize) -> Vec<Node> {
+    let n = g.n;
+    let p = p.max(1);
+    let mut d: Vec<Node> = (0..n as Node).collect();
+    if g.edges.is_empty() {
+        return d;
+    }
+
+    let m = g.edges.len();
+    let barrier = Barrier::new(p);
+    let done = AtomicBool::new(false);
+    // Per-worker graft proposal buffers: (root, new_label) pairs. Buffers
+    // are worker-private between barriers; a single worker applies them
+    // serially so no write races exist at all — the locality-and-structure
+    // discipline SMP code imposes.
+    let mut proposals: Vec<Vec<(Node, Node)>> = (0..p).map(|_| Vec::new()).collect();
+
+    let lg = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    let bound = lg * lg + 32;
+
+    {
+        let d_sh = SharedSlice::new(&mut d);
+        let props_sh = SharedSlice::new(&mut proposals);
+        let (barrier, done, edges) = (&barrier, &done, &g.edges);
+
+        std::thread::scope(|scope| {
+            for t in 0..p {
+                scope.spawn(move || {
+                    let echunk = m.div_ceil(p);
+                    // Both ends clamped: with more workers than edges the
+                    // trailing workers own empty (and in-bounds) slices.
+                    let (elo, ehi) = ((t * echunk).min(m), ((t + 1) * echunk).min(m));
+                    let vchunk = n.div_ceil(p);
+                    let (vlo, vhi) = (t * vchunk, ((t + 1) * vchunk).min(n));
+                    let mut iters = 0usize;
+
+                    loop {
+                        iters += 1;
+                        assert!(iters <= bound, "SPMD SV exceeded iteration bound");
+
+                        // Phase 1: scan my contiguous edge slice, buffer
+                        // graft proposals (reads only on shared state).
+                        // Safety: buffer `t` belongs to this worker alone;
+                        // `d` is read-only in this phase.
+                        let my_props = unsafe { &mut *props_sh.as_ptr_at(t) };
+                        my_props.clear();
+                        for e in &edges[elo..ehi] {
+                            for (u, v) in [(e.u, e.v), (e.v, e.u)] {
+                                let du = unsafe { d_sh.read(u as usize) };
+                                let dv = unsafe { d_sh.read(v as usize) };
+                                if du < dv && unsafe { d_sh.read(dv as usize) } == dv {
+                                    my_props.push((dv, du));
+                                }
+                            }
+                        }
+                        barrier.wait();
+
+                        // Phase 2: worker 0 applies all proposals serially
+                        // (deterministic winner: smallest label per root).
+                        if t == 0 {
+                            let mut any = false;
+                            for wt in 0..p {
+                                // Safety: phase 2 is barrier-separated from
+                                // phase 1's buffer writes.
+                                let props = unsafe { &*props_sh.as_ptr_at(wt) };
+                                for &(root, label) in props {
+                                    let cur = unsafe { d_sh.read(root as usize) };
+                                    // Re-check rootness and improvement:
+                                    // earlier grafts this round may have
+                                    // rewritten things.
+                                    if cur == root && label < cur {
+                                        unsafe { d_sh.write(root as usize, label) };
+                                        any = true;
+                                    } else if label < cur {
+                                        // Root moved; still take strictly
+                                        // smaller labels to speed mixing.
+                                        unsafe { d_sh.write(root as usize, label.min(cur)) };
+                                        any = true;
+                                    }
+                                }
+                            }
+                            done.store(!any, Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+
+                        // Phase 3: full shortcut over my contiguous vertex
+                        // slice. Racy reads of other slices are monotone
+                        // (labels only decrease) so convergence holds; my
+                        // writes stay within my slice.
+                        for i in vlo..vhi {
+                            loop {
+                                let p1 = unsafe { d_sh.read(i) };
+                                let p2 = unsafe { d_sh.read(p1 as usize) };
+                                if p1 == p2 {
+                                    break;
+                                }
+                                unsafe { d_sh.write(i, p2) };
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    // Final flatten (labels may be one hop stale after the last round).
+    for i in 0..n {
+        while d[i] != d[d[i] as usize] {
+            d[i] = d[d[i] as usize];
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_graph::gen;
+    use archgraph_graph::unionfind::{connected_components, same_partition};
+
+    fn check(g: &EdgeList, p: usize) {
+        let labels = sv_spmd(g, p);
+        for &x in &labels {
+            assert_eq!(labels[x as usize], x, "not rooted stars");
+        }
+        assert!(
+            same_partition(&labels, &connected_components(g)),
+            "partition mismatch n={} m={} p={p}",
+            g.n,
+            g.m()
+        );
+    }
+
+    #[test]
+    fn structured_graphs() {
+        for p in [1usize, 2, 4] {
+            check(&gen::path(200), p);
+            check(&gen::cycle(123), p);
+            check(&gen::star(80), p);
+            check(&gen::mesh2d(9, 9), p);
+        }
+    }
+
+    #[test]
+    fn random_graphs() {
+        for (n, m, seed) in [(200usize, 150usize, 1u64), (500, 2000, 2), (1000, 6000, 3)] {
+            check(&gen::random_gnm(n, m, seed), 4);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        check(&EdgeList::empty(0), 2);
+        check(&EdgeList::empty(7), 2);
+        check(&gen::with_isolated(&gen::complete(5), 10), 3);
+        check(&EdgeList::from_pairs(3, [(0, 0), (1, 2), (2, 1)]), 2);
+    }
+
+    #[test]
+    fn agrees_with_the_pram_style_version() {
+        for seed in 0..3u64 {
+            let g = gen::random_gnm(400, 1000, seed);
+            assert!(same_partition(
+                &sv_spmd(&g, 4),
+                &crate::sv_mta::sv_mta_style(&g)
+            ));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_edges() {
+        check(&gen::path(3), 8);
+    }
+}

@@ -1,0 +1,145 @@
+//! R-MAT recursive-matrix graphs — skewed-degree inputs.
+//!
+//! The paper's random graphs are Erdős–Rényi-uniform, but its central
+//! load-balancing argument (walk-length skew, `int_fetch_add` dynamic
+//! scheduling) bites hardest on *skewed* inputs. R-MAT (Chakrabarti,
+//! Zhan & Faloutsos) generates power-law-ish degree distributions with
+//! four quadrant probabilities `(a, b, c, d)`; the classic setting
+//! `(0.57, 0.19, 0.19, 0.05)` produces the heavy-tailed graphs used by
+//! the Graph500 benchmark family. Used by the robustness tests and the
+//! scheduling ablation.
+
+use crate::edgelist::{Edge, EdgeList};
+use crate::rng::Rng;
+use crate::Node;
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left (hub-hub) probability.
+    pub a: f64,
+    /// Top-right probability.
+    pub b: f64,
+    /// Bottom-left probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500-style default `(0.57, 0.19, 0.19, 0.05)`.
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    /// Uniform quadrants: degenerates to (approximately) Erdős–Rényi.
+    pub fn uniform() -> Self {
+        RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        }
+    }
+
+    fn validate(&self) {
+        let d = 1.0 - self.a - self.b - self.c;
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && d >= -1e-12,
+            "quadrant probabilities must be a distribution"
+        );
+    }
+}
+
+/// Generate an R-MAT graph with `2^scale` vertices and `m` edges
+/// (multi-edges and self loops removed, so the result may have slightly
+/// fewer than `m` — the standard convention).
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> EdgeList {
+    params.validate();
+    let n = 1usize << scale;
+    let mut rng = Rng::new(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r = rng.f64();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push(Edge::new(u as Node, v as Node).canonical());
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    rng.shuffle(&mut edges);
+    EdgeList { n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_simple_graph_of_right_order() {
+        let g = rmat(10, 4096, RmatParams::graph500(), 1);
+        assert_eq!(g.n, 1024);
+        assert!(g.is_simple());
+        assert!(g.check_ranges());
+        // Dedup loses some edges but most survive.
+        assert!(g.m() > 2048, "got only {} edges", g.m());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(8, 1000, RmatParams::graph500(), 7);
+        let b = rmat(8, 1000, RmatParams::graph500(), 7);
+        let c = rmat(8, 1000, RmatParams::graph500(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn graph500_skews_harder_than_uniform() {
+        let skewed = rmat(11, 16384, RmatParams::graph500(), 3);
+        let flat = rmat(11, 16384, RmatParams::uniform(), 3);
+        let max_deg = |g: &EdgeList| *g.degrees().iter().max().unwrap();
+        assert!(
+            max_deg(&skewed) > 2 * max_deg(&flat),
+            "R-MAT hubs should dominate: {} vs {}",
+            max_deg(&skewed),
+            max_deg(&flat)
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_spread_degrees() {
+        let g = rmat(10, 8192, RmatParams::uniform(), 5);
+        let degs = g.degrees();
+        let nonzero = degs.iter().filter(|&&d| d > 0).count();
+        assert!(nonzero > 900, "uniform R-MAT touches most vertices: {nonzero}");
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn invalid_probabilities_rejected() {
+        rmat(4, 10, RmatParams { a: 0.9, b: 0.9, c: 0.9 }, 0);
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = rmat(5, 0, RmatParams::graph500(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.n, 32);
+    }
+}

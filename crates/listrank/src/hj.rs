@@ -1,0 +1,269 @@
+//! The Helman–JáJá list-ranking algorithm, natively parallel.
+//!
+//! The five steps of §3, structured exactly as the paper's SMP code: `p`
+//! persistent worker threads (POSIX-thread style) separated by software
+//! barriers, with `s = 8p` sublists chosen one-per-block at random.
+//!
+//! 1. Find the head by the successor-sum identity (parallel reduction).
+//! 2. Partition into `s` sublists by marking random nodes.
+//! 3. Walk each sublist, computing local ranks and recording each node's
+//!    sublist index.
+//! 4. Prefix-sum the sublist summary records in chain order.
+//! 5. Add each node's sublist offset to its local rank (contiguous pass).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use archgraph_core::SharedSlice;
+use archgraph_graph::{LinkedList, Node, NIL};
+
+use crate::prefix::choose_sublist_heads;
+use crate::seq::sequential_rank;
+
+/// Configuration for [`helman_jaja`].
+#[derive(Debug, Clone)]
+pub struct HjConfig {
+    /// Worker thread count (the model's `p`).
+    pub threads: usize,
+    /// Sublists per thread; the paper uses 8 (`s = 8p`).
+    pub sublists_per_thread: usize,
+    /// Seed for the random sublist-head choice.
+    pub seed: u64,
+}
+
+impl Default for HjConfig {
+    fn default() -> Self {
+        HjConfig {
+            threads: 4,
+            sublists_per_thread: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl HjConfig {
+    /// A configuration with `threads` workers and the paper's defaults.
+    pub fn with_threads(threads: usize) -> Self {
+        HjConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+}
+
+/// Rank a list with the Helman–JáJá algorithm. Returns `rank[slot]` =
+/// number of predecessors (head = 0), identical to
+/// [`crate::seq::sequential_rank`].
+///
+/// # Examples
+/// ```
+/// use archgraph_graph::{list::LinkedList, rng::Rng};
+/// use archgraph_listrank::{helman_jaja, HjConfig};
+///
+/// let list = LinkedList::random(10_000, &mut Rng::new(1));
+/// let rank = helman_jaja(&list, &HjConfig::with_threads(4));
+/// assert_eq!(rank, list.rank_oracle());
+/// ```
+pub fn helman_jaja(list: &LinkedList, cfg: &HjConfig) -> Vec<Node> {
+    let n = list.len();
+    let p = cfg.threads.max(1);
+    // Below the decomposition's profitable regime (paper: n > p² ln n),
+    // fall back to the sequential code.
+    if n == 0 || p == 1 || n < 16 * p {
+        return sequential_rank(list);
+    }
+    let s = (cfg.sublists_per_thread.max(1) * p).min(n);
+
+    let next = &list.next;
+    let barrier = Barrier::new(p);
+    let sum = AtomicU64::new(0);
+
+    // Step 2 inputs prepared up front (allocation is not a measured phase;
+    // the *marking* happens inside the parallel region).
+    let heads = choose_sublist_heads(list, s, cfg.seed);
+    let s = heads.len();
+    let mut marker = vec![NIL; n];
+    let mut rank = vec![0 as Node; n];
+    let mut sub_of = vec![0 as Node; n];
+    let mut sub_len = vec![0 as Node; s];
+    let mut sub_succ = vec![NIL; s];
+    let mut sub_off = vec![0 as Node; s];
+
+    {
+        let marker_sh = SharedSlice::new(&mut marker);
+        let rank_sh = SharedSlice::new(&mut rank);
+        let sub_of_sh = SharedSlice::new(&mut sub_of);
+        let len_sh = SharedSlice::new(&mut sub_len);
+        let succ_sh = SharedSlice::new(&mut sub_succ);
+        let off_sh = SharedSlice::new(&mut sub_off);
+        let barrier = &barrier;
+        let sum = &sum;
+        let heads = &heads;
+
+        std::thread::scope(|scope| {
+            for t in 0..p {
+                scope.spawn(move || {
+                    let chunk = n.div_ceil(p);
+                    let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(n));
+
+                    // --- Step 1: head finding (parallel reduction). ---
+                    let local: u64 = next[lo..hi].iter().map(|&x| x as u64).sum();
+                    sum.fetch_add(local, Ordering::Relaxed);
+                    barrier.wait();
+                    if t == 0 {
+                        let nn = n as u64;
+                        let found = (nn * (nn - 1) / 2 + nn - sum.load(Ordering::Relaxed)) as Node;
+                        debug_assert_eq!(found, list.head, "head identity");
+
+                        // --- Step 2: mark sublist heads. ---
+                        for (i, &h) in heads.iter().enumerate() {
+                            // Safety: only thread 0 writes markers here.
+                            unsafe { marker_sh.write(h as usize, i as Node) };
+                        }
+                    }
+                    barrier.wait();
+
+                    // --- Step 3: walk sublists (cyclic assignment). ---
+                    let mut i = t;
+                    while i < s {
+                        let mut j = heads[i];
+                        let mut r: Node = 0;
+                        // Safety: sublists partition the list; slot `j` is
+                        // visited by exactly one walk.
+                        unsafe {
+                            rank_sh.write(j as usize, r);
+                            sub_of_sh.write(j as usize, i as Node);
+                        }
+                        let mut nx = next[j as usize];
+                        while (nx as usize) < n
+                            && unsafe { marker_sh.read(nx as usize) } == NIL
+                        {
+                            j = nx;
+                            r += 1;
+                            unsafe {
+                                rank_sh.write(j as usize, r);
+                                sub_of_sh.write(j as usize, i as Node);
+                            }
+                            nx = next[j as usize];
+                        }
+                        unsafe {
+                            len_sh.write(i, r + 1);
+                            succ_sh.write(
+                                i,
+                                if (nx as usize) < n {
+                                    marker_sh.read(nx as usize)
+                                } else {
+                                    NIL
+                                },
+                            );
+                        }
+                        i += p;
+                    }
+                    barrier.wait();
+
+                    // --- Step 4: sublist prefix (thread 0; s = O(p)). ---
+                    if t == 0 {
+                        let mut cur = 0usize;
+                        let mut acc: Node = 0;
+                        loop {
+                            // Safety: steps are barrier-separated; only
+                            // thread 0 touches the summaries here.
+                            unsafe { off_sh.write(cur, acc) };
+                            acc += unsafe { len_sh.read(cur) };
+                            let nxt = unsafe { succ_sh.read(cur) };
+                            if nxt == NIL {
+                                break;
+                            }
+                            cur = nxt as usize;
+                        }
+                        debug_assert_eq!(acc as usize, n, "sublists cover the list");
+                    }
+                    barrier.wait();
+
+                    // --- Step 5: contiguous combine. ---
+                    for slot in lo..hi {
+                        // Safety: contiguous disjoint chunks.
+                        unsafe {
+                            let local = rank_sh.read(slot);
+                            let off = off_sh.read(sub_of_sh.read(slot) as usize);
+                            rank_sh.write(slot, local + off);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_graph::rng::Rng;
+
+    #[test]
+    fn matches_oracle_on_random_lists() {
+        let mut rng = Rng::new(11);
+        for n in [64usize, 100, 1000, 10_000] {
+            let l = LinkedList::random(n, &mut rng);
+            for threads in [2usize, 3, 4] {
+                let cfg = HjConfig {
+                    threads,
+                    ..Default::default()
+                };
+                assert_eq!(helman_jaja(&l, &cfg), l.rank_oracle(), "n={n} p={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_ordered_lists() {
+        let l = LinkedList::ordered(4096);
+        let cfg = HjConfig::with_threads(4);
+        assert_eq!(helman_jaja(&l, &cfg), l.rank_oracle());
+    }
+
+    #[test]
+    fn tiny_lists_fall_back_to_sequential() {
+        let mut rng = Rng::new(12);
+        for n in [0usize, 1, 2, 5, 15] {
+            let l = LinkedList::random(n, &mut rng);
+            let cfg = HjConfig::with_threads(8);
+            assert_eq!(helman_jaja(&l, &cfg), l.rank_oracle(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn single_thread_matches() {
+        let mut rng = Rng::new(13);
+        let l = LinkedList::random(512, &mut rng);
+        let cfg = HjConfig::with_threads(1);
+        assert_eq!(helman_jaja(&l, &cfg), l.rank_oracle());
+    }
+
+    #[test]
+    fn sublist_count_knob_is_respected() {
+        // Any sublists-per-thread must still produce correct ranks (the
+        // ablation sweeps this knob).
+        let mut rng = Rng::new(14);
+        let l = LinkedList::random(3000, &mut rng);
+        for spt in [1usize, 2, 8, 32, 100] {
+            let cfg = HjConfig {
+                threads: 4,
+                sublists_per_thread: spt,
+                seed: 1,
+            };
+            assert_eq!(helman_jaja(&l, &cfg), l.rank_oracle(), "s/p = {spt}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_same_answer() {
+        let mut rng = Rng::new(15);
+        let l = LinkedList::random(2048, &mut rng);
+        let a = helman_jaja(&l, &HjConfig { seed: 1, ..HjConfig::with_threads(4) });
+        let b = helman_jaja(&l, &HjConfig { seed: 99, ..HjConfig::with_threads(4) });
+        assert_eq!(a, b);
+    }
+}

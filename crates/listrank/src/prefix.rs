@@ -1,0 +1,333 @@
+//! The general prefix problem on linked lists (paper §3).
+//!
+//! "Let X be an array of n elements stored in arbitrary order. For each
+//! element i, let X(i).value be its value and X(i).next the index of its
+//! successor. Then for any binary associative operator ⊕, compute
+//! X(i).prefix such that X(head).prefix = X(head).value and X(i).prefix =
+//! X(i).value ⊕ X(predecessor).prefix." List ranking is the instance with
+//! all values 1 and ⊕ = addition.
+//!
+//! [`seq_prefix`] is the sequential form; [`par_prefix`] uses the
+//! Helman–JáJá sublist decomposition (same structure as [`crate::hj`])
+//! generically over the operator.
+
+use archgraph_core::SharedSlice;
+use archgraph_graph::rng::Rng;
+use archgraph_graph::{LinkedList, Node, NIL};
+
+/// Sequential prefix: `out[slot] = value(head) ⊕ ... ⊕ value(slot)` along
+/// list order (inclusive).
+pub fn seq_prefix<T, F>(list: &LinkedList, values: &[T], op: F) -> Vec<T>
+where
+    T: Copy + Default,
+    F: Fn(T, T) -> T,
+{
+    let n = list.len();
+    assert_eq!(values.len(), n, "one value per element");
+    let mut out = vec![T::default(); n];
+    let mut j = list.head;
+    let mut acc: Option<T> = None;
+    while (j as usize) < n {
+        let v = values[j as usize];
+        let next_acc = match acc {
+            None => v,
+            Some(a) => op(a, v),
+        };
+        out[j as usize] = next_acc;
+        acc = Some(next_acc);
+        j = list.next[j as usize];
+    }
+    out
+}
+
+/// Parallel prefix via the Helman–JáJá sublist decomposition, generic
+/// over the associative operator. `threads` host threads; `s = 8·threads`
+/// sublists (the paper's choice).
+///
+/// # Examples
+/// ```
+/// use archgraph_graph::{list::LinkedList, rng::Rng};
+/// use archgraph_listrank::prefix::par_prefix;
+///
+/// // Running maximum along a randomly laid-out list.
+/// let list = LinkedList::random(500, &mut Rng::new(2));
+/// let vals: Vec<i64> = (0..500).map(|i| (i * 37 % 101) as i64).collect();
+/// let pre = par_prefix(&list, &vals, |a, b| a.max(b), 2, 0);
+/// let tail = *list.order().last().unwrap() as usize;
+/// assert_eq!(pre[tail], *vals.iter().max().unwrap());
+/// ```
+pub fn par_prefix<T, F>(list: &LinkedList, values: &[T], op: F, threads: usize, seed: u64) -> Vec<T>
+where
+    T: Copy + Default + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = list.len();
+    assert_eq!(values.len(), n);
+    let p = threads.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    // Small lists: the decomposition overhead dominates; go sequential.
+    if n < 4 * p || p == 1 {
+        return seq_prefix(list, values, op);
+    }
+
+    let s = 8 * p; // number of sublists (paper: s = 8p)
+    let heads = choose_sublist_heads(list, s, seed);
+    let s = heads.len();
+
+    // marker[slot] = sublist index if slot is a sublist head.
+    let mut marker = vec![NIL; n];
+    for (i, &h) in heads.iter().enumerate() {
+        marker[h as usize] = i as Node;
+    }
+
+    let mut out = vec![T::default(); n];
+    let mut sub_of = vec![0 as Node; n];
+    let mut sub_last = vec![T::default(); s]; // ⊕-total of each sublist
+    let mut sub_succ = vec![NIL; s];
+
+    {
+        let out_sh = SharedSlice::new(&mut out);
+        let sub_of_sh = SharedSlice::new(&mut sub_of);
+        let last_sh = SharedSlice::new(&mut sub_last);
+        let succ_sh = SharedSlice::new(&mut sub_succ);
+        let marker = &marker;
+        let heads = &heads;
+        let next = &list.next;
+        let op = &op;
+        std::thread::scope(|scope| {
+            for t in 0..p {
+                scope.spawn(move || {
+                    // Cyclic sublist assignment; each walk writes disjoint
+                    // slots (sublists partition the list).
+                    let mut i = t;
+                    while i < s {
+                        let mut j = heads[i];
+                        let mut acc = values[j as usize];
+                        // Safety: each slot belongs to exactly one sublist.
+                        unsafe {
+                            out_sh.write(j as usize, acc);
+                            sub_of_sh.write(j as usize, i as Node);
+                        }
+                        let mut nx = next[j as usize];
+                        while (nx as usize) < n && marker[nx as usize] == NIL {
+                            j = nx;
+                            acc = op(acc, values[j as usize]);
+                            unsafe {
+                                out_sh.write(j as usize, acc);
+                                sub_of_sh.write(j as usize, i as Node);
+                            }
+                            nx = next[j as usize];
+                        }
+                        unsafe {
+                            last_sh.write(i, acc);
+                            succ_sh.write(
+                                i,
+                                if (nx as usize) < n { marker[nx as usize] } else { NIL },
+                            );
+                        }
+                        i += p;
+                    }
+                });
+            }
+        });
+    }
+
+    // Step 4: prefix over the sublist summaries in chain order (s is
+    // small: O(p) work).
+    let mut sub_offset: Vec<Option<T>> = vec![None; s];
+    let mut cur = 0usize; // sublist 0 contains the list head
+    let mut acc: Option<T> = None;
+    loop {
+        sub_offset[cur] = acc;
+        let total = sub_last[cur];
+        acc = Some(match acc {
+            None => total,
+            Some(a) => op(a, total),
+        });
+        let nxt = sub_succ[cur];
+        if nxt == NIL {
+            break;
+        }
+        cur = nxt as usize;
+    }
+
+    // Step 5: contiguous final combine.
+    {
+        let out_sh = SharedSlice::new(&mut out);
+        let sub_of = &sub_of;
+        let sub_offset = &sub_offset;
+        let op = &op;
+        std::thread::scope(|scope| {
+            let chunk = n.div_ceil(p);
+            for t in 0..p {
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    for slot in lo..hi {
+                        if let Some(off) = sub_offset[sub_of[slot] as usize] {
+                            // Safety: each slot written by exactly one
+                            // thread (contiguous partition).
+                            unsafe {
+                                let v = out_sh.read(slot);
+                                out_sh.write(slot, op(off, v));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    out
+}
+
+/// Choose `s` sublist head slots: the true head plus one random slot from
+/// each block of `n / (s-1)` slots (paper step 2), deduplicated.
+pub(crate) fn choose_sublist_heads(list: &LinkedList, s: usize, seed: u64) -> Vec<Node> {
+    let n = list.len();
+    let s = s.clamp(1, n);
+    let mut rng = Rng::new(seed);
+    let mut heads = Vec::with_capacity(s);
+    heads.push(list.head);
+    if s > 1 {
+        let block = n / (s - 1);
+        if block > 0 {
+            for b in 0..(s - 1) {
+                let lo = b * block;
+                let hi = ((b + 1) * block).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let mut pick = lo + rng.below_usize(hi - lo);
+                if pick as Node == list.head {
+                    // Nudge within the block; blocks have ≥1 slot, and if
+                    // the block is the head's singleton, skip it.
+                    if hi - lo == 1 {
+                        continue;
+                    }
+                    pick = if pick + 1 < hi { pick + 1 } else { lo };
+                }
+                heads.push(pick as Node);
+            }
+        }
+    }
+    heads.sort_unstable();
+    heads.dedup();
+    // Keep the true head at index 0 (the chain scan starts there).
+    let hpos = heads.iter().position(|&h| h == list.head).unwrap();
+    heads.swap(0, hpos);
+    heads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_graph::rng::Rng;
+
+    #[test]
+    fn seq_prefix_addition_is_rank_plus_one() {
+        let mut rng = Rng::new(5);
+        let l = LinkedList::random(257, &mut rng);
+        let ones = vec![1u64; 257];
+        let pre = seq_prefix(&l, &ones, |a, b| a + b);
+        let rank = l.rank_oracle();
+        for slot in 0..257 {
+            assert_eq!(pre[slot], rank[slot] as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn par_prefix_matches_seq_for_addition() {
+        let mut rng = Rng::new(6);
+        for n in [1usize, 2, 16, 255, 1024, 5000] {
+            let l = LinkedList::random(n, &mut rng);
+            let vals: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            let s = seq_prefix(&l, &vals, |a, b| a + b);
+            for threads in [1usize, 2, 4] {
+                let p = par_prefix(&l, &vals, |a, b| a + b, threads, 42);
+                assert_eq!(p, s, "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_prefix_with_max_operator() {
+        let mut rng = Rng::new(7);
+        let n = 2000usize;
+        let l = LinkedList::random(n, &mut rng);
+        let vals: Vec<i64> = (0..n).map(|i| ((i * 7919) % 1000) as i64 - 500).collect();
+        let s = seq_prefix(&l, &vals, |a, b| a.max(b));
+        let p = par_prefix(&l, &vals, |a, b| a.max(b), 4, 1);
+        assert_eq!(p, s, "running-max prefix must match");
+    }
+
+    #[test]
+    fn par_prefix_with_noncommutative_operator() {
+        // ⊕ = composition of affine maps x ↦ ax + b over the ring Z_97:
+        // (a, b) ∘ (c, d) = (ac, bc + d) with both components mod 97 —
+        // associative (function composition) but not commutative.
+        type Aff = (i64, i64);
+        let op = |x: Aff, y: Aff| -> Aff {
+            ((x.0 * y.0).rem_euclid(97), (x.1 * y.0 + y.1).rem_euclid(97))
+        };
+        let mut rng = Rng::new(8);
+        let n = 1500usize;
+        let l = LinkedList::random(n, &mut rng);
+        let vals: Vec<Aff> = (0..n)
+            .map(|i| (((i * 31) % 96 + 1) as i64, (i * 7 % 97) as i64))
+            .collect();
+        let s = seq_prefix(&l, &vals, op);
+        let p = par_prefix(&l, &vals, op, 3, 2);
+        assert_eq!(p, s, "non-commutative operator order must be preserved");
+    }
+
+    #[test]
+    fn ordered_list_prefix() {
+        let l = LinkedList::ordered(100);
+        let ones = vec![1u32; 100];
+        let p = par_prefix(&l, &ones, |a, b| a + b, 2, 0);
+        let expect: Vec<u32> = (1..=100).collect();
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let l = LinkedList::ordered(0);
+        assert!(par_prefix(&l, &[], |a: u32, b| a + b, 4, 0).is_empty());
+        let l = LinkedList::ordered(1);
+        assert_eq!(par_prefix(&l, &[7u32], |a, b| a + b, 4, 0), vec![7]);
+    }
+
+    #[test]
+    fn sublist_heads_are_valid_and_unique() {
+        let mut rng = Rng::new(10);
+        let l = LinkedList::random(1000, &mut rng);
+        for s in [1usize, 2, 8, 64, 999] {
+            let heads = choose_sublist_heads(&l, s, 3);
+            assert_eq!(heads[0], l.head, "true head first");
+            let mut sorted = heads.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), heads.len(), "no duplicates at s = {s}");
+            assert!(heads.iter().all(|&h| (h as usize) < 1000));
+            assert!(heads.len() <= s.max(1));
+        }
+    }
+
+    #[test]
+    fn sublist_heads_on_tiny_lists() {
+        let l = LinkedList::ordered(2);
+        let heads = choose_sublist_heads(&l, 16, 0);
+        assert_eq!(heads[0], 0);
+        assert!(heads.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per element")]
+    fn value_length_mismatch_panics() {
+        let l = LinkedList::ordered(3);
+        seq_prefix(&l, &[1u32; 2], |a, b| a + b);
+    }
+}

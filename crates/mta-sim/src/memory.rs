@@ -1,0 +1,298 @@
+//! The flat shared memory with full/empty-bit synchronization and
+//! `int_fetch_add`.
+//!
+//! Addresses are in *words* (the MTA is word-oriented; the paper's codes
+//! index `int` arrays). A bump allocator carves arrays out of the space.
+//! Logical-to-physical hashing (§2.2) exists on the real machine to avoid
+//! stride hotspots; since the simulator models a uniform-latency memory
+//! with no banks, hashing has no observable effect and is omitted — which
+//! is precisely the paper's point that layout is irrelevant on the MTA.
+
+use crate::word::Word;
+
+/// Counters of memory traffic by operation class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Ordinary loads.
+    pub loads: u64,
+    /// Ordinary stores.
+    pub stores: u64,
+    /// Successful synchronous operations (readfe/writeef/readff).
+    pub sync_ops: u64,
+    /// Synchronous operations that found the wrong tag state and must
+    /// retry.
+    pub sync_retries: u64,
+    /// `int_fetch_add` operations.
+    pub fetch_adds: u64,
+}
+
+impl MemCounters {
+    /// Total word-traffic (each op moves one word).
+    pub fn total_ops(&self) -> u64 {
+        self.loads + self.stores + self.sync_ops + self.fetch_adds
+    }
+}
+
+/// The shared memory of a simulated MTA system.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<Word>,
+    next_free: usize,
+    /// Traffic counters.
+    pub counters: MemCounters,
+}
+
+impl Memory {
+    /// A memory of `capacity` words, all full-of-zero.
+    pub fn new(capacity: usize) -> Self {
+        Memory {
+            words: vec![Word::default(); capacity],
+            next_free: 0,
+            counters: MemCounters::default(),
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Bump-allocate `len` words; returns the base word address.
+    /// Panics when memory is exhausted.
+    pub fn alloc(&mut self, len: usize) -> usize {
+        let base = self.next_free;
+        assert!(
+            base + len <= self.words.len(),
+            "simulated memory exhausted: need {len} words at {base}, capacity {}",
+            self.words.len()
+        );
+        self.next_free += len;
+        base
+    }
+
+    /// Copy a host slice into simulated memory at `base` (words full).
+    pub fn load_slice(&mut self, base: usize, values: &[i64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.words[base + i] = Word::full(v);
+        }
+    }
+
+    /// Allocate and initialize from a host slice in one step.
+    pub fn alloc_init(&mut self, values: &[i64]) -> usize {
+        let base = self.alloc(values.len());
+        self.load_slice(base, values);
+        base
+    }
+
+    /// Allocate `len` words all set to `value`.
+    pub fn alloc_fill(&mut self, len: usize, value: i64) -> usize {
+        let base = self.alloc(len);
+        for w in &mut self.words[base..base + len] {
+            *w = Word::full(value);
+        }
+        base
+    }
+
+    /// Read a word's value without simulation side effects (host-side
+    /// inspection of results).
+    pub fn peek(&self, addr: usize) -> i64 {
+        self.words[addr].value
+    }
+
+    /// Copy `len` words out to the host starting at `base`.
+    pub fn peek_slice(&self, base: usize, len: usize) -> Vec<i64> {
+        self.words[base..base + len].iter().map(|w| w.value).collect()
+    }
+
+    /// Host-side write without side effects.
+    pub fn poke(&mut self, addr: usize, value: i64) {
+        self.words[addr].value = value;
+    }
+
+    /// Host-side tag inspection.
+    pub fn is_full(&self, addr: usize) -> bool {
+        self.words[addr].full
+    }
+
+    /// Host-side: mark a word empty (e.g. to initialize a sync variable).
+    pub fn set_empty(&mut self, addr: usize) {
+        self.words[addr].full = false;
+    }
+
+    // --- simulated operations (update counters) ---
+
+    /// Ordinary load: ignores the full/empty bit.
+    pub fn load(&mut self, addr: usize) -> i64 {
+        self.counters.loads += 1;
+        self.words[addr].value
+    }
+
+    /// Ordinary store: ignores and does not change the full/empty bit.
+    pub fn store(&mut self, addr: usize, value: i64) {
+        self.counters.stores += 1;
+        self.words[addr].value = value;
+    }
+
+    /// Synchronous read-and-empty: succeeds only on a full word, leaving
+    /// it empty. `None` means the issuing stream must retry.
+    pub fn readfe(&mut self, addr: usize) -> Option<i64> {
+        let w = &mut self.words[addr];
+        if w.full {
+            w.full = false;
+            self.counters.sync_ops += 1;
+            Some(w.value)
+        } else {
+            self.counters.sync_retries += 1;
+            None
+        }
+    }
+
+    /// Synchronous write-and-fill: succeeds only on an empty word, leaving
+    /// it full. `false` means retry.
+    pub fn writeef(&mut self, addr: usize, value: i64) -> bool {
+        let w = &mut self.words[addr];
+        if !w.full {
+            w.full = true;
+            w.value = value;
+            self.counters.sync_ops += 1;
+            true
+        } else {
+            self.counters.sync_retries += 1;
+            false
+        }
+    }
+
+    /// Synchronous read-when-full (does not empty). `None` means retry.
+    pub fn readff(&mut self, addr: usize) -> Option<i64> {
+        let w = &mut self.words[addr];
+        if w.full {
+            self.counters.sync_ops += 1;
+            Some(w.value)
+        } else {
+            self.counters.sync_retries += 1;
+            None
+        }
+    }
+
+    /// Atomic fetch-and-add at memory; returns the *old* value. One cycle
+    /// on the real machine; the engine charges it like a memory op.
+    pub fn int_fetch_add(&mut self, addr: usize, delta: i64) -> i64 {
+        self.counters.fetch_adds += 1;
+        let w = &mut self.words[addr];
+        let old = w.value;
+        w.value = old.wrapping_add(delta);
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_disjoint() {
+        let mut m = Memory::new(100);
+        let a = m.alloc(10);
+        let b = m.alloc(20);
+        assert_eq!(a, 0);
+        assert_eq!(b, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_overflow_panics() {
+        let mut m = Memory::new(8);
+        m.alloc(9);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = Memory::new(4);
+        m.store(2, 42);
+        assert_eq!(m.load(2), 42);
+        assert_eq!(m.counters.loads, 1);
+        assert_eq!(m.counters.stores, 1);
+    }
+
+    #[test]
+    fn init_helpers() {
+        let mut m = Memory::new(16);
+        let a = m.alloc_init(&[1, 2, 3]);
+        assert_eq!(m.peek_slice(a, 3), vec![1, 2, 3]);
+        let b = m.alloc_fill(4, -1);
+        assert_eq!(m.peek_slice(b, 4), vec![-1; 4]);
+    }
+
+    #[test]
+    fn readfe_empties_then_blocks() {
+        let mut m = Memory::new(2);
+        m.store(0, 5);
+        assert_eq!(m.readfe(0), Some(5));
+        assert!(!m.is_full(0));
+        assert_eq!(m.readfe(0), None, "now empty: retry");
+        assert_eq!(m.counters.sync_retries, 1);
+    }
+
+    #[test]
+    fn writeef_fills_then_blocks() {
+        let mut m = Memory::new(1);
+        m.set_empty(0);
+        assert!(m.writeef(0, 9));
+        assert!(m.is_full(0));
+        assert!(!m.writeef(0, 10), "full: retry");
+        assert_eq!(m.peek(0), 9);
+    }
+
+    #[test]
+    fn readff_waits_for_full_without_emptying() {
+        let mut m = Memory::new(1);
+        m.set_empty(0);
+        assert_eq!(m.readff(0), None);
+        assert!(m.writeef(0, 3));
+        assert_eq!(m.readff(0), Some(3));
+        assert!(m.is_full(0), "readff leaves the word full");
+    }
+
+    #[test]
+    fn producer_consumer_handshake() {
+        // The classic FEB pattern: consumer readfe's a slot the producer
+        // writeef's, alternating ownership.
+        let mut m = Memory::new(1);
+        m.set_empty(0);
+        assert_eq!(m.readfe(0), None, "nothing produced yet");
+        assert!(m.writeef(0, 1));
+        assert_eq!(m.readfe(0), Some(1));
+        assert!(m.writeef(0, 2));
+        assert_eq!(m.readfe(0), Some(2));
+        assert_eq!(m.counters.sync_ops, 4);
+    }
+
+    #[test]
+    fn fetch_add_returns_old_and_accumulates() {
+        let mut m = Memory::new(1);
+        assert_eq!(m.int_fetch_add(0, 1), 0);
+        assert_eq!(m.int_fetch_add(0, 1), 1);
+        assert_eq!(m.int_fetch_add(0, 5), 2);
+        assert_eq!(m.peek(0), 7);
+        assert_eq!(m.counters.fetch_adds, 3);
+    }
+
+    #[test]
+    fn fetch_add_wraps_safely() {
+        let mut m = Memory::new(1);
+        m.poke(0, i64::MAX);
+        assert_eq!(m.int_fetch_add(0, 1), i64::MAX);
+        assert_eq!(m.peek(0), i64::MIN);
+    }
+
+    #[test]
+    fn counters_total() {
+        let mut m = Memory::new(4);
+        m.load(0);
+        m.store(1, 1);
+        m.int_fetch_add(2, 1);
+        m.store(3, 1);
+        m.readfe(3);
+        assert_eq!(m.counters.total_ops(), 5);
+    }
+}

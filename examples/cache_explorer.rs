@@ -1,0 +1,89 @@
+//! Exploring the simulated Sun E4500 memory system directly: the same
+//! access count under different access patterns, and what each level of
+//! the hierarchy (L1, L2, TLB, prefetcher) does to it — the §2.1 story
+//! quantified.
+//!
+//! ```text
+//! cargo run --release --example cache_explorer
+//! ```
+
+use archgraph::core::machine::SmpParams;
+use archgraph::core::report::Table;
+use archgraph::graph::rng::Rng;
+use archgraph::smp::machine::SmpMachine;
+
+const N: usize = 1 << 20; // 4 MB of u32 — larger than L2's usable share
+
+fn run(label: &str, params: &SmpParams, pattern: impl Fn(usize) -> usize) -> Vec<String> {
+    let mut m = SmpMachine::new(params.clone(), 1);
+    let arr = m.alloc_elems::<u32>(N);
+    m.phase_no_barrier("access", |_, ctx| {
+        for i in 0..N {
+            ctx.read_elem(arr, pattern(i));
+            ctx.compute(2);
+        }
+    });
+    let s = m.stats();
+    let (fc, fm, ft) = s.stall_breakdown();
+    vec![
+        label.to_string(),
+        format!("{:.1}", s.cycles / N as f64),
+        format!("{:.1}%", s.l1_hit_rate() * 100.0),
+        format!("{:.1}%", s.mem_access_rate() * 100.0),
+        format!("{}", s.tlb_misses),
+        format!("{:.0}/{:.0}/{:.0}%", fc * 100.0, fm * 100.0, ft * 100.0),
+        format!("{:.2} ms", m.seconds() * 1e3),
+    ]
+}
+
+fn main() {
+    let e4500 = SmpParams::sun_e4500();
+    println!(
+        "simulated E4500: {} KB dm-L1, {} MB L2, {}-entry TLB ({} KB pages), \
+         {}-cycle memory, prefetcher {}",
+        e4500.l1_bytes / 1024,
+        e4500.l2_bytes / (1024 * 1024),
+        e4500.tlb_entries,
+        e4500.page_bytes / 1024,
+        e4500.mem_latency,
+        if e4500.prefetch_streams == 0 { "off (US-II)" } else { "on" },
+    );
+    println!("{N} u32 loads (4 MB array), one processor:\n");
+
+    let mut rng = Rng::new(1);
+    let perm: Vec<usize> = {
+        let mut p: Vec<usize> = (0..N).collect();
+        rng.shuffle(&mut p);
+        p
+    };
+
+    let mut t = Table::new([
+        "pattern",
+        "cyc/access",
+        "L1 hit",
+        "to memory",
+        "TLB misses",
+        "cpu/mem/tlb",
+        "time",
+    ]);
+    t.row(run("sequential", &e4500, |i| i));
+    t.row(run("strided x16 (line-sized)", &e4500, |i| (i * 16) % N));
+    t.row(run("strided x2048 (page-sized)", &e4500, |i| (i * 2048 + i / (N / 2048)) % N));
+    t.row(run("random permutation", &e4500, |i| perm[i]));
+    let mut with_prefetch = e4500.clone();
+    with_prefetch.prefetch_streams = 4;
+    t.row(run("sequential + prefetcher", &with_prefetch, |i| i));
+    let mut no_tlb = e4500.clone();
+    no_tlb.tlb_entries = 0;
+    t.row(run("random, TLB modeled off", &no_tlb, |i| perm[i]));
+    for line in t.render().lines() {
+        println!("  {line}");
+    }
+
+    println!(
+        "\nreadout: sequential amortizes one line fill over 16 elements; \
+         line-sized strides defeat spatial reuse; page-sized strides also \
+         thrash the TLB; random pays the full memory + TLB-trap cost per \
+         access — the paper's Ordered/Random gap in miniature."
+    );
+}

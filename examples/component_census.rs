@@ -1,0 +1,77 @@
+//! A census of every connected-components algorithm in the workspace over
+//! a portfolio of graph topologies — the comparison Greiner ran across
+//! data-parallel CC algorithms (paper §4 related work), here on the host.
+//!
+//! ```text
+//! cargo run --release --example component_census
+//! ```
+
+use std::time::Instant;
+
+use archgraph::concomp::awerbuch_shiloach::awerbuch_shiloach;
+use archgraph::concomp::hybrid::{hybrid_components, HybridConfig};
+use archgraph::concomp::random_mating::random_mating;
+use archgraph::concomp::seq::bfs_components;
+use archgraph::concomp::sv_spmd::sv_spmd;
+use archgraph::concomp::{shiloach_vishkin, sv_mta_style};
+use archgraph::core::report::Table;
+use archgraph::graph::edgelist::EdgeList;
+use archgraph::graph::gen;
+use archgraph::graph::unionfind::{connected_components, same_partition};
+use archgraph::graph::Node;
+
+fn time_ms(f: impl FnOnce() -> Vec<Node>) -> (Vec<Node>, f64) {
+    let t0 = Instant::now();
+    let labels = f();
+    (labels, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let n = 1 << 15;
+    let workloads: Vec<(&str, EdgeList)> = vec![
+        ("random sparse (m = 2n)", gen::random_gnm(n, 2 * n, 1)),
+        ("random dense (m = 16n)", gen::random_gnm(n, 16 * n, 2)),
+        ("2-D mesh", gen::mesh2d(181, 181)),
+        ("3-D torus-ish mesh", gen::mesh3d(32, 32, 32)),
+        ("long path", gen::path(n)),
+        ("10k planted blobs", gen::planted_components(10_000, 3, 1, 3)),
+    ];
+
+    for (name, g) in &workloads {
+        println!("\n== {name}: n = {}, m = {} ==", g.n, g.m());
+        let oracle = connected_components(g);
+        let ncomp = {
+            let mut c = oracle.clone();
+            c.sort_unstable();
+            c.dedup();
+            c.len()
+        };
+
+        type Entry<'a> = (&'a str, Box<dyn FnOnce() -> Vec<Node> + 'a>);
+        let mut t = Table::new(["algorithm", "time", "correct"]);
+        let entries: Vec<Entry> = vec![
+            ("union-find (seq oracle)", Box::new(|| connected_components(g))),
+            ("BFS (seq)", Box::new(|| bfs_components(g))),
+            ("Shiloach-Vishkin Alg.2", Box::new(|| shiloach_vishkin(g))),
+            ("Shiloach-Vishkin Alg.3", Box::new(|| sv_mta_style(g))),
+            ("Shiloach-Vishkin SPMD", Box::new(|| sv_spmd(g, 4))),
+            ("Awerbuch-Shiloach", Box::new(|| awerbuch_shiloach(g))),
+            ("random mating", Box::new(|| random_mating(g, 7))),
+            (
+                "hybrid (mating + SV)",
+                Box::new(|| hybrid_components(g, &HybridConfig::default())),
+            ),
+        ];
+        for (alg, f) in entries {
+            let (labels, ms) = time_ms(f);
+            let ok = same_partition(&labels, &oracle);
+            t.row([alg.to_string(), format!("{ms:8.2} ms"), format!("{ok}")]);
+            assert!(ok, "{alg} disagreed with the oracle on {name}");
+        }
+        for line in t.render().lines() {
+            println!("  {line}");
+        }
+        println!("  components: {ncomp}");
+    }
+    println!("\nall algorithms agree on every topology.");
+}

@@ -1,0 +1,83 @@
+//! Rooted-tree analytics via the Euler-tour technique — the application
+//! family the paper's introduction motivates list ranking with (tree
+//! computations, expression evaluation, rooted spanning trees).
+//!
+//! Pipeline: random graph → spanning forest (SV graft witnesses) → Euler
+//! tour of the largest tree → list-rank the tour (Helman–JáJá) → parents,
+//! depths (±1 prefix), subtree sizes — all verified against a BFS oracle.
+//!
+//! ```text
+//! cargo run --release --example tree_analytics
+//! ```
+
+use archgraph::apps::centroid::centroid;
+use archgraph::apps::euler::Ranker;
+use archgraph::apps::{RootedAnalysis, Tree};
+use archgraph::concomp::spanning::spanning_forest;
+use archgraph::graph::edgelist::EdgeList;
+use archgraph::graph::gen;
+use archgraph::graph::unionfind::connected_components;
+use archgraph::graph::Node;
+
+fn main() {
+    // 1. A random graph and its spanning forest.
+    let n = 1 << 16;
+    let g = gen::random_gnm(n, 3 * n, 77);
+    let forest = spanning_forest(&g);
+    println!(
+        "graph: n = {n}, m = {}; spanning forest has {} edges",
+        g.m(),
+        forest.len()
+    );
+
+    // 2. Extract the giant component's tree (relabel vertices compactly).
+    let labels = connected_components(&g);
+    let giant = {
+        let mut counts = std::collections::HashMap::new();
+        for &l in &labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        *counts.iter().max_by_key(|&(_, c)| *c).unwrap().0
+    };
+    let mut remap = vec![Node::MAX; n];
+    let mut nv = 0usize;
+    for v in 0..n {
+        if labels[v] == giant {
+            remap[v] = nv as Node;
+            nv += 1;
+        }
+    }
+    let tree_edges: Vec<(Node, Node)> = forest
+        .iter()
+        .filter(|e| labels[e.u as usize] == giant)
+        .map(|e| (remap[e.u as usize], remap[e.v as usize]))
+        .collect();
+    let tree = Tree::new(EdgeList::from_pairs(nv, tree_edges)).expect("forest restricted to one component is a tree");
+    println!("giant component: {nv} vertices ({:.1}% of the graph)", 100.0 * nv as f64 / n as f64);
+
+    // 3. Euler tour + ranking + analytics, rooted at vertex 0.
+    let t0 = std::time::Instant::now();
+    let analysis = RootedAnalysis::compute(&tree, 0, Ranker::HelmanJaja(4), 4);
+    let elapsed = t0.elapsed();
+
+    // 4. Verify against the BFS oracle.
+    let oracle = tree.rooted_oracle(0);
+    assert_eq!(analysis.parent, oracle.parent);
+    assert_eq!(analysis.depth, oracle.depth);
+    assert_eq!(analysis.size, oracle.size);
+
+    let c = centroid(&tree, Ranker::HelmanJaja(4), 4);
+    let max_depth = *analysis.depth.iter().max().unwrap();
+    let leaves = analysis.size.iter().filter(|&&s| s == 1).count();
+    let mean_depth =
+        analysis.depth.iter().map(|&d| d as f64).sum::<f64>() / nv as f64;
+    println!("Euler-tour analytics in {elapsed:?} (verified against BFS):");
+    println!("  height (max depth): {max_depth}");
+    println!("  mean depth:         {mean_depth:.2}");
+    println!("  leaves:             {leaves}");
+    println!("  root subtree size:  {} (= n, as it must be)", analysis.size[0]);
+    println!(
+        "  centroid(s):        {:?} (largest removed component: {} <= n/2)",
+        c.vertices, c.weight
+    );
+}

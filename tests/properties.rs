@@ -1,0 +1,130 @@
+//! Property-based cross-crate tests: arbitrary inputs, every
+//! implementation against its oracle.
+
+use proptest::prelude::*;
+
+use archgraph::concomp::awerbuch_shiloach::awerbuch_shiloach;
+use archgraph::concomp::hybrid::{hybrid_components, HybridConfig};
+use archgraph::concomp::random_mating::random_mating;
+use archgraph::concomp::seq::bfs_components;
+use archgraph::concomp::sv_spmd::sv_spmd;
+use archgraph::concomp::{shiloach_vishkin, sv_mta_style};
+use archgraph::graph::edgelist::EdgeList;
+use archgraph::graph::list::LinkedList;
+use archgraph::graph::unionfind::{connected_components, same_partition};
+use archgraph::graph::Node;
+use archgraph::listrank::prefix::{par_prefix, seq_prefix};
+use archgraph::listrank::{helman_jaja, mta_style_rank, sequential_rank, HjConfig, MtaStyleConfig};
+
+/// Arbitrary permutation of 0..n encoded as a shuffled index vector.
+fn permutation(max_n: usize) -> impl Strategy<Value = Vec<Node>> {
+    (1..max_n).prop_flat_map(|n| Just((0..n as Node).collect::<Vec<_>>()).prop_shuffle())
+}
+
+/// Arbitrary small multigraph: vertex count + edge pairs (loops and
+/// duplicates allowed — the algorithms must tolerate them).
+fn multigraph(max_n: usize, max_m: usize) -> impl Strategy<Value = EdgeList> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as Node, 0..n as Node), 0..max_m)
+            .prop_map(move |pairs| EdgeList::from_pairs(n, pairs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ranking_agrees_on_arbitrary_permutations(perm in permutation(600)) {
+        let list = LinkedList::from_permutation(&perm);
+        list.validate().unwrap();
+        let oracle = list.rank_oracle();
+        prop_assert_eq!(&sequential_rank(&list), &oracle);
+        prop_assert_eq!(&helman_jaja(&list, &HjConfig::with_threads(3)), &oracle);
+        let cfg = MtaStyleConfig { walks: (list.len() / 7).max(1), threads: 2 };
+        prop_assert_eq!(&mta_style_rank(&list, &cfg), &oracle);
+    }
+
+    #[test]
+    fn compaction_ranks_arbitrary_permutations(perm in permutation(500)) {
+        use archgraph::listrank::compact::{rank_by_compaction, rank_by_recursive_compaction};
+        let list = LinkedList::from_permutation(&perm);
+        let oracle = list.rank_oracle();
+        let walks = (list.len() / 5).max(1);
+        prop_assert_eq!(&rank_by_compaction(&list, walks, 3), &oracle);
+        prop_assert_eq!(&rank_by_recursive_compaction(&list, 4, 16, 2), &oracle);
+    }
+
+    #[test]
+    fn wyllie_ranks_arbitrary_permutations(perm in permutation(500)) {
+        use archgraph::listrank::wyllie::wyllie_rank;
+        let list = LinkedList::from_permutation(&perm);
+        prop_assert_eq!(wyllie_rank(&list), list.rank_oracle());
+    }
+
+    #[test]
+    fn head_identity_holds_for_any_permutation(perm in permutation(500)) {
+        let list = LinkedList::from_permutation(&perm);
+        prop_assert_eq!(list.find_head(), list.head);
+    }
+
+    #[test]
+    fn prefix_sum_equals_rank_plus_one(perm in permutation(400)) {
+        let list = LinkedList::from_permutation(&perm);
+        let ones = vec![1u64; list.len()];
+        let pre = par_prefix(&list, &ones, |a, b| a + b, 3, 9);
+        let rank = list.rank_oracle();
+        for slot in 0..list.len() {
+            prop_assert_eq!(pre[slot], rank[slot] as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn prefix_respects_operator_order(perm in permutation(300)) {
+        // Affine composition over Z_97: associative, non-commutative.
+        let list = LinkedList::from_permutation(&perm);
+        let vals: Vec<(i64, i64)> = (0..list.len())
+            .map(|i| (((i * 13) % 96 + 1) as i64, ((i * 29) % 97) as i64))
+            .collect();
+        let op = |x: (i64, i64), y: (i64, i64)| {
+            ((x.0 * y.0).rem_euclid(97), (x.1 * y.0 + y.1).rem_euclid(97))
+        };
+        prop_assert_eq!(
+            par_prefix(&list, &vals, op, 4, 2),
+            seq_prefix(&list, &vals, op)
+        );
+    }
+
+    #[test]
+    fn all_cc_algorithms_match_dsu_on_multigraphs(g in multigraph(120, 300)) {
+        let oracle = connected_components(&g);
+        prop_assert!(same_partition(&shiloach_vishkin(&g), &oracle), "SV Alg.2");
+        prop_assert!(same_partition(&sv_mta_style(&g), &oracle), "SV Alg.3");
+        prop_assert!(same_partition(&sv_spmd(&g, 3), &oracle), "SV SPMD");
+        prop_assert!(same_partition(&awerbuch_shiloach(&g), &oracle), "AS");
+        prop_assert!(same_partition(&random_mating(&g, 5), &oracle), "mating");
+        prop_assert!(
+            same_partition(&hybrid_components(&g, &HybridConfig::default()), &oracle),
+            "hybrid"
+        );
+        prop_assert!(same_partition(&bfs_components(&g), &oracle), "BFS");
+    }
+
+    #[test]
+    fn sv_outputs_rooted_stars(g in multigraph(100, 200)) {
+        for labels in [shiloach_vishkin(&g), sv_mta_style(&g)] {
+            for &p in &labels {
+                prop_assert_eq!(labels[p as usize], p);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_never_changes_connectivity(g in multigraph(80, 250)) {
+        let before = connected_components(&g);
+        let mut d = g.clone();
+        d.dedup();
+        let after = connected_components(&d);
+        prop_assert!(same_partition(&before, &after));
+        prop_assert!(d.is_simple());
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-cutting simulator invariants and paper-adjacent structure
+//! checks that span crates.
+
+use archgraph::concomp::sim_smp::simulate_sv;
+use archgraph::core::machine::{MtaParams, SmpParams};
+use archgraph::graph::gen;
+use archgraph::graph::list::LinkedList;
+use archgraph::graph::rng::Rng;
+use archgraph::listrank::{sim_mta, sim_smp};
+
+#[test]
+fn mta_work_scales_linearly_with_list_length() {
+    // The walk algorithm is O(n): doubling n should roughly double the
+    // issued instruction count (within the O(W log W) summary overhead).
+    let params = MtaParams::tiny_for_tests();
+    let small = LinkedList::ordered(2000);
+    let large = LinkedList::ordered(4000);
+    let a = sim_mta::simulate_walk_ranking(&small, &params, 1, 8, 200)
+        .report
+        .issued;
+    let b = sim_mta::simulate_walk_ranking(&large, &params, 1, 8, 400)
+        .report
+        .issued;
+    let ratio = b as f64 / a as f64;
+    assert!(
+        (1.7..2.4).contains(&ratio),
+        "instruction count should double with n: ratio {ratio}"
+    );
+}
+
+#[test]
+fn smp_access_counts_match_algorithm_structure() {
+    // HJ touches each element a bounded number of times: the simulated
+    // access count per element stays within a small constant band.
+    let params = SmpParams::tiny_for_tests();
+    let n = 10_000usize;
+    let list = LinkedList::random(n, &mut Rng::new(5));
+    let r = sim_smp::simulate_hj(&list, &params, 2, 8, 5);
+    let per_elem = r.stats.accesses() as f64 / n as f64;
+    assert!(
+        (5.0..12.0).contains(&per_elem),
+        "accesses per element {per_elem} outside the expected band"
+    );
+    // Reads and writes both present; hierarchy conservation holds.
+    assert!(r.stats.loads > 0 && r.stats.stores > 0);
+    assert_eq!(
+        r.stats.l1_hits + r.stats.l2_hits + r.stats.mem_accesses,
+        r.stats.accesses()
+    );
+}
+
+#[test]
+fn utilization_is_monotone_in_streams() {
+    let params = MtaParams::mta2();
+    let list = LinkedList::random(20_000, &mut Rng::new(6));
+    let mut last = 0.0;
+    for streams in [2usize, 8, 32, 100] {
+        let u = sim_mta::simulate_walk_ranking(&list, &params, 1, streams, 2000)
+            .report
+            .utilization;
+        assert!(
+            u + 0.05 >= last,
+            "utilization should not fall as streams grow: {last} -> {u} at {streams}"
+        );
+        last = u;
+    }
+    assert!(last > 0.8, "100 streams should near-saturate: {last}");
+}
+
+#[test]
+fn mesh_cc_is_cheaper_per_edge_than_random_cc_on_the_smp() {
+    // The related-work motif (Krishnamurthy et al.): regular meshes gave
+    // distributed/SMP implementations their speedups while sparse random
+    // graphs did not — locality again. Per-edge simulated cost on the
+    // cache machine must be lower for the mesh.
+    let params = SmpParams::sun_e4500();
+    let mesh = gen::mesh2d(128, 128); // n = 16384
+    let rand = gen::random_gnm(16384, mesh.m(), 7);
+    let t_mesh = simulate_sv(&mesh, &params, 4).seconds / mesh.m() as f64;
+    let t_rand = simulate_sv(&rand, &params, 4).seconds / rand.m() as f64;
+    assert!(
+        t_rand > 1.2 * t_mesh,
+        "random per-edge cost {t_rand} should exceed mesh {t_mesh}"
+    );
+}
+
+#[test]
+fn star_graph_is_svs_best_case_on_both_machines() {
+    // One grafting round suffices on a star (§4: "for the best case, one
+    // iteration of the algorithm may be sufficient").
+    let star = gen::star(4096);
+    let smp = simulate_sv(&star, &SmpParams::tiny_for_tests(), 2);
+    assert!(smp.iterations <= 2, "SMP sim iterations: {}", smp.iterations);
+    let mta = archgraph::concomp::sim_mta::simulate_sv_mta(
+        &star,
+        &MtaParams::tiny_for_tests(),
+        2,
+        8,
+    );
+    assert!(mta.iterations <= 2, "MTA sim iterations: {}", mta.iterations);
+}
+
+#[test]
+fn simulated_time_is_additive_over_regions() {
+    // The MTA machine accumulates region times; the combined report's
+    // seconds equal the machine total.
+    let params = MtaParams::tiny_for_tests();
+    let list = LinkedList::ordered(3000);
+    let r = sim_mta::simulate_walk_ranking(&list, &params, 2, 8, 300);
+    assert!(r.report.cycles > 0);
+    let per_cycle = 1.0 / params.clock_hz;
+    assert!((r.report.seconds - r.report.cycles as f64 * per_cycle).abs() < 1e-9);
+}
