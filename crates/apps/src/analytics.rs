@@ -73,7 +73,9 @@ impl RootedAnalysis {
             next,
             head: order[0] as Node,
         };
-        let values: Vec<i64> = (0..na).map(|a| if is_advance[a] { 1 } else { -1 }).collect();
+        let values: Vec<i64> = (0..na)
+            .map(|a| if is_advance[a] { 1 } else { -1 })
+            .collect();
         let prefix = par_prefix(&list, &values, |a, b| a + b, threads.max(1), 0);
 
         let mut depth = vec![0u32; n];

@@ -366,10 +366,7 @@ mod tests {
     #[test]
     fn bridge_detection() {
         // Two triangles joined by a single edge: that edge is a bridge.
-        let g = EdgeList::from_pairs(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = EdgeList::from_pairs(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let tv = biconnected_components(&g);
         check(&g);
         assert_eq!(tv.bridges, vec![6], "the joining edge is the bridge");

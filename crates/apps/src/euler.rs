@@ -96,7 +96,11 @@ impl EulerTour {
             let v = to[a] as usize;
             let dv = offsets[v + 1] - offsets[v];
             let succ = out[offsets[v] + ((pos[twin] as usize + 1) % dv)];
-            next[a] = if succ == first_arc { na as Node } else { succ as Node };
+            next[a] = if succ == first_arc {
+                na as Node
+            } else {
+                succ as Node
+            };
         }
 
         let list = LinkedList {
@@ -107,9 +111,7 @@ impl EulerTour {
 
         let rank = match ranker {
             Ranker::Sequential => sequential_rank(&list),
-            Ranker::HelmanJaja(threads) => {
-                helman_jaja(&list, &HjConfig::with_threads(threads))
-            }
+            Ranker::HelmanJaja(threads) => helman_jaja(&list, &HjConfig::with_threads(threads)),
         };
 
         EulerTour {
@@ -232,10 +234,7 @@ mod tests {
             .iter()
             .map(|&a| (tour.from[a as usize], tour.to[a as usize]))
             .collect();
-        assert_eq!(
-            visits,
-            vec![(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)]
-        );
+        assert_eq!(visits, vec![(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)]);
     }
 
     #[test]

@@ -307,7 +307,10 @@ impl ExprTree {
 
         while live.len() > 1 {
             rounds += 1;
-            assert!(rounds <= round_bound, "contraction must take O(log k) rounds");
+            assert!(
+                rounds <= round_bound,
+                "contraction must take O(log k) rounds"
+            );
             // Substeps: odd-indexed left children, then odd-indexed right
             // children (the classical non-interference split).
             for want_left in [true, false] {
@@ -321,7 +324,10 @@ impl ExprTree {
                     }
                     // Rake leaf l.
                     let p = parent[l as usize];
-                    let v = modadd(modmul(label_a[l as usize], val[l as usize]), label_b[l as usize]);
+                    let v = modadd(
+                        modmul(label_a[l as usize], val[l as usize]),
+                        label_b[l as usize],
+                    );
                     let (pl, pr) = child_of[p as usize];
                     let s = if pl == l { pr } else { pl };
                     let ExprNode::Node { op, .. } = self.nodes[p as usize] else {
@@ -334,7 +340,8 @@ impl ExprTree {
                         Op::Mul => (modmul(v, sa), modmul(v, sb)),
                     };
                     label_a[s as usize] = modmul(label_a[p as usize], ia);
-                    label_b[s as usize] = modadd(modmul(label_a[p as usize], ib), label_b[p as usize]);
+                    label_b[s as usize] =
+                        modadd(modmul(label_a[p as usize], ib), label_b[p as usize]);
                     // Splice s into p's position.
                     let gp = parent[p as usize];
                     parent[s as usize] = gp;
@@ -354,17 +361,16 @@ impl ExprTree {
                 }
             }
             // Renumber: compact out the raked leaves (all odd slots).
-            live = live
-                .iter()
-                .copied()
-                .filter(|&l| l != u32::MAX)
-                .collect();
+            live = live.iter().copied().filter(|&l| l != u32::MAX).collect();
         }
 
         // The remaining structure hangs off `live[0]`'s leaf value; apply
         // labels up the (now fully contracted) chain to the root.
         let mut v = live[0];
-        let mut acc = modadd(modmul(label_a[v as usize], val[v as usize]), label_b[v as usize]);
+        let mut acc = modadd(
+            modmul(label_a[v as usize], val[v as usize]),
+            label_b[v as usize],
+        );
         while v != root {
             let p = parent[v as usize];
             debug_assert!(p != u32::MAX, "must reach the root");
@@ -401,9 +407,17 @@ mod tests {
             nodes: vec![
                 ExprNode::Leaf(3),
                 ExprNode::Leaf(4),
-                ExprNode::Node { op: Op::Add, left: 0, right: 1 },
+                ExprNode::Node {
+                    op: Op::Add,
+                    left: 0,
+                    right: 1,
+                },
                 ExprNode::Leaf(5),
-                ExprNode::Node { op: Op::Mul, left: 2, right: 3 },
+                ExprNode::Node {
+                    op: Op::Mul,
+                    left: 2,
+                    right: 3,
+                },
             ],
             root: 4,
             modulus: DEFAULT_MODULUS,
@@ -414,7 +428,14 @@ mod tests {
 
     #[test]
     fn random_trees_match_oracle() {
-        for (leaves, seed) in [(2usize, 1u64), (3, 2), (7, 3), (64, 4), (1000, 5), (4097, 6)] {
+        for (leaves, seed) in [
+            (2usize, 1u64),
+            (3, 2),
+            (7, 3),
+            (64, 4),
+            (1000, 5),
+            (4097, 6),
+        ] {
             let t = ExprTree::random(leaves, seed);
             assert_eq!(t.leaves(), leaves);
             assert_eq!(

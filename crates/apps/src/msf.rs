@@ -50,7 +50,8 @@ pub fn minimum_spanning_forest(g: &EdgeList, weights: &[u32]) -> Vec<usize> {
         assert!(rounds <= lg + 8, "Boruvka must finish in O(log n) rounds");
 
         // Parallel cheapest-outgoing-edge selection per component.
-        best.par_iter().for_each(|b| b.store(NONE, Ordering::Relaxed));
+        best.par_iter()
+            .for_each(|b| b.store(NONE, Ordering::Relaxed));
         let labels_ref = &labels;
         g.edges.par_iter().enumerate().for_each(|(idx, e)| {
             let cu = labels_ref[e.u as usize];

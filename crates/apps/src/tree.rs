@@ -20,10 +20,7 @@ impl Tree {
             return Err(TreeError::Empty);
         }
         if edges.m() != n - 1 {
-            return Err(TreeError::WrongEdgeCount {
-                n,
-                m: edges.m(),
-            });
+            return Err(TreeError::WrongEdgeCount { n, m: edges.m() });
         }
         let mut uf = UnionFind::new(n);
         for e in &edges.edges {
@@ -174,10 +171,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_non_trees() {
-        assert_eq!(
-            Tree::new(EdgeList::empty(0)).unwrap_err(),
-            TreeError::Empty
-        );
+        assert_eq!(Tree::new(EdgeList::empty(0)).unwrap_err(), TreeError::Empty);
         assert!(matches!(
             Tree::new(archgraph_graph::gen::cycle(5)).unwrap_err(),
             TreeError::WrongEdgeCount { .. }

@@ -96,5 +96,9 @@ fn bench_scheduling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scheduling, bench_walk_scheduling_algorithm_level);
+criterion_group!(
+    benches,
+    bench_scheduling,
+    bench_walk_scheduling_algorithm_level
+);
 criterion_main!(benches);

@@ -23,15 +23,9 @@ fn bench_fig1_mta(c: &mut Criterion) {
     for kind in ListKind::both() {
         let list = make_list(kind, N, 7);
         for p in PROCS {
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), p),
-                &p,
-                |b, &p| {
-                    b.iter(|| {
-                        sim_mta::simulate_walk_ranking(&list, &params, p, 100, N / 10).seconds
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(kind.label(), p), &p, |b, &p| {
+                b.iter(|| sim_mta::simulate_walk_ranking(&list, &params, p, 100, N / 10).seconds)
+            });
         }
     }
     g.finish();
@@ -44,11 +38,9 @@ fn bench_fig1_smp(c: &mut Criterion) {
     for kind in ListKind::both() {
         let list = make_list(kind, N, 7);
         for p in PROCS {
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), p),
-                &p,
-                |b, &p| b.iter(|| sim_smp::simulate_hj(&list, &params, p, 8, 7).seconds),
-            );
+            g.bench_with_input(BenchmarkId::new(kind.label(), p), &p, |b, &p| {
+                b.iter(|| sim_smp::simulate_hj(&list, &params, p, 8, 7).seconds)
+            });
         }
     }
     g.finish();

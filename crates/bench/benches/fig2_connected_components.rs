@@ -18,11 +18,9 @@ fn bench_fig2_mta(c: &mut Criterion) {
     for k in EDGE_FACTORS {
         let graph = make_graph(N, k * N, 11);
         for p in PROCS {
-            g.bench_with_input(
-                BenchmarkId::new(format!("m={}n", k), p),
-                &p,
-                |b, &p| b.iter(|| sim_mta::simulate_sv_mta(&graph, &params, p, 100).seconds),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("m={}n", k), p), &p, |b, &p| {
+                b.iter(|| sim_mta::simulate_sv_mta(&graph, &params, p, 100).seconds)
+            });
         }
     }
     g.finish();
@@ -35,11 +33,9 @@ fn bench_fig2_smp(c: &mut Criterion) {
     for k in EDGE_FACTORS {
         let graph = make_graph(N, k * N, 11);
         for p in PROCS {
-            g.bench_with_input(
-                BenchmarkId::new(format!("m={}n", k), p),
-                &p,
-                |b, &p| b.iter(|| sim_smp::simulate_sv(&graph, &params, p).seconds),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("m={}n", k), p), &p, |b, &p| {
+                b.iter(|| sim_smp::simulate_sv(&graph, &params, p).seconds)
+            });
         }
     }
     g.finish();

@@ -24,9 +24,11 @@ fn bench_list_ranking_native(c: &mut Criterion) {
     g.sample_size(10);
     for kind in ListKind::both() {
         let list = make_list(kind, n, 31);
-        g.bench_with_input(BenchmarkId::new("sequential", kind.label()), &list, |b, l| {
-            b.iter(|| sequential_rank(l))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sequential", kind.label()),
+            &list,
+            |b, l| b.iter(|| sequential_rank(l)),
+        );
         for threads in [2usize, 4, 8] {
             let cfg = HjConfig::with_threads(threads);
             g.bench_with_input(
@@ -54,7 +56,9 @@ fn bench_cc_native(c: &mut Criterion) {
     g.bench_function("sv-alg2", |b| b.iter(|| shiloach_vishkin(&graph)));
     g.bench_function("sv-alg3", |b| b.iter(|| sv_mta_style(&graph)));
     g.bench_function("sv-spmd-t4", |b| b.iter(|| sv_spmd(&graph, 4)));
-    g.bench_function("awerbuch-shiloach", |b| b.iter(|| awerbuch_shiloach(&graph)));
+    g.bench_function("awerbuch-shiloach", |b| {
+        b.iter(|| awerbuch_shiloach(&graph))
+    });
     g.bench_function("random-mating", |b| b.iter(|| random_mating(&graph, 31)));
     g.bench_function("hybrid", |b| {
         b.iter(|| hybrid_components(&graph, &HybridConfig::default()))
@@ -77,8 +81,12 @@ fn bench_applications(c: &mut Criterion) {
     });
 
     let expr = ExprTree::random(1 << 14, 43);
-    g.bench_function("expr-eval-sequential", |b| b.iter(|| expr.eval_sequential()));
-    g.bench_function("expr-eval-contraction", |b| b.iter(|| expr.eval_contraction(4)));
+    g.bench_function("expr-eval-sequential", |b| {
+        b.iter(|| expr.eval_sequential())
+    });
+    g.bench_function("expr-eval-contraction", |b| {
+        b.iter(|| expr.eval_contraction(4))
+    });
 
     let graph = make_graph(1 << 14, 8 << 14, 47);
     let mut rng = Rng::new(48);

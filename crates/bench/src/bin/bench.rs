@@ -1,0 +1,181 @@
+//! Benchmark-regression driver: times a curated set of kernel/simulator
+//! cells (host wall-clock, not simulated cycles) and writes the results
+//! as JSON for `scripts/bench_check.sh` to diff against the committed
+//! baseline `BENCH_archgraph.json` at the repo root.
+//!
+//! Each cell records two kinds of numbers:
+//!
+//! * `host_seconds` — the minimum over `--reps` timed repetitions (after
+//!   one untimed warm-up). Minimum-of-reps is the standard noise filter
+//!   for wall-clock microbenchmarks: interference only ever adds time.
+//! * `sim` — exact integer fingerprints of the simulation itself
+//!   (MTA: `cycles`, `issued`; SMP: `instructions`, `accesses`). These
+//!   must match the baseline bit-for-bit on every host; any drift means
+//!   the simulators changed behaviour, not just speed.
+//!
+//! Cells run serially (never through the rayon grid) so timings are not
+//! polluted by sibling cells competing for cores.
+//!
+//! ```text
+//! cargo run --release -p archgraph-bench --bin bench [-- --out PATH] [--reps N]
+//! ```
+
+use std::time::Instant;
+
+use archgraph_bench::workloads::ListKind;
+use archgraph_bench::{fig1, fig2};
+
+/// Schema version written into the JSON; bump on any layout change.
+const SCHEMA: u64 = 1;
+
+/// Default output path — the committed baseline at the repo root.
+const DEFAULT_OUT: &str = "BENCH_archgraph.json";
+
+/// One timed cell: a stable name, the timed closure's minimum wall-clock
+/// seconds, and the exact simulated-quantity fingerprint.
+struct CellResult {
+    name: &'static str,
+    host_seconds: f64,
+    sim: Vec<(&'static str, u64)>,
+}
+
+/// Time `f` with one warm-up plus `reps` repetitions; keep the fastest.
+/// The fingerprint must be identical across repetitions — the simulators
+/// are deterministic, so any variation is a harness bug worth crashing on.
+fn time_cell<F: Fn() -> Vec<(&'static str, u64)>>(
+    name: &'static str,
+    reps: usize,
+    f: F,
+) -> CellResult {
+    let fingerprint = f(); // warm-up (untimed)
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let fp = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            fp, fingerprint,
+            "{name}: simulation fingerprint varied across repetitions"
+        );
+    }
+    eprintln!("  bench {name}: {best:.4} s  {fingerprint:?}");
+    CellResult {
+        name,
+        host_seconds: best,
+        sim: fingerprint,
+    }
+}
+
+fn mta_fingerprint(report: &archgraph_mta_sim::report::RunReport) -> Vec<(&'static str, u64)> {
+    vec![("cycles", report.cycles), ("issued", report.issued)]
+}
+
+fn smp_fingerprint(stats: &archgraph_smp_sim::stats::RunStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("instructions", stats.instructions),
+        ("accesses", stats.accesses()),
+    ]
+}
+
+fn run_cells(reps: usize) -> Vec<CellResult> {
+    // Sizes are chosen so the whole suite runs in tens of seconds in a
+    // release build: large enough that per-cell time is dominated by the
+    // interpreter/simulator loops, small enough to stay CI-friendly.
+    const N_LIST: usize = 1 << 15;
+    const N_GRAPH: usize = 1 << 11;
+    const M_GRAPH: usize = 5 << 11;
+    vec![
+        time_cell("fig1/mta/random/p8", reps, || {
+            mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
+        }),
+        time_cell("fig1/mta/ordered/p8", reps, || {
+            mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
+        }),
+        time_cell("fig1/mta/random/p1", reps, || {
+            mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
+        }),
+        time_cell("fig1/smp/random/p8", reps, || {
+            smp_fingerprint(&fig1::smp_cell(ListKind::Random, 8, N_LIST).stats)
+        }),
+        time_cell("fig1/smp/ordered/p8", reps, || {
+            smp_fingerprint(&fig1::smp_cell(ListKind::Ordered, 8, N_LIST).stats)
+        }),
+        time_cell("fig2/mta/p8", reps, || {
+            mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
+        }),
+        time_cell("fig2/smp/p8", reps, || {
+            smp_fingerprint(&fig2::smp_cell(8, N_GRAPH, M_GRAPH).stats)
+        }),
+    ]
+}
+
+/// Render the results as pretty-printed JSON. Hand-rolled on purpose: the
+/// schema is tiny and the workspace has no JSON dependency to lean on.
+fn to_json(cells: &[CellResult], reps: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA},\n"));
+    out.push_str("  \"tool\": \"archgraph-bench\",\n");
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", c.name));
+        out.push_str(&format!("      \"host_seconds\": {:.6},\n", c.host_seconds));
+        out.push_str("      \"sim\": { ");
+        for (j, (k, v)) in c.sim.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v}"));
+        }
+        out.push_str(" }\n");
+        out.push_str(if i + 1 < cells.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut out_path = DEFAULT_OUT.to_string();
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --reps requires a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (expected --out PATH, --reps N)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("running bench cells ({reps} reps, min-of-reps)...");
+    let cells = run_cells(reps);
+    let json = to_json(&cells, reps);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {} cells to {out_path}", cells.len());
+}

@@ -2,10 +2,14 @@
 //! (C1–C6 in DESIGN.md) at a chosen scale so simulator parameters can be
 //! validated against the published shapes.
 //!
+//! The eight simulations are independent, so they fan out across host
+//! cores; output is assembled afterwards in the fixed report order.
+//!
 //! ```text
 //! cargo run --release -p archgraph-bench --bin calibrate [-- smoke|default|full]
 //! ```
 
+use archgraph_bench::grid::par_map;
 use archgraph_bench::workloads::{make_graph, make_list, ListKind};
 use archgraph_bench::Scale;
 use archgraph_concomp::{sim_mta as cc_mta, sim_smp as cc_smp};
@@ -22,7 +26,6 @@ fn main() {
     let mta = MtaParams::mta2();
     let p = 8usize;
 
-    // --- list ranking ---
     let n = match scale {
         Scale::Smoke => 1 << 14,
         Scale::Default => 1 << 19,
@@ -31,12 +34,46 @@ fn main() {
     let ord = make_list(ListKind::Ordered, n, 1);
     let rnd = make_list(ListKind::Random, n, 1);
     let walks = n / 10;
+    let (ng, mg) = match scale {
+        Scale::Smoke => (1 << 10, 4 << 10),
+        Scale::Default => (1 << 14, 12 << 14),
+        Scale::Full => (1 << 18, 12 << 18),
+    };
+    let g = make_graph(ng, mg, 2);
 
-    let t_smp_ord = lr_smp::simulate_hj(&ord, &smp, p, 8, 1).seconds;
-    let t_smp_rnd = lr_smp::simulate_hj(&rnd, &smp, p, 8, 1).seconds;
-    let r_mta_ord = lr_mta::simulate_walk_ranking(&ord, &mta, p, 100, walks);
-    let r_mta_rnd = lr_mta::simulate_walk_ranking(&rnd, &mta, p, 100, walks);
-    let (t_mta_ord, t_mta_rnd) = (r_mta_ord.seconds, r_mta_rnd.seconds);
+    // Every simulation is independent; run them as one parallel grid of
+    // `(seconds, utilization)` cells and print in fixed order below.
+    let tasks: Vec<usize> = (0..8).collect();
+    let results = par_map(&tasks, |&i| match i {
+        0 => (lr_smp::simulate_hj(&ord, &smp, p, 8, 1).seconds, 0.0),
+        1 => (lr_smp::simulate_hj(&rnd, &smp, p, 8, 1).seconds, 0.0),
+        2 => {
+            let r = lr_mta::simulate_walk_ranking(&ord, &mta, p, 100, walks);
+            (r.seconds, r.report.utilization)
+        }
+        3 => {
+            let r = lr_mta::simulate_walk_ranking(&rnd, &mta, p, 100, walks);
+            (r.seconds, r.report.utilization)
+        }
+        4 => (lr_smp::simulate_hj(&rnd, &smp, 1, 8, 1).seconds, 0.0),
+        5 => (
+            lr_mta::simulate_walk_ranking(&rnd, &mta, 1, 100, walks).seconds,
+            0.0,
+        ),
+        6 => (cc_smp::simulate_sv(&g, &smp, p).seconds, 0.0),
+        _ => {
+            let r = cc_mta::simulate_sv_mta(&g, &mta, p, 100);
+            (r.seconds, r.report.utilization)
+        }
+    });
+    let (t_smp_ord, _) = results[0];
+    let (t_smp_rnd, _) = results[1];
+    let (t_mta_ord, u_mta_ord) = results[2];
+    let (t_mta_rnd, u_mta_rnd) = results[3];
+    let (t1, _) = results[4];
+    let (m1, _) = results[5];
+    let (t_smp_cc, _) = results[6];
+    let (t_mta_cc, u_mta_cc) = results[7];
 
     println!("== List ranking (n = {n}, p = {p}) ==");
     println!("  SMP ordered {t_smp_ord:.4} s   SMP random {t_smp_rnd:.4} s");
@@ -56,36 +93,22 @@ fn main() {
     );
     println!(
         "  MTA utilization: ordered {:.0}%  random {:.0}%  (paper: 80-98%)",
-        r_mta_ord.report.utilization * 100.0,
-        r_mta_rnd.report.utilization * 100.0
+        u_mta_ord * 100.0,
+        u_mta_rnd * 100.0
     );
-
-    // C1 scaling
-    let t1 = lr_smp::simulate_hj(&rnd, &smp, 1, 8, 1).seconds;
-    let m1 = lr_mta::simulate_walk_ranking(&rnd, &mta, 1, 100, walks).seconds;
     println!(
         "  C1 scaling p=1->8: SMP {}  MTA {}   (paper: near-linear)",
         fmt_ratio(t1 / t_smp_rnd),
         fmt_ratio(m1 / t_mta_rnd)
     );
 
-    // --- connected components ---
-    let (ng, mg) = match scale {
-        Scale::Smoke => (1 << 10, 4 << 10),
-        Scale::Default => (1 << 14, 12 << 14),
-        Scale::Full => (1 << 18, 12 << 18),
-    };
-    let g = make_graph(ng, mg, 2);
-    let t_smp_cc = cc_smp::simulate_sv(&g, &smp, p).seconds;
-    let r_mta_cc = cc_mta::simulate_sv_mta(&g, &mta, p, 100);
     println!("== Connected components (n = {ng}, m = {mg}, p = {p}) ==");
     println!(
-        "  SMP {t_smp_cc:.4} s   MTA {:.4} s   C5 ratio = {}   (paper: 5-6x)",
-        r_mta_cc.seconds,
-        fmt_ratio(t_smp_cc / r_mta_cc.seconds)
+        "  SMP {t_smp_cc:.4} s   MTA {t_mta_cc:.4} s   C5 ratio = {}   (paper: 5-6x)",
+        fmt_ratio(t_smp_cc / t_mta_cc)
     );
     println!(
         "  C6 MTA CC utilization {:.0}%  (paper: 91-99%)",
-        r_mta_cc.report.utilization * 100.0
+        u_mta_cc * 100.0
     );
 }

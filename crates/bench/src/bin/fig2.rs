@@ -13,9 +13,8 @@ use archgraph_core::report::{fmt_seconds, series_csv, Table};
 
 fn print_panel(title: &str, series: &[Series], ms: &[usize], procs: &[usize]) {
     println!("\n== Fig. 2 ({title}): connected components running time ==");
-    let mut t = Table::new(
-        std::iter::once("m".to_string()).chain(procs.iter().map(|p| format!("p={p}"))),
-    );
+    let mut t =
+        Table::new(std::iter::once("m".to_string()).chain(procs.iter().map(|p| format!("p={p}"))));
     for &m in ms {
         let mut row = vec![format!("{m}")];
         for &p in procs {

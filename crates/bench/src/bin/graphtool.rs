@@ -42,11 +42,7 @@ fn main() -> ExitCode {
                 Some(k @ ("gnm" | "rmat")) => (k, &args[2..]),
                 _ => return usage(),
             };
-            let nums: Vec<usize> = rest
-                .iter()
-                .take(3)
-                .filter_map(|s| s.parse().ok())
-                .collect();
+            let nums: Vec<usize> = rest.iter().take(3).filter_map(|s| s.parse().ok()).collect();
             let (Some(&a), Some(&m), Some(&seed), Some(out)) =
                 (nums.first(), nums.get(1), nums.get(2), rest.get(3))
             else {
@@ -68,7 +64,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("cc") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let g = match load(path) {
                 Ok(g) => g,
                 Err(e) => {
@@ -100,7 +98,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("msf") => {
-            let (Some(path), Some(seed)) = (args.get(1), args.get(2).and_then(|s| s.parse::<u64>().ok())) else {
+            let (Some(path), Some(seed)) =
+                (args.get(1), args.get(2).and_then(|s| s.parse::<u64>().ok()))
+            else {
                 return usage();
             };
             let g = match load(path) {
@@ -128,7 +128,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("stats") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let g = match load(path) {
                 Ok(g) => g,
                 Err(e) => {

@@ -13,11 +13,18 @@ use archgraph_bench::{fig1, fig2, Scale};
 use archgraph_core::experiment::Series;
 use archgraph_core::report::{fmt_ratio, ratios, Table};
 
+/// Look up a series by label, or exit with a diagnostic listing what was
+/// actually produced (e.g. when a scale's processor grid doesn't include
+/// the requested p).
 fn find<'a>(series: &'a [Series], label: &str) -> &'a Series {
-    series
-        .iter()
-        .find(|s| s.label == label)
-        .unwrap_or_else(|| panic!("missing series {label}"))
+    series.iter().find(|s| s.label == label).unwrap_or_else(|| {
+        let present: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+        eprintln!(
+            "error: no series labelled {label:?} in this sweep; present labels: {}",
+            present.join(", ")
+        );
+        std::process::exit(1);
+    })
 }
 
 fn mean_ratio(r: &[(usize, usize, f64)]) -> f64 {
@@ -45,7 +52,11 @@ fn main() {
     let smp_cc = find(&smp2, &format!("SMP CC p={p}"));
     let mta_cc = find(&mta2, &format!("MTA CC p={p}"));
 
-    let mut t = Table::new(["Ratio (at p = ".to_string() + &p.to_string() + ")", "measured".into(), "paper".into()]);
+    let mut t = Table::new([
+        "Ratio (at p = ".to_string() + &p.to_string() + ")",
+        "measured".into(),
+        "paper".into(),
+    ]);
     t.row([
         "SMP Random / SMP Ordered".to_string(),
         fmt_ratio(mean_ratio(&ratios(smp_rnd, smp_ord))),

@@ -36,13 +36,13 @@ fn main() {
         let mut t = Table::new(["p", "parallel", "speedup vs sequential"]);
         for &p in &procs {
             let tp = simulate_hj(&list, &smp, p, 8, 51).seconds;
-            t.row([
-                p.to_string(),
-                fmt_seconds(tp),
-                fmt_ratio(t_seq / tp),
-            ]);
+            t.row([p.to_string(), fmt_seconds(tp), fmt_ratio(t_seq / tp)]);
         }
-        println!("\n  {} list (sequential: {}):", kind.label(), fmt_seconds(t_seq));
+        println!(
+            "\n  {} list (sequential: {}):",
+            kind.label(),
+            fmt_seconds(t_seq)
+        );
         for line in t.render().lines() {
             println!("    {line}");
         }
@@ -61,8 +61,7 @@ fn main() {
     let mut t = Table::new(["p", "SMP SV", "speedup", "MTA SV", "speedup"]);
     for &p in &procs {
         let smp_t = simulate_sv(&g, &smp, p).seconds;
-        let mta_t =
-            archgraph_concomp::sim_mta::simulate_sv_mta(&g, &mta, p, 100).seconds;
+        let mta_t = archgraph_concomp::sim_mta::simulate_sv_mta(&g, &mta, p, 100).seconds;
         t.row([
             p.to_string(),
             fmt_seconds(smp_t),

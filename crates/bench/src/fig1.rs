@@ -1,10 +1,17 @@
 //! Fig. 1 — running times for list ranking on the Cray MTA (left) and the
 //! Sun SMP (right), for p = 1, 2, 4, 8, over Ordered and Random lists.
+//!
+//! Each `(kind, p, n)` cell simulates independently, so the sweep fans
+//! out across host cores via [`crate::grid::par_map`]; results are
+//! reassembled in cell order, keeping series contents and verbose logs
+//! byte-identical to a serial sweep.
 
 use archgraph_core::experiment::Series;
 use archgraph_core::machine::{MtaParams, SmpParams};
-use archgraph_listrank::{sim_mta, sim_smp};
+use archgraph_listrank::sim_mta::{self, MtaSimResult};
+use archgraph_listrank::sim_smp::{self, SmpSimResult};
 
+use crate::grid::{par_map, serial_map};
 use crate::scale::Scale;
 use crate::workloads::{make_list, ListKind};
 
@@ -14,58 +21,107 @@ pub const MTA_STREAMS: usize = 100;
 /// Seed for the Random list layout.
 pub const LIST_SEED: u64 = 0xF161;
 
-/// Produce the MTA (left panel) series: one per (list kind, p).
-pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
-    let params = MtaParams::mta2();
+/// The sweep's cells in serial order: kind-major, then p, then n.
+pub fn cells(scale: Scale) -> Vec<(ListKind, usize, usize)> {
     let mut out = Vec::new();
     for kind in ListKind::both() {
         for &p in &scale.procs() {
-            let mut s = Series::new(format!("MTA {} p={p}", kind.label()));
             for &n in &scale.fig1_sizes() {
-                let list = make_list(kind, n, LIST_SEED);
-                let walks = (n / 10).max(1); // paper: ~10 nodes per walk
-                let r = sim_mta::simulate_walk_ranking(&list, &params, p, MTA_STREAMS, walks);
-                debug_assert_eq!(r.rank, list.rank_oracle());
-                if verbose {
-                    eprintln!(
-                        "  fig1/mta {} p={p} n={n}: {:.4} s (util {:.0}%)",
-                        kind.label(),
-                        r.seconds,
-                        r.report.utilization * 100.0
-                    );
-                }
-                s.push(n, p, r.seconds);
+                out.push((kind, p, n));
             }
-            out.push(s);
         }
+    }
+    out
+}
+
+/// Simulate one MTA cell.
+pub fn mta_cell(kind: ListKind, p: usize, n: usize) -> MtaSimResult {
+    let params = MtaParams::mta2();
+    let list = make_list(kind, n, LIST_SEED);
+    let walks = (n / 10).max(1); // paper: ~10 nodes per walk
+    let r = sim_mta::simulate_walk_ranking(&list, &params, p, MTA_STREAMS, walks);
+    debug_assert_eq!(r.rank, list.rank_oracle());
+    r
+}
+
+/// Simulate one SMP cell.
+pub fn smp_cell(kind: ListKind, p: usize, n: usize) -> SmpSimResult {
+    let params = SmpParams::sun_e4500();
+    let list = make_list(kind, n, LIST_SEED);
+    let r = sim_smp::simulate_hj(&list, &params, p, 8, LIST_SEED);
+    debug_assert_eq!(r.rank, list.rank_oracle());
+    r
+}
+
+/// Run every MTA cell (parallel or serial), in [`cells`] order.
+pub fn mta_grid(scale: Scale, parallel: bool) -> Vec<MtaSimResult> {
+    let cs = cells(scale);
+    let run = |&(kind, p, n): &(ListKind, usize, usize)| mta_cell(kind, p, n);
+    if parallel {
+        par_map(&cs, run)
+    } else {
+        serial_map(&cs, run)
+    }
+}
+
+/// Run every SMP cell (parallel or serial), in [`cells`] order.
+pub fn smp_grid(scale: Scale, parallel: bool) -> Vec<SmpSimResult> {
+    let cs = cells(scale);
+    let run = |&(kind, p, n): &(ListKind, usize, usize)| smp_cell(kind, p, n);
+    if parallel {
+        par_map(&cs, run)
+    } else {
+        serial_map(&cs, run)
+    }
+}
+
+/// Produce the MTA (left panel) series: one per (list kind, p).
+pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let cs = cells(scale);
+    let results = mta_grid(scale, true);
+    let sizes = scale.fig1_sizes().len();
+    let mut out = Vec::new();
+    for (cc, rr) in cs.chunks(sizes).zip(results.chunks(sizes)) {
+        let (kind, p, _) = cc[0];
+        let mut s = Series::new(format!("MTA {} p={p}", kind.label()));
+        for (&(kind, p, n), r) in cc.iter().zip(rr) {
+            if verbose {
+                eprintln!(
+                    "  fig1/mta {} p={p} n={n}: {:.4} s (util {:.0}%)",
+                    kind.label(),
+                    r.seconds,
+                    r.report.utilization * 100.0
+                );
+            }
+            s.push(n, p, r.seconds);
+        }
+        out.push(s);
     }
     out
 }
 
 /// Produce the SMP (right panel) series: one per (list kind, p).
 pub fn smp_series(scale: Scale, verbose: bool) -> Vec<Series> {
-    let params = SmpParams::sun_e4500();
+    let cs = cells(scale);
+    let results = smp_grid(scale, true);
+    let sizes = scale.fig1_sizes().len();
     let mut out = Vec::new();
-    for kind in ListKind::both() {
-        for &p in &scale.procs() {
-            let mut s = Series::new(format!("SMP {} p={p}", kind.label()));
-            for &n in &scale.fig1_sizes() {
-                let list = make_list(kind, n, LIST_SEED);
-                let r = sim_smp::simulate_hj(&list, &params, p, 8, LIST_SEED);
-                debug_assert_eq!(r.rank, list.rank_oracle());
-                if verbose {
-                    eprintln!(
-                        "  fig1/smp {} p={p} n={n}: {:.4} s (L1 {:.0}%, mem {:.0}%)",
-                        kind.label(),
-                        r.seconds,
-                        r.stats.l1_hit_rate() * 100.0,
-                        r.stats.mem_access_rate() * 100.0
-                    );
-                }
-                s.push(n, p, r.seconds);
+    for (cc, rr) in cs.chunks(sizes).zip(results.chunks(sizes)) {
+        let (kind, p, _) = cc[0];
+        let mut s = Series::new(format!("SMP {} p={p}", kind.label()));
+        for (&(kind, p, n), r) in cc.iter().zip(rr) {
+            if verbose {
+                eprintln!(
+                    "  fig1/smp {} p={p} n={n}: {:.4} s (L1 {:.0}%, mem {:.0}%)",
+                    kind.label(),
+                    r.seconds,
+                    r.stats.l1_hit_rate() * 100.0,
+                    r.stats.mem_access_rate() * 100.0
+                );
             }
-            out.push(s);
+            s.push(n, p, r.seconds);
         }
+        out.push(s);
     }
     out
 }
@@ -96,5 +152,16 @@ mod tests {
                 s.label
             );
         }
+    }
+
+    #[test]
+    fn cells_are_kind_major_then_p_then_n() {
+        let cs = cells(Scale::Smoke);
+        let kinds = ListKind::both().len();
+        let ps = Scale::Smoke.procs().len();
+        let ns = Scale::Smoke.fig1_sizes().len();
+        assert_eq!(cs.len(), kinds * ps * ns);
+        assert_eq!(cs[0].0, cs[ns - 1].0);
+        assert_eq!(cs[0].1, cs[ns - 1].1, "first chunk shares (kind, p)");
     }
 }

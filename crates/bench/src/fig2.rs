@@ -1,12 +1,17 @@
 //! Fig. 2 — running times for connected components on the Cray MTA (left)
 //! and the Sun SMP (right), random graph with fixed `n` and `m` swept
 //! from 4n to 20n, p = 1, 2, 4, 8.
+//!
+//! Like Fig. 1, the `(p, m)` cells simulate independently and fan out
+//! across host cores; assembly preserves the serial order and output.
 
-use archgraph_concomp::{sim_mta, sim_smp};
+use archgraph_concomp::sim_mta::{self, CcMtaSimResult};
+use archgraph_concomp::sim_smp::{self, CcSmpSimResult};
 use archgraph_core::experiment::Series;
 use archgraph_core::machine::{MtaParams, SmpParams};
 use archgraph_graph::unionfind::{connected_components, same_partition};
 
+use crate::grid::{par_map, serial_map};
 use crate::scale::Scale;
 use crate::workloads::make_graph;
 
@@ -16,17 +21,68 @@ pub const MTA_STREAMS: usize = 100;
 /// Seed for the random graphs.
 pub const GRAPH_SEED: u64 = 0xF162;
 
-/// MTA (left panel): one series per processor count; x-axis is `m`.
-pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
-    let params = MtaParams::mta2();
+/// The sweep's cells in serial order: p-major, then m (n is fixed).
+pub fn cells(scale: Scale) -> Vec<(usize, usize, usize)> {
     let (n, ms) = scale.fig2_sizes();
     let mut out = Vec::new();
     for &p in &scale.procs() {
-        let mut s = Series::new(format!("MTA CC p={p}"));
         for &m in &ms {
-            let g = make_graph(n, m, GRAPH_SEED);
-            let r = sim_mta::simulate_sv_mta(&g, &params, p, MTA_STREAMS);
-            debug_assert!(same_partition(&r.labels, &connected_components(&g)));
+            out.push((p, n, m));
+        }
+    }
+    out
+}
+
+/// Simulate one MTA cell.
+pub fn mta_cell(p: usize, n: usize, m: usize) -> CcMtaSimResult {
+    let params = MtaParams::mta2();
+    let g = make_graph(n, m, GRAPH_SEED);
+    let r = sim_mta::simulate_sv_mta(&g, &params, p, MTA_STREAMS);
+    debug_assert!(same_partition(&r.labels, &connected_components(&g)));
+    r
+}
+
+/// Simulate one SMP cell.
+pub fn smp_cell(p: usize, n: usize, m: usize) -> CcSmpSimResult {
+    let params = SmpParams::sun_e4500();
+    let g = make_graph(n, m, GRAPH_SEED);
+    let r = sim_smp::simulate_sv(&g, &params, p);
+    debug_assert!(same_partition(&r.labels, &connected_components(&g)));
+    r
+}
+
+/// Run every MTA cell (parallel or serial), in [`cells`] order.
+pub fn mta_grid(scale: Scale, parallel: bool) -> Vec<CcMtaSimResult> {
+    let cs = cells(scale);
+    let run = |&(p, n, m): &(usize, usize, usize)| mta_cell(p, n, m);
+    if parallel {
+        par_map(&cs, run)
+    } else {
+        serial_map(&cs, run)
+    }
+}
+
+/// Run every SMP cell (parallel or serial), in [`cells`] order.
+pub fn smp_grid(scale: Scale, parallel: bool) -> Vec<CcSmpSimResult> {
+    let cs = cells(scale);
+    let run = |&(p, n, m): &(usize, usize, usize)| smp_cell(p, n, m);
+    if parallel {
+        par_map(&cs, run)
+    } else {
+        serial_map(&cs, run)
+    }
+}
+
+/// MTA (left panel): one series per processor count; x-axis is `m`.
+pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let cs = cells(scale);
+    let results = mta_grid(scale, true);
+    let ms = scale.fig2_sizes().1.len();
+    let mut out = Vec::new();
+    for (cc, rr) in cs.chunks(ms).zip(results.chunks(ms)) {
+        let (p, _, _) = cc[0];
+        let mut s = Series::new(format!("MTA CC p={p}"));
+        for (&(p, n, m), r) in cc.iter().zip(rr) {
             if verbose {
                 eprintln!(
                     "  fig2/mta p={p} n={n} m={m}: {:.4} s ({} iters, util {:.0}%)",
@@ -44,15 +100,14 @@ pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
 
 /// SMP (right panel): one series per processor count; x-axis is `m`.
 pub fn smp_series(scale: Scale, verbose: bool) -> Vec<Series> {
-    let params = SmpParams::sun_e4500();
-    let (n, ms) = scale.fig2_sizes();
+    let cs = cells(scale);
+    let results = smp_grid(scale, true);
+    let ms = scale.fig2_sizes().1.len();
     let mut out = Vec::new();
-    for &p in &scale.procs() {
+    for (cc, rr) in cs.chunks(ms).zip(results.chunks(ms)) {
+        let (p, _, _) = cc[0];
         let mut s = Series::new(format!("SMP CC p={p}"));
-        for &m in &ms {
-            let g = make_graph(n, m, GRAPH_SEED);
-            let r = sim_smp::simulate_sv(&g, &params, p);
-            debug_assert!(same_partition(&r.labels, &connected_components(&g)));
+        for (&(p, n, m), r) in cc.iter().zip(rr) {
             if verbose {
                 eprintln!(
                     "  fig2/smp p={p} n={n} m={m}: {:.4} s ({} iters)",

@@ -11,6 +11,7 @@
 
 pub mod fig1;
 pub mod fig2;
+pub mod grid;
 pub mod scale;
 pub mod table1;
 pub mod workloads;

@@ -1,11 +1,15 @@
 //! Table 1 — processor utilization on the Cray MTA for list ranking
 //! (Random and Ordered, 20 M-node list) and connected components
 //! (n = 1M, m = 20M ≈ n log n), at p = 1, 4, 8.
+//!
+//! The `(workload, p)` cells simulate independently and fan out across
+//! host cores; rows are assembled in the paper's order afterwards.
 
 use archgraph_concomp::sim_mta as cc_sim;
 use archgraph_core::machine::MtaParams;
 use archgraph_listrank::sim_mta as lr_sim;
 
+use crate::grid::{par_map, serial_map};
 use crate::scale::Scale;
 use crate::workloads::{make_graph, make_list, ListKind};
 
@@ -24,59 +28,76 @@ pub const TABLE1_PROCS: [usize; 3] = [1, 4, 8];
 /// Streams per processor (paper: 100).
 pub const MTA_STREAMS: usize = 100;
 
-/// Compute the table.
-pub fn utilization_table(scale: Scale, verbose: bool) -> Vec<UtilizationRow> {
-    let params = MtaParams::mta2();
-    let n_list = scale.table1_list_size();
-    let (n_g, m_g) = scale.table1_graph_size();
-    let procs: Vec<usize> = match scale {
+/// The table's workloads, in row order.
+const ROWS: [&str; 3] = ["Random List", "Ordered List", "Connected Components"];
+
+fn table_procs(scale: Scale) -> Vec<usize> {
+    match scale {
         Scale::Smoke => vec![1, 2],
         _ => TABLE1_PROCS.to_vec(),
-    };
-    let mut rows = Vec::new();
+    }
+}
 
-    for kind in [ListKind::Random, ListKind::Ordered] {
-        let list = make_list(kind, n_list, crate::fig1::LIST_SEED);
-        let mut utils = Vec::new();
-        for &p in &procs {
-            let r = lr_sim::simulate_walk_ranking(
-                &list,
-                &params,
-                p,
-                MTA_STREAMS,
-                (n_list / 10).max(1),
-            );
+/// Simulate one `(row, p)` cell and return its utilization.
+fn cell_utilization(scale: Scale, row: usize, p: usize) -> f64 {
+    let params = MtaParams::mta2();
+    match row {
+        0 | 1 => {
+            let kind = if row == 0 {
+                ListKind::Random
+            } else {
+                ListKind::Ordered
+            };
+            let n = scale.table1_list_size();
+            let list = make_list(kind, n, crate::fig1::LIST_SEED);
+            let r = lr_sim::simulate_walk_ranking(&list, &params, p, MTA_STREAMS, (n / 10).max(1));
+            r.report.utilization
+        }
+        _ => {
+            let (n, m) = scale.table1_graph_size();
+            let g = make_graph(n, m, crate::fig2::GRAPH_SEED);
+            let r = cc_sim::simulate_sv_mta(&g, &params, p, MTA_STREAMS);
+            r.report.utilization
+        }
+    }
+}
+
+/// Utilization per `(row, p)` cell (parallel or serial), row-major.
+pub fn utilization_grid(scale: Scale, parallel: bool) -> Vec<f64> {
+    let procs = table_procs(scale);
+    let cs: Vec<(usize, usize)> = (0..ROWS.len())
+        .flat_map(|row| procs.iter().map(move |&p| (row, p)))
+        .collect();
+    let run = |&(row, p): &(usize, usize)| cell_utilization(scale, row, p);
+    if parallel {
+        par_map(&cs, run)
+    } else {
+        serial_map(&cs, run)
+    }
+}
+
+/// Compute the table.
+pub fn utilization_table(scale: Scale, verbose: bool) -> Vec<UtilizationRow> {
+    let procs = table_procs(scale);
+    let utils = utilization_grid(scale, true);
+    let mut rows = Vec::new();
+    for (row, chunk) in utils.chunks(procs.len()).enumerate() {
+        let mut row_utils = Vec::new();
+        for (&p, &u) in procs.iter().zip(chunk) {
             if verbose {
-                eprintln!(
-                    "  table1 {} list p={p}: util {:.1}%",
-                    kind.label(),
-                    r.report.utilization * 100.0
-                );
+                match row {
+                    0 => eprintln!("  table1 Random list p={p}: util {:.1}%", u * 100.0),
+                    1 => eprintln!("  table1 Ordered list p={p}: util {:.1}%", u * 100.0),
+                    _ => eprintln!("  table1 CC p={p}: util {:.1}%", u * 100.0),
+                }
             }
-            utils.push((p, r.report.utilization));
+            row_utils.push((p, u));
         }
         rows.push(UtilizationRow {
-            label: format!("{} List", kind.label()),
-            utilization: utils,
+            label: ROWS[row].to_string(),
+            utilization: row_utils,
         });
     }
-
-    let g = make_graph(n_g, m_g, crate::fig2::GRAPH_SEED);
-    let mut utils = Vec::new();
-    for &p in &procs {
-        let r = cc_sim::simulate_sv_mta(&g, &params, p, MTA_STREAMS);
-        if verbose {
-            eprintln!(
-                "  table1 CC p={p}: util {:.1}%",
-                r.report.utilization * 100.0
-            );
-        }
-        utils.push((p, r.report.utilization));
-    }
-    rows.push(UtilizationRow {
-        label: "Connected Components".to_string(),
-        utilization: utils,
-    });
     rows
 }
 

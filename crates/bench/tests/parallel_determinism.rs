@@ -1,0 +1,62 @@
+//! The rayon-parallel sweep grids must be bit-identical to the serial
+//! path: same cell order, same simulated quantities, same outputs. This
+//! determinism is the foundation the paper-claim checks (C1–C6) stand on.
+
+use archgraph_bench::{fig1, fig2, table1, Scale};
+
+#[test]
+fn fig1_mta_grid_parallel_matches_serial() {
+    let par = fig1::mta_grid(Scale::Smoke, true);
+    let ser = fig1::mta_grid(Scale::Smoke, false);
+    assert_eq!(par.len(), ser.len());
+    for (a, b) in par.iter().zip(&ser) {
+        assert_eq!(a.report, b.report, "RunReport must be bit-identical");
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.rank, b.rank);
+    }
+}
+
+#[test]
+fn fig1_smp_grid_parallel_matches_serial() {
+    let par = fig1::smp_grid(Scale::Smoke, true);
+    let ser = fig1::smp_grid(Scale::Smoke, false);
+    assert_eq!(par.len(), ser.len());
+    for (a, b) in par.iter().zip(&ser) {
+        assert_eq!(a.stats, b.stats, "RunStats must be bit-identical");
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.rank, b.rank);
+    }
+}
+
+#[test]
+fn fig2_mta_grid_parallel_matches_serial() {
+    let par = fig2::mta_grid(Scale::Smoke, true);
+    let ser = fig2::mta_grid(Scale::Smoke, false);
+    assert_eq!(par.len(), ser.len());
+    for (a, b) in par.iter().zip(&ser) {
+        assert_eq!(a.report, b.report, "RunReport must be bit-identical");
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+#[test]
+fn fig2_smp_grid_parallel_matches_serial() {
+    let par = fig2::smp_grid(Scale::Smoke, true);
+    let ser = fig2::smp_grid(Scale::Smoke, false);
+    assert_eq!(par.len(), ser.len());
+    for (a, b) in par.iter().zip(&ser) {
+        assert_eq!(a.stats, b.stats, "RunStats must be bit-identical");
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+#[test]
+fn table1_utilization_grid_parallel_matches_serial() {
+    let par = table1::utilization_grid(Scale::Smoke, true);
+    let ser = table1::utilization_grid(Scale::Smoke, false);
+    assert_eq!(par, ser, "utilization cells must be bit-identical");
+}

@@ -85,10 +85,7 @@ pub fn random_mating_rounds(g: &EdgeList, seed: u64) -> (Vec<Node>, usize) {
     let bound = round_bound(n);
     let mut round = 0usize;
     loop {
-        let crossing = g
-            .edges
-            .iter()
-            .any(|e| d[e.u as usize] != d[e.v as usize]);
+        let crossing = g.edges.iter().any(|e| d[e.u as usize] != d[e.v as usize]);
         if !crossing {
             break;
         }

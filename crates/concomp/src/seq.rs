@@ -10,7 +10,9 @@ use archgraph_graph::csr::Csr;
 use archgraph_graph::edgelist::EdgeList;
 use archgraph_graph::Node;
 
-pub use archgraph_graph::unionfind::{component_count, connected_components as unionfind_components};
+pub use archgraph_graph::unionfind::{
+    component_count, connected_components as unionfind_components,
+};
 
 /// Connected components by BFS over a CSR adjacency; returns min-vertex
 /// canonical labels.
@@ -76,7 +78,12 @@ mod tests {
 
     #[test]
     fn bfs_single_component_structures() {
-        for g in [gen::path(50), gen::cycle(50), gen::star(50), gen::mesh2d(5, 10)] {
+        for g in [
+            gen::path(50),
+            gen::cycle(50),
+            gen::star(50),
+            gen::mesh2d(5, 10),
+        ] {
             let labels = bfs_components(&g);
             assert!(labels.iter().all(|&l| l == 0), "one component");
         }

@@ -170,13 +170,21 @@ mod tests {
         let g = gen::random_gnm(400, 1200, 4);
         for p in [1usize, 2, 4] {
             let r = simulate_sv_mta(&g, &tiny(), p, 8);
-            assert!(same_partition(&r.labels, &connected_components(&g)), "p={p}");
+            assert!(
+                same_partition(&r.labels, &connected_components(&g)),
+                "p={p}"
+            );
         }
     }
 
     #[test]
     fn structured_graphs() {
-        for g in [gen::path(128), gen::star(60), gen::cycle(90), gen::mesh2d(8, 8)] {
+        for g in [
+            gen::path(128),
+            gen::star(60),
+            gen::cycle(90),
+            gen::mesh2d(8, 8),
+        ] {
             let r = simulate_sv_mta(&g, &tiny(), 2, 4);
             assert!(same_partition(&r.labels, &connected_components(&g)));
         }

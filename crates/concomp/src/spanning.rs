@@ -45,7 +45,9 @@ fn label_of(packed: u64) -> Node {
 pub fn spanning_forest(g: &EdgeList) -> Vec<Edge> {
     let n = g.n;
     // d[v] packs (current label, witness edge that last grafted v's tree).
-    let d: Vec<AtomicU64> = (0..n as Node).map(|v| AtomicU64::new(pack(v, NO_EDGE))).collect();
+    let d: Vec<AtomicU64> = (0..n as Node)
+        .map(|v| AtomicU64::new(pack(v, NO_EDGE)))
+        .collect();
     let edges = &g.edges;
     let lg = (usize::BITS - n.max(2).leading_zeros()) as usize;
     let bound = lg * lg + 32;
@@ -150,8 +152,7 @@ pub fn is_spanning_forest(g: &EdgeList, forest: &[Edge]) -> bool {
         full.union(e.u, e.v);
     }
     // Same partition as the full graph.
-    forest_components == full.component_count()
-        && forest.len() == g.n - full.component_count()
+    forest_components == full.component_count() && forest.len() == g.n - full.component_count()
 }
 
 #[cfg(test)]
@@ -211,7 +212,10 @@ mod tests {
     #[test]
     fn forest_validator_rejects_cycles_and_undersized_sets() {
         let g = gen::cycle(5);
-        assert!(!is_spanning_forest(&g, &g.edges), "the full cycle has a cycle");
+        assert!(
+            !is_spanning_forest(&g, &g.edges),
+            "the full cycle has a cycle"
+        );
         assert!(!is_spanning_forest(&g, &g.edges[0..2]), "too few edges");
         assert!(is_spanning_forest(&g, &g.edges[0..4]));
     }

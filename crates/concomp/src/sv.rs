@@ -201,7 +201,12 @@ mod tests {
 
     #[test]
     fn random_graphs_various_density() {
-        for (n, m, seed) in [(100, 50, 1u64), (200, 200, 2), (300, 1200, 3), (500, 4000, 4)] {
+        for (n, m, seed) in [
+            (100, 50, 1u64),
+            (200, 200, 2),
+            (300, 1200, 3),
+            (500, 4000, 4),
+        ] {
             check(&gen::random_gnm(n, m, seed));
         }
     }

@@ -61,15 +61,13 @@ pub fn sv_mta_style(g: &EdgeList) -> Vec<Node> {
 
         // Full shortcut: compress every path to its root. Labels only
         // decrease, so the racy loop converges.
-        (0..n).into_par_iter().for_each(|i| {
-            loop {
-                let p = d[i].load(Ordering::Relaxed);
-                let gp = d[p as usize].load(Ordering::Relaxed);
-                if p == gp {
-                    break;
-                }
-                d[i].store(gp, Ordering::Relaxed);
+        (0..n).into_par_iter().for_each(|i| loop {
+            let p = d[i].load(Ordering::Relaxed);
+            let gp = d[p as usize].load(Ordering::Relaxed);
+            if p == gp {
+                break;
             }
+            d[i].store(gp, Ordering::Relaxed);
         });
     }
 
@@ -140,7 +138,12 @@ mod tests {
 
     #[test]
     fn random_graphs() {
-        for (n, m, seed) in [(128, 64, 1u64), (256, 256, 2), (512, 2048, 3), (1000, 8000, 4)] {
+        for (n, m, seed) in [
+            (128, 64, 1u64),
+            (256, 256, 2),
+            (512, 2048, 3),
+            (1000, 8000, 4),
+        ] {
             check(&gen::random_gnm(n, m, seed));
         }
     }

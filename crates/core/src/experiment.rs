@@ -18,7 +18,10 @@ impl Measurement {
     /// Wrap a sample vector. Panics on an empty vector — a measurement with
     /// no samples has no meaningful statistics.
     pub fn new(samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "Measurement requires at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "Measurement requires at least one sample"
+        );
         Measurement { samples }
     }
 
@@ -35,7 +38,10 @@ impl Measurement {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Sample standard deviation (0 for a single sample).
@@ -44,11 +50,7 @@ impl Measurement {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|&x| (x - m) * (x - m))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|&x| (x - m) * (x - m)).sum::<f64>()
             / (self.samples.len() - 1) as f64;
         var.sqrt()
     }

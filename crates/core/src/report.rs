@@ -90,7 +90,10 @@ pub fn series_csv(series: &[Series]) -> String {
     let mut out = String::from("series,n,p,seconds\n");
     for s in series {
         for pt in &s.points {
-            out.push_str(&format!("{},{},{},{:.9}\n", s.label, pt.n, pt.p, pt.seconds));
+            out.push_str(&format!(
+                "{},{},{},{:.9}\n",
+                s.label, pt.n, pt.p, pt.seconds
+            ));
         }
     }
     out

@@ -65,7 +65,10 @@ impl EdgeList {
         let edges: Vec<Edge> = pairs
             .into_iter()
             .map(|(u, v)| {
-                assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "edge ({u},{v}) out of range"
+                );
                 Edge::new(u, v)
             })
             .collect();

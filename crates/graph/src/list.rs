@@ -131,7 +131,10 @@ impl LinkedList {
             next[perm[k] as usize] = perm[k + 1];
         }
         next[perm[n - 1] as usize] = n as Node;
-        LinkedList { next, head: perm[0] }
+        LinkedList {
+            next,
+            head: perm[0],
+        }
     }
 
     /// Recover the head via the successor-sum identity (paper §3 step 1):

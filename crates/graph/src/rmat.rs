@@ -127,13 +127,25 @@ mod tests {
         let g = rmat(10, 8192, RmatParams::uniform(), 5);
         let degs = g.degrees();
         let nonzero = degs.iter().filter(|&&d| d > 0).count();
-        assert!(nonzero > 900, "uniform R-MAT touches most vertices: {nonzero}");
+        assert!(
+            nonzero > 900,
+            "uniform R-MAT touches most vertices: {nonzero}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "distribution")]
     fn invalid_probabilities_rejected() {
-        rmat(4, 10, RmatParams { a: 0.9, b: 0.9, c: 0.9 }, 0);
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.9,
+            },
+            0,
+        );
     }
 
     #[test]

@@ -49,10 +49,7 @@ impl Rng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -205,7 +202,11 @@ mod tests {
     fn permutation_is_not_identity_for_large_n() {
         let mut r = Rng::new(12);
         let p = r.permutation(4096);
-        let fixed = p.iter().enumerate().filter(|&(i, &x)| i as u32 == x).count();
+        let fixed = p
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| i as u32 == x)
+            .count();
         // Expected number of fixed points of a uniform permutation is 1.
         assert!(fixed < 20, "too many fixed points: {fixed}");
     }

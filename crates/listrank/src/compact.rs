@@ -104,7 +104,11 @@ pub fn compact(list: &LinkedList, walks: usize, threads: usize) -> CompactedList
                                 len_sh.write(i, off as u64 + 1);
                                 succ_sh.write(
                                     i,
-                                    if (nx as usize) < n { marker[nx as usize] } else { NIL },
+                                    if (nx as usize) < n {
+                                        marker[nx as usize]
+                                    } else {
+                                        NIL
+                                    },
                                 );
                             }
                             break;
@@ -198,8 +202,7 @@ pub fn rank_by_recursive_compaction(
     let c = compact(list, list.len() / shrink, threads);
     // Rank the super list recursively; convert its node ranks into
     // weighted offsets by expanding through walk lengths.
-    let super_rank =
-        rank_by_recursive_compaction(&c.super_list, shrink, base, threads);
+    let super_rank = rank_by_recursive_compaction(&c.super_list, shrink, base, threads);
     // before[walk] = sum of lengths of walks ranked before it.
     let w = c.walk_len.len();
     let mut by_rank: Vec<Node> = vec![0; w];
@@ -267,10 +270,7 @@ mod tests {
         // shrink = 8 from 8000 to 64: 8000 -> 1000 -> 125 -> 64-base, three
         // levels; just verify it terminates fast and correctly on ordered.
         let l = LinkedList::ordered(8000);
-        assert_eq!(
-            rank_by_recursive_compaction(&l, 8, 64, 2),
-            l.rank_oracle()
-        );
+        assert_eq!(rank_by_recursive_compaction(&l, 8, 64, 2), l.rank_oracle());
     }
 
     #[test]

@@ -135,9 +135,7 @@ pub fn helman_jaja(list: &LinkedList, cfg: &HjConfig) -> Vec<Node> {
                             sub_of_sh.write(j as usize, i as Node);
                         }
                         let mut nx = next[j as usize];
-                        while (nx as usize) < n
-                            && unsafe { marker_sh.read(nx as usize) } == NIL
-                        {
+                        while (nx as usize) < n && unsafe { marker_sh.read(nx as usize) } == NIL {
                             j = nx;
                             r += 1;
                             unsafe {
@@ -262,8 +260,20 @@ mod tests {
     fn different_seeds_same_answer() {
         let mut rng = Rng::new(15);
         let l = LinkedList::random(2048, &mut rng);
-        let a = helman_jaja(&l, &HjConfig { seed: 1, ..HjConfig::with_threads(4) });
-        let b = helman_jaja(&l, &HjConfig { seed: 99, ..HjConfig::with_threads(4) });
+        let a = helman_jaja(
+            &l,
+            &HjConfig {
+                seed: 1,
+                ..HjConfig::with_threads(4)
+            },
+        );
+        let b = helman_jaja(
+            &l,
+            &HjConfig {
+                seed: 99,
+                ..HjConfig::with_threads(4)
+            },
+        );
         assert_eq!(a, b);
     }
 }

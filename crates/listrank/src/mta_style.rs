@@ -126,7 +126,11 @@ pub fn mta_style_rank(list: &LinkedList, cfg: &MtaStyleConfig) -> Vec<Node> {
                         len_sh.write(i, count);
                         succ_sh.write(
                             i,
-                            if (nx as usize) < n { rank[nx as usize] } else { NIL },
+                            if (nx as usize) < n {
+                                rank[nx as usize]
+                            } else {
+                                NIL
+                            },
                         );
                     }
                 });

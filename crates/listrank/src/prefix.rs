@@ -124,7 +124,11 @@ where
                             last_sh.write(i, acc);
                             succ_sh.write(
                                 i,
-                                if (nx as usize) < n { marker[nx as usize] } else { NIL },
+                                if (nx as usize) < n {
+                                    marker[nx as usize]
+                                } else {
+                                    NIL
+                                },
                             );
                         }
                         i += p;

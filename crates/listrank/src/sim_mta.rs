@@ -21,7 +21,9 @@ use archgraph_core::MtaParams;
 use archgraph_graph::{LinkedList, Node};
 use archgraph_mta_sim::isa::{ProgramBuilder, Reg};
 use archgraph_mta_sim::machine::MtaMachine;
-use archgraph_mta_sim::parloop::{block_chunk, block_loop, dynamic_loop, dynamic_loop_grained, LoopRegs};
+use archgraph_mta_sim::parloop::{
+    block_chunk, block_loop, dynamic_loop, dynamic_loop_grained, LoopRegs,
+};
 use archgraph_mta_sim::report::{combine, RunReport};
 
 /// Result of a simulated MTA run.
@@ -59,7 +61,14 @@ pub fn simulate_walk_ranking(
     streams_per_proc: usize,
     walks: usize,
 ) -> MtaSimResult {
-    simulate_walk_ranking_scheduled(list, params, p, streams_per_proc, walks, WalkSchedule::Dynamic)
+    simulate_walk_ranking_scheduled(
+        list,
+        params,
+        p,
+        streams_per_proc,
+        walks,
+        WalkSchedule::Dynamic,
+    )
 }
 
 /// [`simulate_walk_ranking`] with an explicit walk-to-stream schedule
@@ -155,9 +164,16 @@ pub fn simulate_walk_ranking_scheduled(
         let mut b = ProgramBuilder::new();
         let minus1 = Reg(6);
         b.li(minus1, -1);
-        dynamic_loop_grained(&mut b, counters + 1, (n + 1) as i64, FLAT_GRAIN, regs, |b| {
-            b.store(minus1, regs.idx, rank_base as i64);
-        });
+        dynamic_loop_grained(
+            &mut b,
+            counters + 1,
+            (n + 1) as i64,
+            FLAT_GRAIN,
+            regs,
+            |b| {
+                b.store(minus1, regs.idx, rank_base as i64);
+            },
+        );
         b.halt();
         let prog = b.build();
         m.run(&prog, streams_per_proc, |_, _| {});
@@ -407,14 +423,8 @@ mod tests {
     fn block_schedule_is_correct_but_can_trail_dynamic() {
         let mut rng = Rng::new(45);
         let l = LinkedList::random(3000, &mut rng);
-        let dynamic = simulate_walk_ranking_scheduled(
-            &l,
-            &tiny(),
-            1,
-            8,
-            300,
-            WalkSchedule::Dynamic,
-        );
+        let dynamic =
+            simulate_walk_ranking_scheduled(&l, &tiny(), 1, 8, 300, WalkSchedule::Dynamic);
         let block = simulate_walk_ranking_scheduled(&l, &tiny(), 1, 8, 300, WalkSchedule::Block);
         assert_eq!(dynamic.rank, l.rank_oracle());
         assert_eq!(block.rank, l.rank_oracle());

@@ -42,7 +42,10 @@ pub fn wyllie_rank(list: &LinkedList) -> Vec<Node> {
             break;
         }
         rounds += 1;
-        assert!(rounds <= 64, "pointer jumping must converge in log n rounds");
+        assert!(
+            rounds <= 64,
+            "pointer jumping must converge in log n rounds"
+        );
         dist_new
             .par_iter_mut()
             .zip(next_new.par_iter_mut())

@@ -170,11 +170,17 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         let ins = match lower.as_str() {
             "li" => {
                 need(2)?;
-                Instr::Li { dst: parse_reg(args[0], line)?, imm: parse_imm(args[1], line)? }
+                Instr::Li {
+                    dst: parse_reg(args[0], line)?,
+                    imm: parse_imm(args[1], line)?,
+                }
             }
             "mov" => {
                 need(2)?;
-                Instr::Mov { dst: parse_reg(args[0], line)?, src: parse_reg(args[1], line)? }
+                Instr::Mov {
+                    dst: parse_reg(args[0], line)?,
+                    src: parse_reg(args[1], line)?,
+                }
             }
             "add" => {
                 need(3)?;
@@ -211,27 +217,47 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             "ld" => {
                 need(2)?;
                 let (addr, off) = parse_mem(args[1], line)?;
-                Instr::Load { dst: parse_reg(args[0], line)?, addr, off }
+                Instr::Load {
+                    dst: parse_reg(args[0], line)?,
+                    addr,
+                    off,
+                }
             }
             "st" => {
                 need(2)?;
                 let (addr, off) = parse_mem(args[1], line)?;
-                Instr::Store { src: parse_reg(args[0], line)?, addr, off }
+                Instr::Store {
+                    src: parse_reg(args[0], line)?,
+                    addr,
+                    off,
+                }
             }
             "rdfe" => {
                 need(2)?;
                 let (addr, off) = parse_mem(args[1], line)?;
-                Instr::ReadFE { dst: parse_reg(args[0], line)?, addr, off }
+                Instr::ReadFE {
+                    dst: parse_reg(args[0], line)?,
+                    addr,
+                    off,
+                }
             }
             "wref" => {
                 need(2)?;
                 let (addr, off) = parse_mem(args[1], line)?;
-                Instr::WriteEF { src: parse_reg(args[0], line)?, addr, off }
+                Instr::WriteEF {
+                    src: parse_reg(args[0], line)?,
+                    addr,
+                    off,
+                }
             }
             "rdff" => {
                 need(2)?;
                 let (addr, off) = parse_mem(args[1], line)?;
-                Instr::ReadFF { dst: parse_reg(args[0], line)?, addr, off }
+                Instr::ReadFF {
+                    dst: parse_reg(args[0], line)?,
+                    addr,
+                    off,
+                }
             }
             "faa" => {
                 need(3)?;
@@ -257,7 +283,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "jmp" => {
                 need(1)?;
-                Instr::Jmp { target: branch(args[0])? }
+                Instr::Jmp {
+                    target: branch(args[0])?,
+                }
             }
             "halt" => {
                 need(0)?;
@@ -350,7 +378,11 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(
             p.instrs()[0],
-            Instr::Load { dst: Reg(2), addr: Reg(3), off: -4 }
+            Instr::Load {
+                dst: Reg(2),
+                addr: Reg(3),
+                off: -4
+            }
         );
         assert_eq!(p.instrs()[1], Instr::Jmp { target: 0 });
     }
@@ -361,7 +393,10 @@ mod tests {
             assemble("frobnicate r1"),
             Err(AsmError::UnknownOp(1, _))
         ));
-        assert!(matches!(assemble("li r99, 0"), Err(AsmError::BadRegister(1))));
+        assert!(matches!(
+            assemble("li r99, 0"),
+            Err(AsmError::BadRegister(1))
+        ));
         assert!(matches!(assemble("li r2"), Err(AsmError::BadOperands(1))));
         assert!(matches!(
             assemble("jmp @nowhere\nhalt"),

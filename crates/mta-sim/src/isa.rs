@@ -352,7 +352,12 @@ impl std::fmt::Display for Instr {
             Instr::ReadFF { dst, addr, off } => {
                 write!(f, "rdff  r{}, [r{}+{}]", dst.0, addr.0, off)
             }
-            Instr::FetchAdd { dst, addr, off, delta } => {
+            Instr::FetchAdd {
+                dst,
+                addr,
+                off,
+                delta,
+            } => {
                 write!(f, "faa   r{}, [r{}+{}], r{}", dst.0, addr.0, off, delta.0)
             }
             Instr::Beq { a, b, target } => write!(f, "beq   r{}, r{}, @{}", a.0, b.0, target),
@@ -497,7 +502,12 @@ impl ProgramBuilder {
 
     /// `dst = fetch_add(mem[addr + off], delta)`
     pub fn fetch_add(&mut self, dst: Reg, addr: Reg, off: i64, delta: Reg) -> &mut Self {
-        self.push(Instr::FetchAdd { dst, addr, off, delta })
+        self.push(Instr::FetchAdd {
+            dst,
+            addr,
+            off,
+            delta,
+        })
     }
 
     /// `dst = fetch_add(mem[abs_addr], delta)` (absolute address).
@@ -544,22 +554,38 @@ impl ProgramBuilder {
 
     /// Forward branch when equal; bind the returned fixup at the target.
     pub fn beq_fwd(&mut self, a: Reg, b: Reg) -> Fixup {
-        self.fwd(Instr::Beq { a, b, target: UNRESOLVED })
+        self.fwd(Instr::Beq {
+            a,
+            b,
+            target: UNRESOLVED,
+        })
     }
 
     /// Forward branch when not equal.
     pub fn bne_fwd(&mut self, a: Reg, b: Reg) -> Fixup {
-        self.fwd(Instr::Bne { a, b, target: UNRESOLVED })
+        self.fwd(Instr::Bne {
+            a,
+            b,
+            target: UNRESOLVED,
+        })
     }
 
     /// Forward branch when less-than.
     pub fn blt_fwd(&mut self, a: Reg, b: Reg) -> Fixup {
-        self.fwd(Instr::Blt { a, b, target: UNRESOLVED })
+        self.fwd(Instr::Blt {
+            a,
+            b,
+            target: UNRESOLVED,
+        })
     }
 
     /// Forward branch when greater-or-equal.
     pub fn bge_fwd(&mut self, a: Reg, b: Reg) -> Fixup {
-        self.fwd(Instr::Bge { a, b, target: UNRESOLVED })
+        self.fwd(Instr::Bge {
+            a,
+            b,
+            target: UNRESOLVED,
+        })
     }
 
     /// Forward unconditional jump.
@@ -594,16 +620,29 @@ impl ProgramBuilder {
         let len = self.instrs.len();
         for (i, ins) in self.instrs.iter().enumerate() {
             if let Some(t) = ins.target() {
-                assert!(t <= len, "instruction {i} targets {t}, beyond program end {len}");
+                assert!(
+                    t <= len,
+                    "instruction {i} targets {t}, beyond program end {len}"
+                );
             }
             for r in ins.sources().into_iter().flatten() {
-                assert!((r.0 as usize) < NREGS, "instruction {i} reads bad register {}", r.0);
+                assert!(
+                    (r.0 as usize) < NREGS,
+                    "instruction {i} reads bad register {}",
+                    r.0
+                );
             }
             if let Some(d) = ins.dest() {
-                assert!((d.0 as usize) < NREGS, "instruction {i} writes bad register {}", d.0);
+                assert!(
+                    (d.0 as usize) < NREGS,
+                    "instruction {i} writes bad register {}",
+                    d.0
+                );
             }
         }
-        Program { instrs: self.instrs }
+        Program {
+            instrs: self.instrs,
+        }
     }
 }
 
@@ -658,18 +697,42 @@ mod tests {
 
     #[test]
     fn memory_classification() {
-        assert!(Instr::Load { dst: Reg(2), addr: ZERO, off: 0 }.is_memory());
-        assert!(Instr::FetchAdd { dst: Reg(2), addr: ZERO, off: 0, delta: Reg(3) }.is_memory());
-        assert!(!Instr::Add { dst: Reg(2), a: Reg(3), b: Reg(4) }.is_memory());
+        assert!(Instr::Load {
+            dst: Reg(2),
+            addr: ZERO,
+            off: 0
+        }
+        .is_memory());
+        assert!(Instr::FetchAdd {
+            dst: Reg(2),
+            addr: ZERO,
+            off: 0,
+            delta: Reg(3)
+        }
+        .is_memory());
+        assert!(!Instr::Add {
+            dst: Reg(2),
+            a: Reg(3),
+            b: Reg(4)
+        }
+        .is_memory());
         assert!(!Instr::Halt.is_memory());
     }
 
     #[test]
     fn sources_and_dest_extraction() {
-        let i = Instr::Store { src: Reg(5), addr: Reg(6), off: 2 };
+        let i = Instr::Store {
+            src: Reg(5),
+            addr: Reg(6),
+            off: 2,
+        };
         assert_eq!(i.sources(), [Some(Reg(5)), Some(Reg(6))]);
         assert_eq!(i.dest(), None);
-        let i = Instr::Load { dst: Reg(7), addr: Reg(8), off: 0 };
+        let i = Instr::Load {
+            dst: Reg(7),
+            addr: Reg(8),
+            off: 0,
+        };
         assert_eq!(i.dest(), Some(Reg(7)));
         assert_eq!(i.sources()[0], Some(Reg(8)));
     }
@@ -692,11 +755,19 @@ mod tests {
         let p = b.build();
         assert_eq!(
             p.instrs()[0],
-            Instr::Load { dst: Reg(2), addr: ZERO, off: 100 }
+            Instr::Load {
+                dst: Reg(2),
+                addr: ZERO,
+                off: 100
+            }
         );
         assert_eq!(
             p.instrs()[1],
-            Instr::Store { src: Reg(2), addr: ZERO, off: 101 }
+            Instr::Store {
+                src: Reg(2),
+                addr: ZERO,
+                off: 101
+            }
         );
     }
 }

@@ -38,23 +38,287 @@
 //! racy-but-correct SV code (Alg. 3) is designed for.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::BinaryHeap;
 
 use archgraph_core::MtaParams;
 
-use crate::isa::{Instr, Program, N_OP_CLASSES, NREGS};
+use crate::isa::{Instr, Program, NREGS, N_OP_CLASSES};
 use crate::memory::Memory;
 use crate::report::RunReport;
 
 /// Default simulated memory size in words.
 pub const DEFAULT_MEMORY_WORDS: usize = 1 << 22;
 
+/// Per-instruction scheduling metadata, decoded once per [`MtaMachine::run`]
+/// so the issue loop reads a flat array instead of re-matching the opcode.
+///
+/// Source registers are stored as indices with "no operand" mapped to
+/// register 0: `reg_ready[0]` is pinned at 0 (r0 is never written), so the
+/// readiness max over both slots is branch-free and exact.
+#[derive(Clone, Copy)]
+struct Decoded {
+    src0: u8,
+    src1: u8,
+    /// Issue-slot thirds this operation consumes (memory 3, other 1).
+    cost: u64,
+    is_memory: bool,
+    class_idx: u8,
+}
+
+fn decode(instrs: &[Instr]) -> Vec<Decoded> {
+    instrs
+        .iter()
+        .map(|i| {
+            let [a, b] = i.sources();
+            Decoded {
+                src0: a.map_or(0, |r| r.0),
+                src1: b.map_or(0, |r| r.0),
+                cost: if i.is_memory() { 3 } else { 1 },
+                is_memory: i.is_memory(),
+                class_idx: i.class().index() as u8,
+            }
+        })
+        .collect()
+}
+
+/// Open-addressed map from word address to the next time (in thirds) that
+/// word can service an atomic/sync operation.
+///
+/// This sits on the hotspot-serialization path, which a `fetch_add`-heavy
+/// region hits once per atomic; the former `HashMap<usize, u64>` spent most
+/// of its time in SipHash. Keys are stored as `addr + 1` so 0 marks an
+/// empty slot; lookup is Fibonacci hashing plus linear probing, and the
+/// table doubles at 3/4 load.
+struct WordFree {
+    keys: Vec<usize>,
+    vals: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+impl WordFree {
+    fn new() -> Self {
+        let cap = 64;
+        WordFree {
+            keys: vec![0; cap],
+            vals: vec![0; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(key: usize, mask: usize) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & mask
+    }
+
+    /// Mutable slot for `addr`, inserting 0 if absent — the moral
+    /// equivalent of `HashMap::entry(addr).or_insert(0)`.
+    #[inline]
+    fn slot(&mut self, addr: usize) -> &mut u64 {
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let key = addr + 1;
+        let mut i = Self::bucket(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return &mut self.vals[i];
+            }
+            if k == 0 {
+                self.keys[i] = key;
+                self.len += 1;
+                return &mut self.vals[i];
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        let mask = cap - 1;
+        let mut keys = vec![0usize; cap];
+        let mut vals = vec![0u64; cap];
+        for (k, v) in self.keys.iter().copied().zip(self.vals.iter().copied()) {
+            if k == 0 {
+                continue;
+            }
+            let mut i = Self::bucket(k, mask);
+            while keys[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            keys[i] = k;
+            vals[i] = v;
+        }
+        self.keys = keys;
+        self.vals = vals;
+        self.mask = mask;
+    }
+}
+
+/// Buckets in the scheduler's calendar queue, covering this many thirds of
+/// a cycle ahead of the current time (4096 thirds ≈ 1365 cycles, well past
+/// the memory latency and sync-retry horizons). Events beyond the window —
+/// e.g. streams parked behind a deep hotspot backlog — wait in an overflow
+/// heap and migrate into the wheel as time advances.
+const WHEEL_SIZE: usize = 1 << 12;
+
+/// Empty-bucket / end-of-list marker in [`TimeWheel`]'s intrusive lists.
+const NO_STREAM: u32 = u32::MAX;
+
+/// The scheduler's ready queue: a calendar queue ("time wheel") ordered
+/// exactly like the `BinaryHeap<Reverse<(time, stream)>>` it replaces.
+///
+/// Every live stream has at most one pending event, so each wheel bucket
+/// is an intrusive singly-linked list threaded through a per-stream `next`
+/// array — push is O(1) with zero allocation, and draining a bucket sorts
+/// the (few) stream ids so same-time events still pop in id order. A
+/// binary heap pays a cache-missing, branch-mispredicting sift per event;
+/// the wheel pays an array write, which is what makes the interpreter's
+/// issue loop fast at hundreds of streams.
+struct TimeWheel {
+    /// Bucket heads, indexed by `time & (WHEEL_SIZE - 1)`.
+    head: Box<[u32]>,
+    /// Occupancy bitmap over buckets (one bit per bucket), so finding the
+    /// next nonempty bucket is a couple of `trailing_zeros` words rather
+    /// than a linear walk over empty slots.
+    occ: Box<[u64]>,
+    /// Intrusive next-pointers, indexed by stream id.
+    next: Box<[u32]>,
+    /// Events at or beyond `base + WHEEL_SIZE`.
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
+    /// All wheel events lie in `[base, base + WHEEL_SIZE)`.
+    base: u64,
+    /// Events currently threaded in the wheel (not overflow, not bucket).
+    wheel_count: usize,
+    /// The drained current bucket, ascending ids, read via `cursor`.
+    bucket: Vec<u32>,
+    cursor: usize,
+    bucket_time: u64,
+}
+
+impl TimeWheel {
+    fn new(total_streams: usize) -> Self {
+        TimeWheel {
+            head: vec![NO_STREAM; WHEEL_SIZE].into_boxed_slice(),
+            occ: vec![0u64; WHEEL_SIZE / 64].into_boxed_slice(),
+            next: vec![NO_STREAM; total_streams].into_boxed_slice(),
+            overflow: BinaryHeap::new(),
+            base: 0,
+            wheel_count: 0,
+            bucket: Vec::new(),
+            cursor: 0,
+            bucket_time: 0,
+        }
+    }
+
+    /// Schedule stream `id` at time `t` (thirds). `t` must not precede the
+    /// most recently popped event — pushes always target the future.
+    #[inline]
+    fn push(&mut self, t: u64, id: u32) {
+        if t < self.base + WHEEL_SIZE as u64 {
+            let b = t as usize & (WHEEL_SIZE - 1);
+            self.next[id as usize] = self.head[b];
+            self.head[b] = id;
+            self.occ[b >> 6] |= 1 << (b & 63);
+            self.wheel_count += 1;
+        } else {
+            self.overflow.push(Reverse((t, id)));
+        }
+    }
+
+    /// Time of the first occupied bucket at or after `from`. Requires
+    /// `wheel_count > 0`; distances are computed modulo the wheel size.
+    #[inline]
+    fn next_occupied(&self, from: u64) -> u64 {
+        let mask = WHEEL_SIZE - 1;
+        let nwords = WHEEL_SIZE / 64;
+        let start = from as usize & mask;
+        let first_word = start >> 6;
+        let head_bits = self.occ[first_word] & (!0u64 << (start & 63));
+        if head_bits != 0 {
+            let b = (first_word << 6) | head_bits.trailing_zeros() as usize;
+            return from + (b.wrapping_sub(start) & mask) as u64;
+        }
+        for k in 1..=nwords {
+            let wi = (first_word + k) & (nwords - 1);
+            let bits = self.occ[wi];
+            if bits != 0 {
+                let b = (wi << 6) | bits.trailing_zeros() as usize;
+                return from + (b.wrapping_sub(start) & mask) as u64;
+            }
+        }
+        unreachable!("next_occupied called on an empty wheel")
+    }
+
+    /// Move overflow events that now fit the window into the wheel.
+    fn admit_overflow(&mut self) {
+        while let Some(&Reverse((t, id))) = self.overflow.peek() {
+            if t >= self.base + WHEEL_SIZE as u64 {
+                break;
+            }
+            self.overflow.pop();
+            let b = t as usize & (WHEEL_SIZE - 1);
+            self.next[id as usize] = self.head[b];
+            self.head[b] = id;
+            self.occ[b >> 6] |= 1 << (b & 63);
+            self.wheel_count += 1;
+        }
+    }
+
+    /// Next event in ascending `(time, id)` order.
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        if self.cursor < self.bucket.len() {
+            let id = self.bucket[self.cursor];
+            self.cursor += 1;
+            return Some((self.bucket_time, id));
+        }
+        loop {
+            if self.wheel_count == 0 {
+                // Jump straight to the earliest parked event.
+                let &Reverse((t, _)) = self.overflow.peek()?;
+                self.base = t;
+                self.admit_overflow();
+                continue;
+            }
+            // The nearest event is in the window; jump to its bucket.
+            let t = self.next_occupied(self.base);
+            let b = t as usize & (WHEEL_SIZE - 1);
+            self.bucket.clear();
+            let mut id = self.head[b];
+            self.head[b] = NO_STREAM;
+            self.occ[b >> 6] &= !(1 << (b & 63));
+            while id != NO_STREAM {
+                self.bucket.push(id);
+                id = self.next[id as usize];
+            }
+            self.wheel_count -= self.bucket.len();
+            self.bucket.sort_unstable();
+            self.bucket_time = t;
+            self.cursor = 1;
+            self.base = t + 1;
+            self.admit_overflow();
+            return Some((t, self.bucket[0]));
+        }
+    }
+}
+
+/// Capacity of the inline outstanding-operation ring. The engine keeps at
+/// most `lookahead` completions in flight per stream (MTA-2: 8), and the
+/// ring lives inside [`Stream`] so the scheduler never chases a separate
+/// heap allocation on the per-event path.
+const MAX_LOOKAHEAD: usize = 16;
+
 #[derive(Debug, Clone)]
 struct Stream {
     regs: [i64; NREGS],
     reg_ready: [u64; NREGS],
     pc: usize,
-    outstanding: VecDeque<u64>,
+    /// In-flight completion times, a FIFO ring of at most `lookahead`.
+    outstanding: [u64; MAX_LOOKAHEAD],
+    out_head: u8,
+    out_len: u8,
     halted: bool,
 }
 
@@ -66,9 +330,35 @@ impl Stream {
             regs,
             reg_ready: [0; NREGS],
             pc: 0,
-            outstanding: VecDeque::new(),
+            outstanding: [0; MAX_LOOKAHEAD],
+            out_head: 0,
+            out_len: 0,
             halted: false,
         }
+    }
+
+    #[inline]
+    fn out_front(&self) -> Option<u64> {
+        if self.out_len == 0 {
+            None
+        } else {
+            Some(self.outstanding[self.out_head as usize])
+        }
+    }
+
+    #[inline]
+    fn out_pop(&mut self) {
+        debug_assert!(self.out_len > 0);
+        self.out_head = (self.out_head + 1) % MAX_LOOKAHEAD as u8;
+        self.out_len -= 1;
+    }
+
+    #[inline]
+    fn out_push(&mut self, done: u64) {
+        debug_assert!((self.out_len as usize) < MAX_LOOKAHEAD);
+        let i = (self.out_head as usize + self.out_len as usize) % MAX_LOOKAHEAD;
+        self.outstanding[i] = done;
+        self.out_len += 1;
     }
 }
 
@@ -79,6 +369,7 @@ pub struct MtaMachine {
     p: usize,
     memory: Memory,
     total_cycles: u64,
+    host_seconds: f64,
     reports: Vec<RunReport>,
 }
 
@@ -96,6 +387,7 @@ impl MtaMachine {
             p,
             memory: Memory::new(words),
             total_cycles: 0,
+            host_seconds: 0.0,
             reports: Vec::new(),
         }
     }
@@ -130,6 +422,13 @@ impl MtaMachine {
         self.total_cycles as f64 * self.params.cycle_seconds()
     }
 
+    /// Host wall-clock seconds spent interpreting regions so far. This is
+    /// measurement of the simulator itself (for the bench harness), not a
+    /// simulated quantity, and is deliberately kept out of [`RunReport`].
+    pub fn host_seconds(&self) -> f64 {
+        self.host_seconds
+    }
+
     /// Per-region reports in execution order.
     pub fn reports(&self) -> &[RunReport] {
         &self.reports
@@ -145,6 +444,7 @@ impl MtaMachine {
         streams_per_proc: usize,
         mut init: F,
     ) -> RunReport {
+        let host_t0 = std::time::Instant::now();
         assert!(streams_per_proc >= 1, "need at least one stream");
         assert!(
             streams_per_proc <= self.params.streams_per_processor,
@@ -162,6 +462,10 @@ impl MtaMachine {
         // module docs on LIW packing).
         let latency = self.params.mem_latency * 3;
         let lookahead = self.params.lookahead.max(1);
+        assert!(
+            lookahead <= MAX_LOOKAHEAD,
+            "lookahead {lookahead} exceeds the engine's inline window of {MAX_LOOKAHEAD}"
+        );
         let retry = self.params.sync_retry_cycles.max(1) * 3;
         let instrs = prog.instrs();
 
@@ -173,17 +477,22 @@ impl MtaMachine {
         let mut op_mix = [0u64; N_OP_CLASSES];
         // Hotspot serialization: next cycle (in thirds) at which a word
         // can service another atomic/sync operation.
-        let mut word_free: HashMap<usize, u64> = HashMap::new();
+        let mut word_free = WordFree::new();
+        // Scheduling metadata per instruction, decoded once up front.
+        let decoded = decode(instrs);
 
         // Ready queue keyed by earliest possible issue time; stream id
         // breaks ties, which combined with re-insertion at issue_time + 1
-        // yields fair round-robin service.
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(total);
+        // yields fair round-robin service. The wheel pops in exactly the
+        // ascending (time, id) order a binary heap of Reverse((t, id))
+        // entries would, so every simulated quantity is unchanged by the
+        // queue representation.
+        let mut wheel = TimeWheel::new(total);
         for id in 0..total {
-            heap.push(Reverse((0, id as u32)));
+            wheel.push(0, id as u32);
         }
 
-        while let Some(Reverse((t, id))) = heap.pop() {
+        while let Some((t, id)) = wheel.pop() {
             let proc = id as usize / streams_per_proc;
             let s = &mut streams[id as usize];
             debug_assert!(!s.halted);
@@ -192,38 +501,40 @@ impl MtaMachine {
                 continue;
             }
             let instr = instrs[s.pc];
+            let d = decoded[s.pc];
 
-            // Earliest time this stream can truly issue `instr`.
-            let mut e = t;
-            for r in instr.sources().into_iter().flatten() {
-                e = e.max(s.reg_ready[r.0 as usize]);
-            }
-            while let Some(&c) = s.outstanding.front() {
+            // Earliest time this stream can truly issue `instr`. Absent
+            // operands decode to r0, whose ready time is pinned at 0, so
+            // the two-way max is exact.
+            let mut e = t
+                .max(s.reg_ready[d.src0 as usize])
+                .max(s.reg_ready[d.src1 as usize]);
+            while let Some(c) = s.out_front() {
                 if c <= e {
-                    s.outstanding.pop_front();
+                    s.out_pop();
                 } else {
                     break;
                 }
             }
-            if instr.is_memory() && s.outstanding.len() >= lookahead {
-                let c = *s.outstanding.front().unwrap();
+            if d.is_memory && s.out_len as usize >= lookahead {
+                let c = s.out_front().unwrap();
                 e = e.max(c);
-                s.outstanding.pop_front();
+                s.out_pop();
             }
             if e > t {
                 // Not actually ready yet: requeue without consuming a slot.
-                heap.push(Reverse((e, id)));
+                wheel.push(e, id);
                 continue;
             }
 
             let issue_at = e.max(proc_clock[proc]);
             // LIW lanes: memory ops fill the issue slot, ALU/control ops
             // fill one of the three lanes.
-            let cost = if instr.is_memory() { 3 } else { 1 };
+            let cost = d.cost;
             proc_clock[proc] = issue_at + cost;
             issued += 1;
             issued_thirds += cost;
-            op_mix[instr.class().index()] += 1;
+            op_mix[d.class_idx as usize] += 1;
             let mut next_ready = issue_at + cost;
             let mut next_pc = s.pc + 1;
 
@@ -261,26 +572,26 @@ impl MtaMachine {
                     let v = self.memory.load(a);
                     let done = issue_at + latency;
                     wreg!(dst, v, done);
-                    s.outstanding.push_back(done);
+                    s.out_push(done);
                     last_completion = last_completion.max(done);
                 }
                 Instr::Store { src, addr, off } => {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
                     self.memory.store(a, s.regs[src.0 as usize]);
                     let done = issue_at + latency;
-                    s.outstanding.push_back(done);
+                    s.out_push(done);
                     last_completion = last_completion.max(done);
                 }
                 Instr::ReadFE { dst, addr, off } => {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
                     match self.memory.readfe(a) {
                         Some(v) => {
-                            let slot = word_free.entry(a).or_insert(0);
+                            let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
                             let done = service + latency;
                             wreg!(dst, v, done);
-                            s.outstanding.push_back(done);
+                            s.out_push(done);
                             last_completion = last_completion.max(done);
                         }
                         None => {
@@ -292,11 +603,11 @@ impl MtaMachine {
                 Instr::WriteEF { src, addr, off } => {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
                     if self.memory.writeef(a, s.regs[src.0 as usize]) {
-                        let slot = word_free.entry(a).or_insert(0);
+                        let slot = word_free.slot(a);
                         let service = (*slot).max(issue_at);
                         *slot = service + 3;
                         let done = service + latency;
-                        s.outstanding.push_back(done);
+                        s.out_push(done);
                         last_completion = last_completion.max(done);
                     } else {
                         next_pc = s.pc;
@@ -307,12 +618,12 @@ impl MtaMachine {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
                     match self.memory.readff(a) {
                         Some(v) => {
-                            let slot = word_free.entry(a).or_insert(0);
+                            let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
                             let done = service + latency;
                             wreg!(dst, v, done);
-                            s.outstanding.push_back(done);
+                            s.out_push(done);
                             last_completion = last_completion.max(done);
                         }
                         None => {
@@ -321,16 +632,21 @@ impl MtaMachine {
                         }
                     }
                 }
-                Instr::FetchAdd { dst, addr, off, delta } => {
+                Instr::FetchAdd {
+                    dst,
+                    addr,
+                    off,
+                    delta,
+                } => {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
                     let old = self.memory.int_fetch_add(a, s.regs[delta.0 as usize]);
                     // Hotspot: atomics on one word drain at 1 per cycle.
-                    let slot = word_free.entry(a).or_insert(0);
+                    let slot = word_free.slot(a);
                     let service = (*slot).max(issue_at);
                     *slot = service + 3;
                     let done = service + latency;
                     wreg!(dst, old, done);
-                    s.outstanding.push_back(done);
+                    s.out_push(done);
                     last_completion = last_completion.max(done);
                 }
                 Instr::Beq { a, b, target } => {
@@ -365,7 +681,17 @@ impl MtaMachine {
                 s.halted = true;
                 continue;
             }
-            heap.push(Reverse((next_ready, id)));
+            // Wake the stream when its next instruction's sources are
+            // ready, not merely at `next_ready`: register ready times are
+            // this stream's own state, so folding them in now skips the
+            // pop that would only discover the stall and requeue. The
+            // issue time and order are unchanged — the readiness check
+            // above recomputes the same maximum.
+            let dn = decoded[s.pc];
+            let wake = next_ready
+                .max(s.reg_ready[dn.src0 as usize])
+                .max(s.reg_ready[dn.src1 as usize]);
+            wheel.push(wake, id);
         }
 
         let thirds = proc_clock
@@ -400,6 +726,7 @@ impl MtaMachine {
             seconds: cycles as f64 * self.params.cycle_seconds(),
         };
         self.total_cycles += cycles;
+        self.host_seconds += host_t0.elapsed().as_secs_f64();
         self.reports.push(report.clone());
         report
     }
@@ -493,7 +820,11 @@ mod tests {
             let counter = m.memory_mut().alloc(1);
             let acc = m.memory_mut().alloc(1);
             m.run(&dynamic_sum_program(counter, acc, 500), streams, |_, _| {});
-            assert_eq!(m.memory().peek(acc), (0..500).sum::<i64>(), "streams={streams}");
+            assert_eq!(
+                m.memory().peek(acc),
+                (0..500).sum::<i64>(),
+                "streams={streams}"
+            );
         }
     }
 
@@ -632,7 +963,10 @@ mod tests {
         let r1 = m.run(&p, 1, |_, _| {});
         let r2 = m.run(&p, 1, |_, _| {});
         assert_eq!(r1.mem.stores, 1);
-        assert_eq!(r2.mem.stores, 1, "second region counts only its own traffic");
+        assert_eq!(
+            r2.mem.stores, 1,
+            "second region counts only its own traffic"
+        );
     }
 
     #[test]

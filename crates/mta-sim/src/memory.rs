@@ -101,7 +101,10 @@ impl Memory {
 
     /// Copy `len` words out to the host starting at `base`.
     pub fn peek_slice(&self, base: usize, len: usize) -> Vec<i64> {
-        self.words[base..base + len].iter().map(|w| w.value).collect()
+        self.words[base..base + len]
+            .iter()
+            .map(|w| w.value)
+            .collect()
     }
 
     /// Host-side write without side effects.

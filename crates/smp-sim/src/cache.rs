@@ -54,7 +54,10 @@ impl Cache {
     /// `assoc`-way sets. Capacity and line size must be powers of two and
     /// consistent (`capacity = sets × assoc × line`).
     pub fn new(capacity_bytes: usize, line_bytes: usize, assoc: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1);
         assert!(
             capacity_bytes.is_multiple_of(line_bytes * assoc),

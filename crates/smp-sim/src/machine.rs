@@ -183,6 +183,7 @@ pub struct SmpMachine {
     /// Machine time in cycles.
     time_cycles: f64,
     barriers: u64,
+    host_seconds: f64,
     phases: Vec<PhaseRecord>,
     next_addr: u64,
 }
@@ -203,6 +204,7 @@ impl SmpMachine {
             procs,
             time_cycles: 0.0,
             barriers: 0,
+            host_seconds: 0.0,
             phases: Vec::new(),
             next_addr: 0x1000,
         }
@@ -258,6 +260,7 @@ impl SmpMachine {
         mut f: F,
         barrier: bool,
     ) -> &PhaseRecord {
+        let host_t0 = std::time::Instant::now();
         let mut max_elapsed = 0.0f64;
         let mut lines = 0u64;
         for (i, ctx) in self.procs.iter_mut().enumerate() {
@@ -267,8 +270,8 @@ impl SmpMachine {
             max_elapsed = max_elapsed.max(ctx.clock - c0);
             lines += ctx.bus_lines - b0;
         }
-        let bus_cycles = lines as f64 * self.params.line_bytes as f64
-            / self.params.bus_bytes_per_cycle;
+        let bus_cycles =
+            lines as f64 * self.params.line_bytes as f64 / self.params.bus_bytes_per_cycle;
         let bus_limited = bus_cycles > max_elapsed;
         let mut cycles = max_elapsed.max(bus_cycles);
         if barrier {
@@ -276,6 +279,7 @@ impl SmpMachine {
             self.barriers += 1;
         }
         self.time_cycles += cycles;
+        self.host_seconds += host_t0.elapsed().as_secs_f64();
         self.phases.push(PhaseRecord {
             name: name.to_string(),
             cycles,
@@ -300,6 +304,13 @@ impl SmpMachine {
     /// Elapsed simulated time in seconds.
     pub fn seconds(&self) -> f64 {
         self.time_cycles * self.params.cycle_seconds()
+    }
+
+    /// Host wall-clock seconds spent simulating phases so far. A
+    /// measurement of the simulator itself (for the bench harness), not a
+    /// simulated quantity, and deliberately kept out of [`RunStats`].
+    pub fn host_seconds(&self) -> f64 {
+        self.host_seconds
     }
 
     /// The per-phase log.

@@ -103,7 +103,10 @@ mod tests {
                 covered += 1;
             }
         }
-        assert!(covered <= 2, "random pattern should not train streams: {covered}");
+        assert!(
+            covered <= 2,
+            "random pattern should not train streams: {covered}"
+        );
     }
 
     #[test]
@@ -130,7 +133,10 @@ mod tests {
         }
         // Both streams establish after the trigger; nearly all later
         // misses are covered.
-        assert!(hits >= 90, "interleaved streams should both prefetch: {hits}");
+        assert!(
+            hits >= 90,
+            "interleaved streams should both prefetch: {hits}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl Tlb {
     /// A TLB with `entries` slots over pages of `page_bytes` (power of
     /// two). `entries = 0` disables the model (every access "hits").
     pub fn new(entries: usize, page_bytes: usize) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries: vec![u64::MAX; entries],
             page_shift: page_bytes.trailing_zeros(),

@@ -46,7 +46,11 @@ fn main() {
         e4500.tlb_entries,
         e4500.page_bytes / 1024,
         e4500.mem_latency,
-        if e4500.prefetch_streams == 0 { "off (US-II)" } else { "on" },
+        if e4500.prefetch_streams == 0 {
+            "off (US-II)"
+        } else {
+            "on"
+        },
     );
     println!("{N} u32 loads (4 MB array), one processor:\n");
 
@@ -68,7 +72,9 @@ fn main() {
     ]);
     t.row(run("sequential", &e4500, |i| i));
     t.row(run("strided x16 (line-sized)", &e4500, |i| (i * 16) % N));
-    t.row(run("strided x2048 (page-sized)", &e4500, |i| (i * 2048 + i / (N / 2048)) % N));
+    t.row(run("strided x2048 (page-sized)", &e4500, |i| {
+        (i * 2048 + i / (N / 2048)) % N
+    }));
     t.row(run("random permutation", &e4500, |i| perm[i]));
     let mut with_prefetch = e4500.clone();
     with_prefetch.prefetch_streams = 4;

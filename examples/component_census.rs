@@ -34,7 +34,10 @@ fn main() {
         ("2-D mesh", gen::mesh2d(181, 181)),
         ("3-D torus-ish mesh", gen::mesh3d(32, 32, 32)),
         ("long path", gen::path(n)),
-        ("10k planted blobs", gen::planted_components(10_000, 3, 1, 3)),
+        (
+            "10k planted blobs",
+            gen::planted_components(10_000, 3, 1, 3),
+        ),
     ];
 
     for (name, g) in &workloads {
@@ -50,7 +53,10 @@ fn main() {
         type Entry<'a> = (&'a str, Box<dyn FnOnce() -> Vec<Node> + 'a>);
         let mut t = Table::new(["algorithm", "time", "correct"]);
         let entries: Vec<Entry> = vec![
-            ("union-find (seq oracle)", Box::new(|| connected_components(g))),
+            (
+                "union-find (seq oracle)",
+                Box::new(|| connected_components(g)),
+            ),
             ("BFS (seq)", Box::new(|| bfs_components(g))),
             ("Shiloach-Vishkin Alg.2", Box::new(|| shiloach_vishkin(g))),
             ("Shiloach-Vishkin Alg.3", Box::new(|| sv_mta_style(g))),

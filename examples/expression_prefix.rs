@@ -53,7 +53,9 @@ fn main() {
     let seq = seq_prefix(&list, &updates, compose);
     let t_seq = t0.elapsed();
 
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let t0 = std::time::Instant::now();
     let par = par_prefix(&list, &updates, compose, cores.max(2), 1);
     let t_par = t0.elapsed();

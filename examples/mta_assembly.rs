@@ -68,7 +68,10 @@ fn main() {
     let prog = b.build();
 
     println!("program: {} instructions", prog.len());
-    println!("{}", &prog.disassemble()[..400.min(prog.disassemble().len())]);
+    println!(
+        "{}",
+        &prog.disassemble()[..400.min(prog.disassemble().len())]
+    );
 
     let report = m.run(&prog, STREAMS, |_, _| {});
     println!(

@@ -13,7 +13,9 @@ use archgraph::graph::unionfind::{component_count, connected_components, same_pa
 use archgraph::listrank::{helman_jaja, mta_style_rank, sequential_rank, HjConfig, MtaStyleConfig};
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!("host exposes {cores} CPU core(s); parallel speedup requires > 1.\n");
 
     // ---------- list ranking ----------
@@ -36,8 +38,14 @@ fn main() {
     assert_eq!(hj, seq, "Helman-JaJa must match the sequential oracle");
     assert_eq!(walks, seq, "the walk algorithm must match too");
     println!("  sequential        {t_seq:?}");
-    println!("  Helman-JaJa       {t_hj:?}  (speedup {:.2}x)", t_seq.as_secs_f64() / t_hj.as_secs_f64());
-    println!("  MTA-style walks   {t_walks:?}  (speedup {:.2}x)", t_seq.as_secs_f64() / t_walks.as_secs_f64());
+    println!(
+        "  Helman-JaJa       {t_hj:?}  (speedup {:.2}x)",
+        t_seq.as_secs_f64() / t_hj.as_secs_f64()
+    );
+    println!(
+        "  MTA-style walks   {t_walks:?}  (speedup {:.2}x)",
+        t_seq.as_secs_f64() / t_walks.as_secs_f64()
+    );
 
     // ---------- connected components ----------
     let nv = 1 << 17;

@@ -52,8 +52,12 @@ fn main() {
         .filter(|e| labels[e.u as usize] == giant)
         .map(|e| (remap[e.u as usize], remap[e.v as usize]))
         .collect();
-    let tree = Tree::new(EdgeList::from_pairs(nv, tree_edges)).expect("forest restricted to one component is a tree");
-    println!("giant component: {nv} vertices ({:.1}% of the graph)", 100.0 * nv as f64 / n as f64);
+    let tree = Tree::new(EdgeList::from_pairs(nv, tree_edges))
+        .expect("forest restricted to one component is a tree");
+    println!(
+        "giant component: {nv} vertices ({:.1}% of the graph)",
+        100.0 * nv as f64 / n as f64
+    );
 
     // 3. Euler tour + ranking + analytics, rooted at vertex 0.
     let t0 = std::time::Instant::now();
@@ -69,13 +73,15 @@ fn main() {
     let c = centroid(&tree, Ranker::HelmanJaja(4), 4);
     let max_depth = *analysis.depth.iter().max().unwrap();
     let leaves = analysis.size.iter().filter(|&&s| s == 1).count();
-    let mean_depth =
-        analysis.depth.iter().map(|&d| d as f64).sum::<f64>() / nv as f64;
+    let mean_depth = analysis.depth.iter().map(|&d| d as f64).sum::<f64>() / nv as f64;
     println!("Euler-tour analytics in {elapsed:?} (verified against BFS):");
     println!("  height (max depth): {max_depth}");
     println!("  mean depth:         {mean_depth:.2}");
     println!("  leaves:             {leaves}");
-    println!("  root subtree size:  {} (= n, as it must be)", analysis.size[0]);
+    println!(
+        "  root subtree size:  {} (= n, as it must be)",
+        analysis.size[0]
+    );
     println!(
         "  centroid(s):        {:?} (largest removed component: {} <= n/2)",
         c.vertices, c.weight

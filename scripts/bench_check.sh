@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Diff a fresh bench run against the committed baseline.
+#
+# Runs the `bench` driver into a temp file and compares it with
+# BENCH_archgraph.json at the repo root:
+#
+#   * `sim` fingerprints (cycles, issued, instructions, accesses) must be
+#     bit-identical — drift means the simulators changed behaviour.
+#   * `host_seconds` per cell must stay within BENCH_TOLERANCE (default
+#     2.0x) of the baseline. Slower than the band fails; much faster only
+#     warns, suggesting a baseline refresh.
+#
+# Usage:  scripts/bench_check.sh [fresh.json]
+#   With an argument, compares that file instead of running the driver —
+#   useful for inspecting a run you already have.
+#
+# Refresh the baseline (after an intentional perf or behaviour change):
+#   cargo run --release --offline -p archgraph-bench --bin bench
+#   git add BENCH_archgraph.json
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_archgraph.json
+TOL="${BENCH_TOLERANCE:-2.0}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_check: missing baseline $BASELINE (run the bench driver and commit it)" >&2
+    exit 1
+fi
+
+if [[ $# -ge 1 ]]; then
+    FRESH="$1"
+else
+    FRESH="$(mktemp /tmp/bench_fresh.XXXXXX.json)"
+    trap 'rm -f "$FRESH"' EXIT
+    cargo run --release --offline -p archgraph-bench --bin bench -- --out "$FRESH"
+fi
+
+python3 - "$BASELINE" "$FRESH" "$TOL" <<'EOF'
+import json, sys
+
+base_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = json.load(open(base_path))
+fresh = json.load(open(fresh_path))
+
+failures = []
+warnings = []
+
+if base.get("schema") != fresh.get("schema"):
+    failures.append(f"schema mismatch: baseline {base.get('schema')} vs fresh {fresh.get('schema')}")
+
+bcells = {c["name"]: c for c in base.get("cells", [])}
+fcells = {c["name"]: c for c in fresh.get("cells", [])}
+
+for name in sorted(set(bcells) | set(fcells)):
+    if name not in fcells:
+        failures.append(f"{name}: present in baseline but missing from fresh run")
+        continue
+    if name not in bcells:
+        failures.append(f"{name}: new cell not in baseline (refresh the baseline)")
+        continue
+    b, f = bcells[name], fcells[name]
+    if b["sim"] != f["sim"]:
+        failures.append(f"{name}: sim fingerprint drifted: baseline {b['sim']} vs fresh {f['sim']}")
+    bt, ft = b["host_seconds"], f["host_seconds"]
+    if ft > bt * tol:
+        failures.append(f"{name}: {ft:.4f} s exceeds baseline {bt:.4f} s x{tol} tolerance")
+    elif bt > ft * tol:
+        warnings.append(f"{name}: {ft:.4f} s is much faster than baseline {bt:.4f} s — consider refreshing the baseline")
+    else:
+        print(f"  ok {name}: {ft:.4f} s (baseline {bt:.4f} s), sim fingerprint identical")
+
+for w in warnings:
+    print(f"  warn {w}")
+if failures:
+    for msg in failures:
+        print(f"  FAIL {msg}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check: all cells within tolerance, fingerprints identical")
+EOF

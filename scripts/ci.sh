@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: format, lint, build, test, then bench regression check.
+# Everything runs --offline — the workspace vendors its external deps as
+# local shims (see shims/) and must never reach for the network.
+#
+# Usage:  scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test =="
+cargo test -q --offline
+
+echo "== bench regression check =="
+scripts/bench_check.sh
+
+echo "ci: all gates passed"

@@ -1,0 +1,437 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! a minimal data-parallel iterator layer with the same names and calling
+//! conventions as the subset of rayon the codebase uses:
+//!
+//! * `slice.par_iter()` — `for_each`, `enumerate().for_each`, `any`, `all`
+//! * `slice.par_iter_mut()` — `for_each`, `zip(..).enumerate().for_each`
+//! * `(0..n).into_par_iter()` — `for_each`, `any`, `all`, `map(..).collect()`
+//!
+//! Work is split into one contiguous chunk per worker and executed on
+//! `std::thread::scope` threads, so closures only need the same `Sync`
+//! bounds rayon requires. `map(..).collect()` preserves input order
+//! exactly (chunks are concatenated in index order), which the bench
+//! harness relies on for bit-identical parallel sweeps.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`. With one worker everything
+//! runs inline on the calling thread.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Everything call sites need, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads used by every parallel call.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Run `f` over contiguous sub-ranges of `0..len` on the worker pool.
+fn run_chunked<F: Fn(Range<usize>) + Sync>(len: usize, f: F) {
+    let nt = current_num_threads().min(len.max(1));
+    if nt <= 1 {
+        f(0..len);
+        return;
+    }
+    let chunk = len.div_ceil(nt);
+    std::thread::scope(|s| {
+        let f = &f;
+        for t in 1..nt {
+            let lo = t * chunk;
+            if lo >= len {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(len);
+            s.spawn(move || f(lo..hi));
+        }
+        f(0..chunk.min(len));
+    });
+}
+
+/// Run `f` over chunks and concatenate each chunk's output in index order.
+fn run_chunked_collect<R: Send, F: Fn(Range<usize>) -> Vec<R> + Sync>(len: usize, f: F) -> Vec<R> {
+    let nt = current_num_threads().min(len.max(1));
+    if nt <= 1 {
+        return f(0..len);
+    }
+    let chunk = len.div_ceil(nt);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut handles = Vec::new();
+        for t in 1..nt {
+            let lo = t * chunk;
+            if lo >= len {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(len);
+            handles.push(s.spawn(move || f(lo..hi)));
+        }
+        let mut out = f(0..chunk.min(len));
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Raw-pointer wrapper so disjoint `&mut` chunks can cross threads.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Element pointer. A method (not field access) so closures capture the
+    /// whole wrapper under RFC 2229 disjoint capture, keeping it `Sync`.
+    unsafe fn at(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+// ---------------------------------------------------------------- par_iter
+
+/// `.par_iter()` on slices (and anything that derefs to a slice).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared-reference iterator.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&T`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let slice = self.slice;
+        run_chunked(slice.len(), |r| {
+            for i in r {
+                f(&slice[i]);
+            }
+        });
+    }
+
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> ParIterEnum<'a, T> {
+        ParIterEnum { slice: self.slice }
+    }
+
+    /// True iff `f` holds for every element (early-exits cooperatively).
+    pub fn all<F: Fn(&'a T) -> bool + Sync>(self, f: F) -> bool {
+        let slice = self.slice;
+        let failed = AtomicBool::new(false);
+        run_chunked(slice.len(), |r| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            for i in r {
+                if !f(&slice[i]) {
+                    failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        !failed.load(Ordering::Relaxed)
+    }
+
+    /// True iff `f` holds for some element (early-exits cooperatively).
+    pub fn any<F: Fn(&'a T) -> bool + Sync>(self, f: F) -> bool {
+        let slice = self.slice;
+        let found = AtomicBool::new(false);
+        run_chunked(slice.len(), |r| {
+            if found.load(Ordering::Relaxed) {
+                return;
+            }
+            for i in r {
+                if f(&slice[i]) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
+    }
+}
+
+/// Enumerated parallel iterator over `(usize, &T)`.
+pub struct ParIterEnum<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIterEnum<'a, T> {
+    /// Apply `f` to every `(index, element)` pair.
+    pub fn for_each<F: Fn((usize, &'a T)) + Sync>(self, f: F) {
+        let slice = self.slice;
+        run_chunked(slice.len(), |r| {
+            for i in r {
+                f((i, &slice[i]));
+            }
+        });
+    }
+}
+
+// ------------------------------------------------------------ par_iter_mut
+
+/// `.par_iter_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel exclusive-reference iterator.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut T`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        let len = self.slice.len();
+        let ptr = SendPtr(self.slice.as_mut_ptr());
+        run_chunked(len, |r| {
+            for i in r {
+                // SAFETY: chunks are disjoint sub-ranges of 0..len.
+                f(unsafe { &mut *ptr.at(i) });
+            }
+        });
+    }
+
+    /// Lock-step pairing with a second mutable iterator (length = min).
+    pub fn zip<U: Send>(self, other: ParIterMut<'a, U>) -> ParZipMut<'a, T, U> {
+        ParZipMut {
+            a: self.slice,
+            b: other.slice,
+        }
+    }
+}
+
+/// Parallel iterator over `(&mut T, &mut U)`.
+pub struct ParZipMut<'a, T, U> {
+    a: &'a mut [T],
+    b: &'a mut [U],
+}
+
+impl<'a, T: Send, U: Send> ParZipMut<'a, T, U> {
+    /// Pair every element pair with its index.
+    pub fn enumerate(self) -> ParZipMutEnum<'a, T, U> {
+        ParZipMutEnum {
+            a: self.a,
+            b: self.b,
+        }
+    }
+}
+
+/// Enumerated variant of [`ParZipMut`].
+pub struct ParZipMutEnum<'a, T, U> {
+    a: &'a mut [T],
+    b: &'a mut [U],
+}
+
+impl<'a, T: Send, U: Send> ParZipMutEnum<'a, T, U> {
+    /// Apply `f` to every `(index, (&mut a, &mut b))`.
+    pub fn for_each<F: Fn((usize, (&mut T, &mut U))) + Sync>(self, f: F) {
+        let len = self.a.len().min(self.b.len());
+        let pa = SendPtr(self.a.as_mut_ptr());
+        let pb = SendPtr(self.b.as_mut_ptr());
+        run_chunked(len, |r| {
+            for i in r {
+                // SAFETY: chunks are disjoint sub-ranges of 0..len.
+                unsafe { f((i, (&mut *pa.at(i), &mut *pb.at(i)))) };
+            }
+        });
+    }
+}
+
+// ------------------------------------------------------------ par ranges
+
+/// `.into_par_iter()` — provided for `Range<usize>`.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    /// Apply `f` to every index.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let start = self.range.start;
+        run_chunked(self.len(), |r| {
+            for i in r {
+                f(start + i);
+            }
+        });
+    }
+
+    /// True iff `f` holds for every index.
+    pub fn all<F: Fn(usize) -> bool + Sync>(self, f: F) -> bool {
+        let start = self.range.start;
+        let failed = AtomicBool::new(false);
+        run_chunked(self.len(), |r| {
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            for i in r {
+                if !f(start + i) {
+                    failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        !failed.load(Ordering::Relaxed)
+    }
+
+    /// True iff `f` holds for some index.
+    pub fn any<F: Fn(usize) -> bool + Sync>(self, f: F) -> bool {
+        let start = self.range.start;
+        let found = AtomicBool::new(false);
+        run_chunked(self.len(), |r| {
+            if found.load(Ordering::Relaxed) {
+                return;
+            }
+            for i in r {
+                if f(start + i) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
+    }
+
+    /// Order-preserving parallel map.
+    pub fn map<R, F: Fn(usize) -> R>(self, f: F) -> ParRangeMap<F> {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel range; `collect()` preserves index order.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Collect mapped values in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        let v = run_chunked_collect(len, |r| r.map(|i| f(start + i)).collect());
+        C::from(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let sum = AtomicU64::new(0);
+        v.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..5_000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out, (0..5_000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_and_any_agree_with_sequential() {
+        let v: Vec<i32> = (0..1_000).collect();
+        assert!(v.par_iter().all(|&x| x < 1_000));
+        assert!(!v.par_iter().all(|&x| x < 999));
+        assert!(v.par_iter().any(|&x| x == 731));
+        assert!(!v.par_iter().any(|&x| x < 0));
+        assert!((0..100).into_par_iter().all(|i| i < 100));
+        assert!((0..100).into_par_iter().any(|i| i == 99));
+    }
+
+    #[test]
+    fn zip_enumerate_writes_disjoint_elements() {
+        let mut a = vec![0usize; 4_096];
+        let mut b = vec![0usize; 4_096];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = i;
+                *y = 2 * i;
+            });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i));
+        assert!(b.iter().enumerate().all(|(i, &y)| y == 2 * i));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u8> = Vec::new();
+        v.par_iter().for_each(|_| unreachable!());
+        let out: Vec<u8> = (0..0).into_par_iter().map(|_| 0u8).collect();
+        assert!(out.is_empty());
+    }
+}

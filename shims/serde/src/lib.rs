@@ -1,0 +1,16 @@
+//! Offline stand-in for [serde](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access. The workspace only uses
+//! serde as `#[derive(Serialize, Deserialize)]` markers on parameter
+//! structs (no serializer ever runs — JSON output is hand-written), so the
+//! shim provides blanket-implemented marker traits and no-op derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; satisfied by every type.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -24,11 +24,8 @@ fn graph_to_rooted_analytics_pipeline() {
         // more to assert here.
         return;
     }
-    let tree = Tree::new(EdgeList::from_pairs(
-        n,
-        forest.iter().map(|e| (e.u, e.v)),
-    ))
-    .expect("a full spanning forest of a connected graph is a tree");
+    let tree = Tree::new(EdgeList::from_pairs(n, forest.iter().map(|e| (e.u, e.v))))
+        .expect("a full spanning forest of a connected graph is a tree");
     let analysis = RootedAnalysis::compute(&tree, 0, Ranker::HelmanJaja(4), 4);
     let oracle = tree.rooted_oracle(0);
     assert_eq!(analysis.parent, oracle.parent);
@@ -74,10 +71,13 @@ fn expression_contraction_round_trip() {
 #[test]
 fn rmat_graphs_flow_through_cc_and_msf() {
     // The skewed generator's output works through the whole stack.
-    let g = archgraph::graph::rmat::rmat(11, 8192, archgraph::graph::rmat::RmatParams::graph500(), 9);
+    let g =
+        archgraph::graph::rmat::rmat(11, 8192, archgraph::graph::rmat::RmatParams::graph500(), 9);
     let labels = archgraph::concomp::shiloach_vishkin(&g);
     let oracle = archgraph::graph::unionfind::connected_components(&g);
-    assert!(archgraph::graph::unionfind::same_partition(&labels, &oracle));
+    assert!(archgraph::graph::unionfind::same_partition(
+        &labels, &oracle
+    ));
     let weights: Vec<u32> = (0..g.m() as u32).collect();
     let msf = minimum_spanning_forest(&g, &weights);
     let edges: Vec<_> = msf.iter().map(|&i| g.edges[i]).collect();

@@ -145,6 +145,8 @@ fn c6_mta_utilization_is_high_and_falls_with_p() {
 
     let n = 1 << 12;
     let g = gen::random_gnm(n, 20 * n, 3);
-    let ucc = cc_mta::simulate_sv_mta(&g, &mta, 4, STREAMS).report.utilization;
+    let ucc = cc_mta::simulate_sv_mta(&g, &mta, 4, STREAMS)
+        .report
+        .utilization;
     assert!(ucc > 0.6, "CC utilization should be high: {ucc}");
 }

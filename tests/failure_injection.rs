@@ -59,10 +59,10 @@ fn cc_handles_pathological_graphs() {
     let cases: Vec<EdgeList> = vec![
         EdgeList::empty(0),
         EdgeList::empty(1),
-        EdgeList::from_pairs(1, [(0, 0)]),                   // single self loop
-        EdgeList::from_pairs(2, vec![(0, 1); 50]),           // heavy multi-edge
-        EdgeList::from_pairs(3, [(2, 2), (2, 2), (0, 0)]),   // loops only
-        gen::with_isolated(&gen::complete(5), 100),          // mostly isolated
+        EdgeList::from_pairs(1, [(0, 0)]), // single self loop
+        EdgeList::from_pairs(2, vec![(0, 1); 50]), // heavy multi-edge
+        EdgeList::from_pairs(3, [(2, 2), (2, 2), (0, 0)]), // loops only
+        gen::with_isolated(&gen::complete(5), 100), // mostly isolated
     ];
     for g in &cases {
         let oracle = connected_components(g);
@@ -82,10 +82,10 @@ fn simulators_reject_invalid_configurations() {
         archgraph::smp::machine::SmpMachine::new(SmpParams::sun_e4500(), 99)
     })
     .is_err());
-    assert!(catch_unwind(|| {
-        archgraph::mta::machine::MtaMachine::new(MtaParams::mta2(), 0)
-    })
-    .is_err());
+    assert!(
+        catch_unwind(|| { archgraph::mta::machine::MtaMachine::new(MtaParams::mta2(), 0) })
+            .is_err()
+    );
 }
 
 #[test]

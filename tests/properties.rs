@@ -128,3 +128,145 @@ proptest! {
         prop_assert!(d.is_simple());
     }
 }
+
+/// The shrunk counterexample proptest once found for
+/// `all_cc_algorithms_match_dsu_on_multigraphs` (84 nodes, 120 edges; see
+/// `properties.proptest-regressions`), pinned as a named test so it is
+/// exercised on every run even if the regressions file is wiped.
+#[test]
+fn cc_regression_84_nodes_120_edges() {
+    let pairs: Vec<(Node, Node)> = vec![
+        (62, 82),
+        (50, 12),
+        (70, 49),
+        (36, 64),
+        (83, 22),
+        (49, 19),
+        (58, 49),
+        (63, 37),
+        (81, 9),
+        (21, 49),
+        (28, 50),
+        (45, 61),
+        (33, 28),
+        (58, 53),
+        (61, 53),
+        (64, 78),
+        (30, 47),
+        (13, 56),
+        (27, 33),
+        (30, 73),
+        (42, 59),
+        (66, 3),
+        (83, 53),
+        (39, 5),
+        (54, 23),
+        (65, 18),
+        (57, 17),
+        (71, 77),
+        (77, 46),
+        (51, 74),
+        (68, 72),
+        (50, 61),
+        (1, 63),
+        (1, 26),
+        (48, 5),
+        (22, 29),
+        (59, 2),
+        (67, 3),
+        (83, 24),
+        (0, 45),
+        (76, 66),
+        (66, 70),
+        (44, 55),
+        (62, 67),
+        (14, 60),
+        (83, 81),
+        (35, 75),
+        (7, 39),
+        (23, 28),
+        (24, 11),
+        (8, 71),
+        (45, 6),
+        (21, 19),
+        (64, 66),
+        (82, 0),
+        (3, 74),
+        (13, 40),
+        (82, 62),
+        (70, 45),
+        (49, 22),
+        (56, 46),
+        (10, 22),
+        (30, 50),
+        (29, 48),
+        (50, 0),
+        (22, 82),
+        (36, 1),
+        (1, 80),
+        (54, 52),
+        (74, 32),
+        (76, 19),
+        (56, 12),
+        (6, 43),
+        (78, 82),
+        (45, 3),
+        (59, 16),
+        (5, 29),
+        (5, 78),
+        (11, 54),
+        (81, 27),
+        (21, 11),
+        (63, 4),
+        (23, 10),
+        (45, 60),
+        (67, 51),
+        (74, 81),
+        (9, 17),
+        (36, 6),
+        (8, 23),
+        (60, 54),
+        (35, 78),
+        (77, 17),
+        (17, 52),
+        (7, 79),
+        (22, 67),
+        (1, 46),
+        (47, 58),
+        (81, 39),
+        (2, 83),
+        (24, 33),
+        (47, 26),
+        (11, 53),
+        (51, 0),
+        (66, 1),
+        (8, 71),
+        (40, 19),
+        (41, 17),
+        (4, 21),
+        (37, 50),
+        (29, 53),
+        (18, 11),
+        (11, 36),
+        (83, 4),
+        (59, 10),
+        (51, 23),
+        (60, 29),
+        (13, 14),
+        (64, 48),
+        (68, 51),
+        (54, 14),
+    ];
+    let g = EdgeList::from_pairs(84, pairs);
+    let oracle = connected_components(&g);
+    assert!(same_partition(&shiloach_vishkin(&g), &oracle), "SV Alg.2");
+    assert!(same_partition(&sv_mta_style(&g), &oracle), "SV Alg.3");
+    assert!(same_partition(&sv_spmd(&g, 3), &oracle), "SV SPMD");
+    assert!(same_partition(&awerbuch_shiloach(&g), &oracle), "AS");
+    assert!(same_partition(&random_mating(&g, 5), &oracle), "mating");
+    assert!(
+        same_partition(&hybrid_components(&g, &HybridConfig::default()), &oracle),
+        "hybrid"
+    );
+    assert!(same_partition(&bfs_components(&g), &oracle), "BFS");
+}

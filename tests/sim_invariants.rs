@@ -90,14 +90,18 @@ fn star_graph_is_svs_best_case_on_both_machines() {
     // iteration of the algorithm may be sufficient").
     let star = gen::star(4096);
     let smp = simulate_sv(&star, &SmpParams::tiny_for_tests(), 2);
-    assert!(smp.iterations <= 2, "SMP sim iterations: {}", smp.iterations);
-    let mta = archgraph::concomp::sim_mta::simulate_sv_mta(
-        &star,
-        &MtaParams::tiny_for_tests(),
-        2,
-        8,
+    assert!(
+        smp.iterations <= 2,
+        "SMP sim iterations: {}",
+        smp.iterations
     );
-    assert!(mta.iterations <= 2, "MTA sim iterations: {}", mta.iterations);
+    let mta =
+        archgraph::concomp::sim_mta::simulate_sv_mta(&star, &MtaParams::tiny_for_tests(), 2, 8);
+    assert!(
+        mta.iterations <= 2,
+        "MTA sim iterations: {}",
+        mta.iterations
+    );
 }
 
 #[test]
