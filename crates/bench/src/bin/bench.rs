@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use archgraph_bench::workloads::ListKind;
-use archgraph_bench::{fig1, fig2};
+use archgraph_bench::{fig1, fig2, table1};
 
 /// Schema version written into the JSON; bump on any layout change.
 const SCHEMA: u64 = 1;
@@ -70,6 +70,17 @@ fn mta_fingerprint(report: &archgraph_mta_sim::report::RunReport) -> Vec<(&'stat
     vec![("cycles", report.cycles), ("issued", report.issued)]
 }
 
+/// Table-1 cells additionally pin utilization (the table's own quantity)
+/// in parts-per-million. It is a deterministic integer ratio of the other
+/// two fingerprints, rounded, so it is exact across hosts.
+fn table1_fingerprint(report: &archgraph_mta_sim::report::RunReport) -> Vec<(&'static str, u64)> {
+    vec![
+        ("cycles", report.cycles),
+        ("issued", report.issued),
+        ("util_ppm", (report.utilization * 1e6).round() as u64),
+    ]
+}
+
 fn smp_fingerprint(stats: &archgraph_smp_sim::stats::RunStats) -> Vec<(&'static str, u64)> {
     vec![
         ("instructions", stats.instructions),
@@ -105,6 +116,15 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
         }),
         time_cell("fig2/smp/p8", reps, || {
             smp_fingerprint(&fig2::smp_cell(8, N_GRAPH, M_GRAPH).stats)
+        }),
+        time_cell("table1/mta/random/p8", reps, || {
+            table1_fingerprint(&table1::bench_list_cell(ListKind::Random, 8, N_LIST))
+        }),
+        time_cell("table1/mta/ordered/p8", reps, || {
+            table1_fingerprint(&table1::bench_list_cell(ListKind::Ordered, 8, N_LIST))
+        }),
+        time_cell("table1/mta/cc/p8", reps, || {
+            table1_fingerprint(&table1::bench_cc_cell(8, N_GRAPH, M_GRAPH))
         }),
     ]
 }

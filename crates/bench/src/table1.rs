@@ -62,6 +62,26 @@ fn cell_utilization(scale: Scale, row: usize, p: usize) -> f64 {
     }
 }
 
+/// One bench-sized list row of the table: the walk-ranking region report
+/// at an explicit size, for the bench driver to fingerprint (`cycles`,
+/// `issued`, and utilization in parts-per-million — utilization is the
+/// table's own quantity, so the regression harness pins it exactly).
+pub fn bench_list_cell(kind: ListKind, p: usize, n: usize) -> archgraph_mta_sim::report::RunReport {
+    let params = MtaParams::mta2();
+    let list = make_list(kind, n, crate::fig1::LIST_SEED);
+    let r = lr_sim::simulate_walk_ranking(&list, &params, p, MTA_STREAMS, (n / 10).max(1));
+    r.report
+}
+
+/// The bench-sized connected-components row of the table (see
+/// [`bench_list_cell`]).
+pub fn bench_cc_cell(p: usize, n: usize, m: usize) -> archgraph_mta_sim::report::RunReport {
+    let params = MtaParams::mta2();
+    let g = make_graph(n, m, crate::fig2::GRAPH_SEED);
+    let r = cc_sim::simulate_sv_mta(&g, &params, p, MTA_STREAMS);
+    r.report
+}
+
 /// Utilization per `(row, p)` cell (parallel or serial), row-major.
 pub fn utilization_grid(scale: Scale, parallel: bool) -> Vec<f64> {
     let procs = table_procs(scale);

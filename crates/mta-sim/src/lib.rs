@@ -66,6 +66,6 @@ pub mod report;
 pub mod runtime;
 pub mod word;
 
-pub use machine::MtaMachine;
+pub use machine::{with_engine, MtaEngine, MtaMachine};
 pub use memory::Memory;
-pub use report::RunReport;
+pub use report::{EngineStats, RunReport};

@@ -36,15 +36,33 @@
 //! the engine generates in global time order across processors. This is a
 //! sequentially-consistent interleaving — exactly the setting the paper's
 //! racy-but-correct SV code (Alg. 3) is designed for.
+//!
+//! **Trace batching.** The default engine ([`MtaEngine::Trace`]) executes a
+//! whole *private run* — straight-line ALU operations plus the trailing
+//! branch/jump/halt, none of which touch memory or other streams — per
+//! scheduler visit instead of re-entering the ready queue after every
+//! instruction, following taken branches into further runs while it can.
+//! The run boundaries come from the per-program
+//! [`crate::isa::TraceTable`]; a batch is taken only when (a) every
+//! register the run reads is already available, and (b) the run's issue
+//! slots all precede the ready queue's front event (the *preemption
+//! horizon*), so the interleaving the single-step engine would produce is
+//! provably unchanged. Everything else — terminators,
+//! stalled streams, lookahead-window waits — falls back to the single-step
+//! path, which is also available wholesale as [`MtaEngine::SingleStep`],
+//! the differential oracle. DESIGN.md gives the full schedule-preservation
+//! argument.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 use archgraph_core::MtaParams;
 
-use crate::isa::{Instr, Program, NREGS, N_OP_CLASSES};
+use crate::isa::{Instr, OpClass, Program, NREGS, N_OP_CLASSES};
 use crate::memory::Memory;
-use crate::report::RunReport;
+use crate::report::{EngineStats, RunReport};
 
 /// Default simulated memory size in words.
 pub const DEFAULT_MEMORY_WORDS: usize = 1 << 22;
@@ -55,27 +73,58 @@ pub const DEFAULT_MEMORY_WORDS: usize = 1 << 22;
 /// Source registers are stored as indices with "no operand" mapped to
 /// register 0: `reg_ready[0]` is pinned at 0 (r0 is never written), so the
 /// readiness max over both slots is branch-free and exact.
+///
+/// The per-pc trace metadata ([`crate::isa::TraceTable`]) is folded in so
+/// the trace engine's batch gate reads the same 12-byte record the
+/// single-step path already has in cache.
 #[derive(Clone, Copy)]
 struct Decoded {
+    /// External use-set of the private run starting here (see
+    /// [`crate::isa::TraceTable`]).
+    use_mask: u32,
     src0: u8,
     src1: u8,
     /// Issue-slot thirds this operation consumes (memory 3, other 1).
-    cost: u64,
+    cost: u8,
     is_memory: bool,
     class_idx: u8,
+    /// Private run length starting here, saturated at `u8::MAX` (a batch
+    /// longer than 255 is beyond every horizon this engine meets).
+    run_len: u8,
+    /// Whether that run ends with a trailing control op.
+    tail: bool,
+    /// Single-byte gate for the issue loop: true iff the trace engine is
+    /// on and a visit here could cover ≥ 2 instructions — a run of at
+    /// least two, or a trailing control op whose taken edge may reveal a
+    /// further run. Pinned false under the single-step oracle.
+    batchable: bool,
 }
 
-fn decode(instrs: &[Instr]) -> Vec<Decoded> {
-    instrs
+fn decode(prog: &Program, batching: bool) -> Vec<Decoded> {
+    let traces = prog.traces();
+    prog.instrs()
         .iter()
-        .map(|i| {
+        .enumerate()
+        .map(|(pc, i)| {
             let [a, b] = i.sources();
+            // Saturate long runs at 255 body ops; the trailing control op
+            // of a truncated run lies beyond the cap, so drop its flag.
+            let full = traces.run_len(pc);
+            let (run_len, tail) = if full > u8::MAX.into() {
+                (u8::MAX, false)
+            } else {
+                (full as u8, traces.has_tail(pc))
+            };
             Decoded {
+                use_mask: traces.use_mask(pc),
                 src0: a.map_or(0, |r| r.0),
                 src1: b.map_or(0, |r| r.0),
                 cost: if i.is_memory() { 3 } else { 1 },
                 is_memory: i.is_memory(),
                 class_idx: i.class().index() as u8,
+                run_len,
+                tail,
+                batchable: batching && (run_len >= 2 || tail),
             }
         })
         .collect()
@@ -302,6 +351,230 @@ impl TimeWheel {
             return Some((t, self.bucket[0]));
         }
     }
+
+    /// Earliest pending event in ascending `(time, id)` order, without
+    /// consuming it — the trace engine's preemption horizon. The common
+    /// case (a remnant of the current bucket) is a pair of loads; the
+    /// out-of-line slow path scans the occupancy bitmap and walks that
+    /// bucket's short intrusive list for its minimum id, draining
+    /// nothing, so a subsequent [`Self::pop`] is unaffected.
+    #[inline]
+    fn peek(&mut self) -> Option<(u64, u32)> {
+        if self.cursor < self.bucket.len() {
+            return Some((self.bucket_time, self.bucket[self.cursor]));
+        }
+        self.peek_slow()
+    }
+
+    #[inline(never)]
+    fn peek_slow(&self) -> Option<(u64, u32)> {
+        if self.wheel_count > 0 {
+            let t = self.next_occupied(self.base);
+            let b = t as usize & (WHEEL_SIZE - 1);
+            let mut id = self.head[b];
+            let mut min_id = id;
+            while id != NO_STREAM {
+                min_id = min_id.min(id);
+                id = self.next[id as usize];
+            }
+            // Windowed events all precede anything parked in overflow.
+            return Some((t, min_id));
+        }
+        self.overflow.peek().map(|&Reverse(e)| e)
+    }
+}
+
+/// Which issue-loop strategy [`MtaMachine::run`] uses. Both produce
+/// bit-identical [`RunReport`]s and memory states; they differ only in
+/// host-side speed (see [`EngineStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MtaEngine {
+    /// Execute whole ALU runs per scheduler visit (the default).
+    #[default]
+    Trace,
+    /// One instruction per scheduler visit — the differential oracle the
+    /// trace engine is checked against.
+    SingleStep,
+}
+
+thread_local! {
+    static ENGINE_OVERRIDE: Cell<Option<MtaEngine>> = const { Cell::new(None) };
+}
+
+/// Run `f` with every [`MtaMachine`] constructed on this thread using
+/// `engine`. The kernels build their machines internally, so a constructor
+/// argument cannot reach them; this scoped override can. Panic-safe and
+/// nestable; the previous override is restored on exit.
+pub fn with_engine<R>(engine: MtaEngine, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<MtaEngine>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ENGINE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(ENGINE_OVERRIDE.with(|c| c.replace(Some(engine))));
+    f()
+}
+
+/// Engine for newly constructed machines: the [`with_engine`] override if
+/// one is active, else `ARCHGRAPH_MTA_ENGINE` (`single-step` selects the
+/// oracle; anything else, or unset, selects `Trace`).
+fn configured_engine() -> MtaEngine {
+    if let Some(e) = ENGINE_OVERRIDE.with(|c| c.get()) {
+        return e;
+    }
+    static ENV: OnceLock<MtaEngine> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("ARCHGRAPH_MTA_ENGINE").as_deref() {
+        Ok("single-step" | "single_step" | "oracle") => MtaEngine::SingleStep,
+        _ => MtaEngine::Trace,
+    })
+}
+
+/// A committed trace batch: the processor clock after its last issue
+/// slot, the instructions executed, and whether the stream halted.
+struct BatchDone {
+    clock: u64,
+    n_exec: u64,
+    halted: bool,
+}
+
+/// The trace-batch fast path: execute the private run starting at `s.pc`
+/// — ALU body plus trailing branch/jump/halt — following taken branches
+/// into further runs while every issue slot stays ahead of the queue's
+/// front event and every register read is ready. Returns `None` (stream
+/// untouched) when no instruction could be batched; the caller then takes
+/// the single-step path. Kept out of line so the issue loop's per-event
+/// code stays compact; `Decoded::batchable` gates entry.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn try_batch(
+    wheel: &mut TimeWheel,
+    s: &mut Stream,
+    instrs: &[Instr],
+    decoded: &[Decoded],
+    d: Decoded,
+    id: u32,
+    issue_at: u64,
+    op_mix: &mut [u64; N_OP_CLASSES],
+) -> Option<BatchDone> {
+    // Preemption horizon: a batched slot `u` is exact iff the single-step
+    // engine would pop `(u, id)` before the queue's front `(ht, hid)`.
+    // The front over *all* processors is conservative — other processors'
+    // events commute with private ops — but never wrong. No pending
+    // event → no limit.
+    let limit = match wheel.peek() {
+        None => u64::MAX,
+        Some((ht, hid)) => ht + u64::from(id < hid),
+    };
+    let mut dr = d;
+    let mut at = issue_at;
+    let mut halted = false;
+    let mut n_exec = 0u64;
+    // Two free slots minimum up front: a 1-op batch is exactly the
+    // single-step path, at higher cost.
+    while limit.saturating_sub(at) >= 2 || n_exec > 0 {
+        let run = u64::from(dr.run_len);
+        let fits = limit.saturating_sub(at).min(run);
+        // A 1-op continuation is still exact — past the first iteration
+        // any fit ≥ 1 proceeds (a lone branch visit extends into the run
+        // its taken edge reveals).
+        if fits == 0 {
+            break;
+        }
+        let mut mask = dr.use_mask;
+        let mut rmax = 0u64;
+        while mask != 0 {
+            let r = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            rmax = rmax.max(s.reg_ready[r]);
+        }
+        if rmax > at {
+            break;
+        }
+        let tail = dr.tail && fits == run;
+        let body = (fits - u64::from(tail)) as usize;
+        for k in 0..body {
+            alu_step(s, instrs[s.pc + k], at + k as u64);
+        }
+        op_mix[OpClass::Alu.index()] += body as u64;
+        s.pc += body;
+        at += body as u64;
+        n_exec += fits;
+        if tail {
+            op_mix[decoded[s.pc].class_idx as usize] += 1;
+            at += 1;
+            let next = s.pc + 1;
+            match instrs[s.pc] {
+                Instr::Beq { a, b, target } => {
+                    s.pc = if s.regs[a.0 as usize] == s.regs[b.0 as usize] {
+                        target
+                    } else {
+                        next
+                    };
+                }
+                Instr::Bne { a, b, target } => {
+                    s.pc = if s.regs[a.0 as usize] != s.regs[b.0 as usize] {
+                        target
+                    } else {
+                        next
+                    };
+                }
+                Instr::Blt { a, b, target } => {
+                    s.pc = if s.regs[a.0 as usize] < s.regs[b.0 as usize] {
+                        target
+                    } else {
+                        next
+                    };
+                }
+                Instr::Bge { a, b, target } => {
+                    s.pc = if s.regs[a.0 as usize] >= s.regs[b.0 as usize] {
+                        target
+                    } else {
+                        next
+                    };
+                }
+                Instr::Jmp { target } => s.pc = target,
+                _ => {
+                    // `halt` (nothing else is a tail).
+                    halted = true;
+                }
+            }
+        }
+        if halted || s.pc >= instrs.len() {
+            halted = true;
+            break;
+        }
+        if !tail {
+            // Horizon or readiness cut the body short.
+            break;
+        }
+        dr = decoded[s.pc];
+    }
+    (n_exec > 0).then_some(BatchDone {
+        clock: at,
+        n_exec,
+        halted,
+    })
+}
+
+/// Execute one ALU-class instruction at issue time `ia` (a trace-batch
+/// body step; terminators never come through here).
+#[inline]
+fn alu_step(s: &mut Stream, instr: Instr, ia: u64) {
+    let (dst, v) = match instr {
+        Instr::Li { dst, imm } => (dst, imm),
+        Instr::Mov { dst, src } => (dst, s.regs[src.0 as usize]),
+        Instr::Add { dst, a, b } => (dst, s.regs[a.0 as usize].wrapping_add(s.regs[b.0 as usize])),
+        Instr::AddI { dst, a, imm } => (dst, s.regs[a.0 as usize].wrapping_add(imm)),
+        Instr::Sub { dst, a, b } => (dst, s.regs[a.0 as usize].wrapping_sub(s.regs[b.0 as usize])),
+        Instr::Mul { dst, a, b } => (dst, s.regs[a.0 as usize].wrapping_mul(s.regs[b.0 as usize])),
+        _ => unreachable!("trace bodies contain only ALU operations"),
+    };
+    let di = dst.0 as usize;
+    if di != 0 {
+        s.regs[di] = v;
+        s.reg_ready[di] = ia + 1;
+    }
 }
 
 /// Capacity of the inline outstanding-operation ring. The engine keeps at
@@ -370,6 +643,8 @@ pub struct MtaMachine {
     memory: Memory,
     total_cycles: u64,
     host_seconds: f64,
+    engine: MtaEngine,
+    engine_stats: EngineStats,
     reports: Vec<RunReport>,
 }
 
@@ -388,8 +663,30 @@ impl MtaMachine {
             memory: Memory::new(words),
             total_cycles: 0,
             host_seconds: 0.0,
+            engine: configured_engine(),
+            engine_stats: EngineStats::default(),
             reports: Vec::new(),
         }
+    }
+
+    /// The issue-loop engine this machine runs with.
+    pub fn engine(&self) -> MtaEngine {
+        self.engine
+    }
+
+    /// Override the engine for subsequent [`Self::run`] calls (differential
+    /// tests; normal construction follows [`with_engine`] / the
+    /// `ARCHGRAPH_MTA_ENGINE` environment variable).
+    pub fn set_engine(&mut self, engine: MtaEngine) {
+        self.engine = engine;
+    }
+
+    /// Issue-loop accounting accumulated over all regions run so far.
+    /// Host-side measurement, like [`Self::host_seconds`] — deliberately
+    /// kept out of [`RunReport`] so reports compare bit-identical across
+    /// engines.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
     }
 
     /// Number of processors.
@@ -478,8 +775,11 @@ impl MtaMachine {
         // Hotspot serialization: next cycle (in thirds) at which a word
         // can service another atomic/sync operation.
         let mut word_free = WordFree::new();
-        // Scheduling metadata per instruction, decoded once up front.
-        let decoded = decode(instrs);
+        // Scheduling metadata per instruction (including the trace-batch
+        // gate), decoded once up front.
+        let batching = self.engine == MtaEngine::Trace;
+        let decoded = decode(prog, batching);
+        let mut stats = EngineStats::default();
 
         // Ready queue keyed by earliest possible issue time; stream id
         // breaks ties, which combined with re-insertion at issue_time + 1
@@ -493,205 +793,264 @@ impl MtaMachine {
         }
 
         while let Some((t, id)) = wheel.pop() {
-            let proc = id as usize / streams_per_proc;
-            let s = &mut streams[id as usize];
-            debug_assert!(!s.halted);
-            if s.pc >= instrs.len() {
-                // Falling off the end halts the stream.
-                continue;
-            }
-            let instr = instrs[s.pc];
-            let d = decoded[s.pc];
+            stats.events += 1;
+            'ev: {
+                let proc = id as usize / streams_per_proc;
+                let s = &mut streams[id as usize];
+                debug_assert!(!s.halted);
+                if s.pc >= instrs.len() {
+                    // Falling off the end halts the stream.
+                    break 'ev;
+                }
+                let instr = instrs[s.pc];
+                let d = decoded[s.pc];
 
-            // Earliest time this stream can truly issue `instr`. Absent
-            // operands decode to r0, whose ready time is pinned at 0, so
-            // the two-way max is exact.
-            let mut e = t
-                .max(s.reg_ready[d.src0 as usize])
-                .max(s.reg_ready[d.src1 as usize]);
-            while let Some(c) = s.out_front() {
-                if c <= e {
+                // Earliest time this stream can truly issue `instr`. Absent
+                // operands decode to r0, whose ready time is pinned at 0, so
+                // the two-way max is exact.
+                let mut e = t
+                    .max(s.reg_ready[d.src0 as usize])
+                    .max(s.reg_ready[d.src1 as usize]);
+                while let Some(c) = s.out_front() {
+                    if c <= e {
+                        s.out_pop();
+                    } else {
+                        break;
+                    }
+                }
+                if d.is_memory && s.out_len as usize >= lookahead {
+                    let c = s.out_front().unwrap();
+                    e = e.max(c);
                     s.out_pop();
-                } else {
-                    break;
                 }
-            }
-            if d.is_memory && s.out_len as usize >= lookahead {
-                let c = s.out_front().unwrap();
-                e = e.max(c);
-                s.out_pop();
-            }
-            if e > t {
-                // Not actually ready yet: requeue without consuming a slot.
-                wheel.push(e, id);
-                continue;
-            }
+                if e > t {
+                    // Not actually ready yet: requeue without consuming a slot.
+                    wheel.push(e, id);
+                    break 'ev;
+                }
 
-            let issue_at = e.max(proc_clock[proc]);
-            // LIW lanes: memory ops fill the issue slot, ALU/control ops
-            // fill one of the three lanes.
-            let cost = d.cost;
-            proc_clock[proc] = issue_at + cost;
-            issued += 1;
-            issued_thirds += cost;
-            op_mix[d.class_idx as usize] += 1;
-            let mut next_ready = issue_at + cost;
-            let mut next_pc = s.pc + 1;
+                let issue_at = e.max(proc_clock[proc]);
 
-            macro_rules! wreg {
-                ($dst:expr, $val:expr, $ready:expr) => {{
-                    let d = $dst.0 as usize;
-                    if d != 0 {
-                        s.regs[d] = $val;
-                        s.reg_ready[d] = $ready;
-                    }
-                }};
-            }
-
-            match instr {
-                Instr::Li { dst, imm } => wreg!(dst, imm, issue_at + 1),
-                Instr::Mov { dst, src } => wreg!(dst, s.regs[src.0 as usize], issue_at + 1),
-                Instr::Add { dst, a, b } => {
-                    let v = s.regs[a.0 as usize].wrapping_add(s.regs[b.0 as usize]);
-                    wreg!(dst, v, issue_at + 1)
-                }
-                Instr::AddI { dst, a, imm } => {
-                    let v = s.regs[a.0 as usize].wrapping_add(imm);
-                    wreg!(dst, v, issue_at + 1)
-                }
-                Instr::Sub { dst, a, b } => {
-                    let v = s.regs[a.0 as usize].wrapping_sub(s.regs[b.0 as usize]);
-                    wreg!(dst, v, issue_at + 1)
-                }
-                Instr::Mul { dst, a, b } => {
-                    let v = s.regs[a.0 as usize].wrapping_mul(s.regs[b.0 as usize]);
-                    wreg!(dst, v, issue_at + 1)
-                }
-                Instr::Load { dst, addr, off } => {
-                    let a = (s.regs[addr.0 as usize] + off) as usize;
-                    let v = self.memory.load(a);
-                    let done = issue_at + latency;
-                    wreg!(dst, v, done);
-                    s.out_push(done);
-                    last_completion = last_completion.max(done);
-                }
-                Instr::Store { src, addr, off } => {
-                    let a = (s.regs[addr.0 as usize] + off) as usize;
-                    self.memory.store(a, s.regs[src.0 as usize]);
-                    let done = issue_at + latency;
-                    s.out_push(done);
-                    last_completion = last_completion.max(done);
-                }
-                Instr::ReadFE { dst, addr, off } => {
-                    let a = (s.regs[addr.0 as usize] + off) as usize;
-                    match self.memory.readfe(a) {
-                        Some(v) => {
-                            let slot = word_free.slot(a);
-                            let service = (*slot).max(issue_at);
-                            *slot = service + 3;
-                            let done = service + latency;
-                            wreg!(dst, v, done);
-                            s.out_push(done);
-                            last_completion = last_completion.max(done);
+                // Trace fast path: execute the whole *private* run starting
+                // at this pc — the ALU body plus a trailing branch/jump/halt
+                // — in one visit, if doing so provably cannot change the
+                // schedule. Three gates (DESIGN.md has the full argument):
+                //   1. the visit could cover ≥ 2 instructions — a run of at
+                //      least two, or a control op whose taken edge may reveal
+                //      a further run (a 1-op batch is just the step below);
+                //   2. every register the run reads from outside itself is
+                //      ready by its issue slot, so no instruction would stall;
+                //   3. the run's issue slots all precede the queue's front
+                //      event — instruction k issues at `issue_at + k`, so the
+                //      single-step engine would pop it at that time too,
+                //      before popping any other stream's event. (The front
+                //      over all processors is conservative: other processors'
+                //      events commute with the batch, since private ops touch
+                //      only this stream's registers and pc and this
+                //      processor's clock, never memory or hotspot state.)
+                // After a taken branch the successor pc is known, so while
+                // the horizon holds, the batch keeps following control flow
+                // into further private runs (a loop of `add; bne` iterations
+                // can retire in a single visit).
+                if d.batchable {
+                    if let Some(done) = try_batch(
+                        &mut wheel,
+                        s,
+                        instrs,
+                        &decoded,
+                        d,
+                        id,
+                        issue_at,
+                        &mut op_mix,
+                    ) {
+                        proc_clock[proc] = done.clock;
+                        issued += done.n_exec;
+                        issued_thirds += done.n_exec;
+                        if done.n_exec >= 2 {
+                            stats.batches += 1;
+                            stats.batched_instrs += done.n_exec;
                         }
-                        None => {
-                            next_pc = s.pc; // retry the same op
-                            next_ready = issue_at + retry;
+                        if done.halted {
+                            s.halted = true;
+                            break 'ev;
                         }
+                        let dn = decoded[s.pc];
+                        let wake = done
+                            .clock
+                            .max(s.reg_ready[dn.src0 as usize])
+                            .max(s.reg_ready[dn.src1 as usize]);
+                        wheel.push(wake, id);
+                        break 'ev;
                     }
                 }
-                Instr::WriteEF { src, addr, off } => {
-                    let a = (s.regs[addr.0 as usize] + off) as usize;
-                    if self.memory.writeef(a, s.regs[src.0 as usize]) {
-                        let slot = word_free.slot(a);
-                        let service = (*slot).max(issue_at);
-                        *slot = service + 3;
-                        let done = service + latency;
+
+                // LIW lanes: memory ops fill the issue slot, ALU/control ops
+                // fill one of the three lanes.
+                let cost = u64::from(d.cost);
+                proc_clock[proc] = issue_at + cost;
+                issued += 1;
+                issued_thirds += cost;
+                op_mix[d.class_idx as usize] += 1;
+                let mut next_ready = issue_at + cost;
+                let mut next_pc = s.pc + 1;
+
+                macro_rules! wreg {
+                    ($dst:expr, $val:expr, $ready:expr) => {{
+                        let d = $dst.0 as usize;
+                        if d != 0 {
+                            s.regs[d] = $val;
+                            s.reg_ready[d] = $ready;
+                        }
+                    }};
+                }
+
+                match instr {
+                    Instr::Li { dst, imm } => wreg!(dst, imm, issue_at + 1),
+                    Instr::Mov { dst, src } => {
+                        wreg!(dst, s.regs[src.0 as usize], issue_at + 1)
+                    }
+                    Instr::Add { dst, a, b } => {
+                        let v = s.regs[a.0 as usize].wrapping_add(s.regs[b.0 as usize]);
+                        wreg!(dst, v, issue_at + 1)
+                    }
+                    Instr::AddI { dst, a, imm } => {
+                        let v = s.regs[a.0 as usize].wrapping_add(imm);
+                        wreg!(dst, v, issue_at + 1)
+                    }
+                    Instr::Sub { dst, a, b } => {
+                        let v = s.regs[a.0 as usize].wrapping_sub(s.regs[b.0 as usize]);
+                        wreg!(dst, v, issue_at + 1)
+                    }
+                    Instr::Mul { dst, a, b } => {
+                        let v = s.regs[a.0 as usize].wrapping_mul(s.regs[b.0 as usize]);
+                        wreg!(dst, v, issue_at + 1)
+                    }
+                    Instr::Load { dst, addr, off } => {
+                        let a = (s.regs[addr.0 as usize] + off) as usize;
+                        let v = self.memory.load(a);
+                        let done = issue_at + latency;
+                        wreg!(dst, v, done);
                         s.out_push(done);
                         last_completion = last_completion.max(done);
-                    } else {
-                        next_pc = s.pc;
-                        next_ready = issue_at + retry;
                     }
-                }
-                Instr::ReadFF { dst, addr, off } => {
-                    let a = (s.regs[addr.0 as usize] + off) as usize;
-                    match self.memory.readff(a) {
-                        Some(v) => {
+                    Instr::Store { src, addr, off } => {
+                        let a = (s.regs[addr.0 as usize] + off) as usize;
+                        self.memory.store(a, s.regs[src.0 as usize]);
+                        let done = issue_at + latency;
+                        s.out_push(done);
+                        last_completion = last_completion.max(done);
+                    }
+                    Instr::ReadFE { dst, addr, off } => {
+                        let a = (s.regs[addr.0 as usize] + off) as usize;
+                        match self.memory.readfe(a) {
+                            Some(v) => {
+                                let slot = word_free.slot(a);
+                                let service = (*slot).max(issue_at);
+                                *slot = service + 3;
+                                let done = service + latency;
+                                wreg!(dst, v, done);
+                                s.out_push(done);
+                                last_completion = last_completion.max(done);
+                            }
+                            None => {
+                                next_pc = s.pc; // retry the same op
+                                next_ready = issue_at + retry;
+                            }
+                        }
+                    }
+                    Instr::WriteEF { src, addr, off } => {
+                        let a = (s.regs[addr.0 as usize] + off) as usize;
+                        if self.memory.writeef(a, s.regs[src.0 as usize]) {
                             let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
                             let done = service + latency;
-                            wreg!(dst, v, done);
                             s.out_push(done);
                             last_completion = last_completion.max(done);
-                        }
-                        None => {
+                        } else {
                             next_pc = s.pc;
                             next_ready = issue_at + retry;
                         }
                     }
-                }
-                Instr::FetchAdd {
-                    dst,
-                    addr,
-                    off,
-                    delta,
-                } => {
-                    let a = (s.regs[addr.0 as usize] + off) as usize;
-                    let old = self.memory.int_fetch_add(a, s.regs[delta.0 as usize]);
-                    // Hotspot: atomics on one word drain at 1 per cycle.
-                    let slot = word_free.slot(a);
-                    let service = (*slot).max(issue_at);
-                    *slot = service + 3;
-                    let done = service + latency;
-                    wreg!(dst, old, done);
-                    s.out_push(done);
-                    last_completion = last_completion.max(done);
-                }
-                Instr::Beq { a, b, target } => {
-                    if s.regs[a.0 as usize] == s.regs[b.0 as usize] {
-                        next_pc = target;
+                    Instr::ReadFF { dst, addr, off } => {
+                        let a = (s.regs[addr.0 as usize] + off) as usize;
+                        match self.memory.readff(a) {
+                            Some(v) => {
+                                let slot = word_free.slot(a);
+                                let service = (*slot).max(issue_at);
+                                *slot = service + 3;
+                                let done = service + latency;
+                                wreg!(dst, v, done);
+                                s.out_push(done);
+                                last_completion = last_completion.max(done);
+                            }
+                            None => {
+                                next_pc = s.pc;
+                                next_ready = issue_at + retry;
+                            }
+                        }
+                    }
+                    Instr::FetchAdd {
+                        dst,
+                        addr,
+                        off,
+                        delta,
+                    } => {
+                        let a = (s.regs[addr.0 as usize] + off) as usize;
+                        let old = self.memory.int_fetch_add(a, s.regs[delta.0 as usize]);
+                        // Hotspot: atomics on one word drain at 1 per cycle.
+                        let slot = word_free.slot(a);
+                        let service = (*slot).max(issue_at);
+                        *slot = service + 3;
+                        let done = service + latency;
+                        wreg!(dst, old, done);
+                        s.out_push(done);
+                        last_completion = last_completion.max(done);
+                    }
+                    Instr::Beq { a, b, target } => {
+                        if s.regs[a.0 as usize] == s.regs[b.0 as usize] {
+                            next_pc = target;
+                        }
+                    }
+                    Instr::Bne { a, b, target } => {
+                        if s.regs[a.0 as usize] != s.regs[b.0 as usize] {
+                            next_pc = target;
+                        }
+                    }
+                    Instr::Blt { a, b, target } => {
+                        if s.regs[a.0 as usize] < s.regs[b.0 as usize] {
+                            next_pc = target;
+                        }
+                    }
+                    Instr::Bge { a, b, target } => {
+                        if s.regs[a.0 as usize] >= s.regs[b.0 as usize] {
+                            next_pc = target;
+                        }
+                    }
+                    Instr::Jmp { target } => next_pc = target,
+                    Instr::Halt => {
+                        s.halted = true;
+                        break 'ev;
                     }
                 }
-                Instr::Bne { a, b, target } => {
-                    if s.regs[a.0 as usize] != s.regs[b.0 as usize] {
-                        next_pc = target;
-                    }
-                }
-                Instr::Blt { a, b, target } => {
-                    if s.regs[a.0 as usize] < s.regs[b.0 as usize] {
-                        next_pc = target;
-                    }
-                }
-                Instr::Bge { a, b, target } => {
-                    if s.regs[a.0 as usize] >= s.regs[b.0 as usize] {
-                        next_pc = target;
-                    }
-                }
-                Instr::Jmp { target } => next_pc = target,
-                Instr::Halt => {
-                    s.halted = true;
-                    continue;
-                }
-            }
 
-            s.pc = next_pc;
-            if s.pc >= instrs.len() {
-                s.halted = true;
-                continue;
+                s.pc = next_pc;
+                if s.pc >= instrs.len() {
+                    s.halted = true;
+                    break 'ev;
+                }
+                // Wake the stream when its next instruction's sources are
+                // ready, not merely at `next_ready`: register ready times are
+                // this stream's own state, so folding them in now skips the
+                // pop that would only discover the stall and requeue. The
+                // issue time and order are unchanged — the readiness check
+                // above recomputes the same maximum.
+                let dn = decoded[s.pc];
+                let wake = next_ready
+                    .max(s.reg_ready[dn.src0 as usize])
+                    .max(s.reg_ready[dn.src1 as usize]);
+                wheel.push(wake, id);
             }
-            // Wake the stream when its next instruction's sources are
-            // ready, not merely at `next_ready`: register ready times are
-            // this stream's own state, so folding them in now skips the
-            // pop that would only discover the stall and requeue. The
-            // issue time and order are unchanged — the readiness check
-            // above recomputes the same maximum.
-            let dn = decoded[s.pc];
-            let wake = next_ready
-                .max(s.reg_ready[dn.src0 as usize])
-                .max(s.reg_ready[dn.src1 as usize]);
-            wheel.push(wake, id);
         }
 
         let thirds = proc_clock
@@ -727,6 +1086,9 @@ impl MtaMachine {
         };
         self.total_cycles += cycles;
         self.host_seconds += host_t0.elapsed().as_secs_f64();
+        self.engine_stats.events += stats.events;
+        self.engine_stats.batches += stats.batches;
+        self.engine_stats.batched_instrs += stats.batched_instrs;
         self.reports.push(report.clone());
         report
     }
@@ -1044,5 +1406,124 @@ mod tests {
         let rep = m.run(&p, 4, |_, _| {});
         assert_eq!(rep.issued, 0);
         assert_eq!(rep.cycles, 0);
+    }
+
+    #[test]
+    fn with_engine_scopes_the_override() {
+        assert_eq!(tiny(1).engine(), MtaEngine::Trace);
+        with_engine(MtaEngine::SingleStep, || {
+            assert_eq!(tiny(1).engine(), MtaEngine::SingleStep);
+            with_engine(MtaEngine::Trace, || {
+                assert_eq!(tiny(1).engine(), MtaEngine::Trace);
+            });
+            assert_eq!(tiny(1).engine(), MtaEngine::SingleStep);
+        });
+        assert_eq!(tiny(1).engine(), MtaEngine::Trace);
+    }
+
+    /// Run `prog` under both engines and assert bit-identical reports
+    /// and memory images; return the pair of engine stats.
+    fn assert_engines_agree(
+        prog: &Program,
+        p: usize,
+        streams: usize,
+        setup: impl Fn(&mut MtaMachine),
+    ) -> (EngineStats, EngineStats) {
+        let run = |engine: MtaEngine| {
+            let mut m = tiny(p);
+            m.set_engine(engine);
+            setup(&mut m);
+            let rep = m.run(prog, streams, |_, _| {});
+            (rep, m.memory().peek_slice(0, 64), m.engine_stats())
+        };
+        let (rt, mt, st) = run(MtaEngine::Trace);
+        let (rs, ms, ss) = run(MtaEngine::SingleStep);
+        assert_eq!(rt, rs, "reports must be engine-invariant");
+        assert_eq!(mt, ms, "memory images must be engine-invariant");
+        (st, ss)
+    }
+
+    #[test]
+    fn engines_agree_on_dynamic_loop_kernel() {
+        let mut m0 = tiny(2);
+        let counter = m0.memory_mut().alloc(1);
+        let acc = m0.memory_mut().alloc(1);
+        let prog = dynamic_sum_program(counter, acc, 700);
+        for (p, streams) in [(1usize, 1usize), (1, 8), (2, 5)] {
+            assert_engines_agree(&prog, p, streams, |m| {
+                m.memory_mut().alloc(2);
+            });
+        }
+    }
+
+    #[test]
+    fn trace_engine_batches_where_the_oracle_steps() {
+        // A long ALU body before each store gives the batcher room.
+        let mut b = ProgramBuilder::new();
+        let (x, y) = (Reg(2), Reg(3));
+        b.li(x, 1);
+        for _ in 0..6 {
+            b.add(y, x, x).add(x, y, x);
+        }
+        b.store(x, Reg(0), 0).halt();
+        let prog = b.build();
+        // One stream: with several streams per processor at saturation the
+        // preemption horizon is one third away (the peers' events), so the
+        // batcher correctly stands down — low concurrency is its fast path.
+        let (st, ss) = assert_engines_agree(&prog, 1, 1, |m| {
+            m.memory_mut().alloc(1);
+        });
+        assert!(st.batches > 0, "trace engine must batch here: {st:?}");
+        assert!(st.batched_instrs >= 2 * st.batches);
+        assert_eq!(ss.batches, 0, "oracle never batches");
+        assert_eq!(ss.batched_instrs, 0);
+        assert!(
+            st.events < ss.events,
+            "batching must fuse visits: {} vs {}",
+            st.events,
+            ss.events
+        );
+    }
+
+    #[test]
+    fn trace_engine_exact_cycles_pinned() {
+        // Straight-line: 8 ALU ops + store + halt on one stream. ALU ops
+        // issue back-to-back (1 cycle each); the store drains before halt
+        // retires the region. Pinning the exact count guards the
+        // trace-vs-single-step equivalence against silent drift.
+        let mut b = ProgramBuilder::new();
+        let x = Reg(2);
+        b.li(x, 0);
+        for k in 0..7 {
+            b.addi(x, x, k);
+        }
+        b.store(x, Reg(0), 0).halt();
+        let prog = b.build();
+        let cycles: Vec<u64> = [MtaEngine::Trace, MtaEngine::SingleStep]
+            .into_iter()
+            .map(|e| {
+                let mut m = tiny(1);
+                m.set_engine(e);
+                m.memory_mut().alloc(1);
+                m.run(&prog, 1, |_, _| {}).cycles
+            })
+            .collect();
+        assert_eq!(cycles[0], cycles[1]);
+        let latency = MtaParams::tiny_for_tests().mem_latency;
+        // Time is accounted in thirds of a cycle: the 8 ALU ops fill
+        // thirds 0..8, the store issues at third 8, and the region drains
+        // when it lands, `3 × mem_latency` thirds later.
+        assert_eq!(cycles[0], (8 + 3 * latency).div_ceil(3));
+    }
+
+    #[test]
+    fn env_override_spelling_variants() {
+        // Not an env test (the cache is process-global); just pin that
+        // set_engine round-trips both variants used by the env parser.
+        let mut m = tiny(1);
+        m.set_engine(MtaEngine::SingleStep);
+        assert_eq!(m.engine(), MtaEngine::SingleStep);
+        m.set_engine(MtaEngine::Trace);
+        assert_eq!(m.engine(), MtaEngine::Trace);
     }
 }

@@ -66,6 +66,37 @@ impl RunReport {
     }
 }
 
+/// Issue-loop accounting: how the engine spent its scheduler visits.
+///
+/// This is *host-side* measurement of the interpreter itself — instruction
+/// vs. trace bookkeeping — and is deliberately not part of [`RunReport`]:
+/// the simulated schedule is engine-invariant (trace-batched and
+/// single-step runs produce bit-identical reports), while these counters
+/// differ between engines by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Scheduler visits (events popped), including stall re-queues.
+    pub events: u64,
+    /// Trace batches executed (each covers ≥ 2 private ops in one visit;
+    /// a visit whose batch attempt covers a single instruction is counted
+    /// as an ordinary single-step event, which it is equivalent to).
+    pub batches: u64,
+    /// Instructions issued inside trace batches.
+    pub batched_instrs: u64,
+}
+
+impl EngineStats {
+    /// Fraction of `issued` instructions that went through trace batches
+    /// (0 under the single-step oracle).
+    pub fn batched_fraction(&self, issued: u64) -> f64 {
+        if issued == 0 {
+            0.0
+        } else {
+            self.batched_instrs as f64 / issued as f64
+        }
+    }
+}
+
 /// Sum of several region reports (for whole-algorithm accounting).
 pub fn combine(reports: &[RunReport]) -> RunReport {
     assert!(!reports.is_empty(), "cannot combine zero reports");

@@ -1,0 +1,308 @@
+//! Differential suite: the trace-batched engine must be *schedule
+//! preserving* — on every program, bit-identical to the single-step
+//! oracle in the full [`RunReport`] (cycles, issued, thirds, op mix,
+//! memory counters, sync retries) and in the final memory image.
+//!
+//! Programs come from two sources:
+//!
+//! * property tests over structured random kernels (straight-line runs,
+//!   bounded countdown loops, forward skips, loads/stores/`int_fetch_add`)
+//!   across processor/stream combinations;
+//! * hand-built kernels in the shape of the paper's Fig. 1 (list-walk)
+//!   and Fig. 2 (edge-scan) inner loops.
+//!
+//! Any counterexample proptest ever finds should be pinned as a named
+//! regression test at the bottom of this file.
+
+use proptest::prelude::*;
+
+use archgraph_core::MtaParams;
+use archgraph_mta_sim::isa::{Program, ProgramBuilder, Reg};
+use archgraph_mta_sim::machine::{MtaEngine, MtaMachine};
+use archgraph_mta_sim::report::RunReport;
+
+const MEM_WORDS: usize = 48;
+
+/// Run `prog` under one engine; return the report and final memory image.
+fn run_engine(
+    prog: &Program,
+    engine: MtaEngine,
+    p: usize,
+    streams: usize,
+    mem_init: &[i64],
+) -> (RunReport, Vec<i64>) {
+    let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), p, 1 << 12);
+    let base = m.memory_mut().alloc(MEM_WORDS);
+    assert_eq!(base, 0);
+    for (a, &v) in mem_init.iter().enumerate() {
+        m.memory_mut().poke(a, v);
+    }
+    m.set_engine(engine);
+    let rep = m.run(prog, streams, |_, _| {});
+    (rep, m.memory().peek_slice(0, MEM_WORDS))
+}
+
+/// Assert both engines agree on `prog` for several machine shapes.
+fn assert_schedule_preserved(prog: &Program, mem_init: &[i64]) {
+    for &(p, streams) in &[(1usize, 1usize), (1, 4), (2, 3), (2, 8)] {
+        let (rt, mt) = run_engine(prog, MtaEngine::Trace, p, streams, mem_init);
+        let (rs, ms) = run_engine(prog, MtaEngine::SingleStep, p, streams, mem_init);
+        assert_eq!(rt, rs, "report diverged at p={p} streams={streams}");
+        assert_eq!(mt, ms, "memory diverged at p={p} streams={streams}");
+    }
+}
+
+/// A generatable operation for kernel bodies (no control flow here;
+/// loops and skips are added structurally so programs always terminate).
+#[derive(Debug, Clone, Copy)]
+enum BodyOp {
+    Li(u8, i8),
+    Mov(u8, u8),
+    Add(u8, u8, u8),
+    AddI(u8, u8, i8),
+    Sub(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Load(u8, u8),
+    Store(u8, u8),
+    FetchAdd(u8, u8),
+}
+
+fn reg() -> impl Strategy<Value = u8> {
+    2u8..8u8
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (reg(), any::<i8>()).prop_map(|(d, i)| BodyOp::Li(d, i)),
+        (reg(), reg()).prop_map(|(d, s)| BodyOp::Mov(d, s)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| BodyOp::Add(d, a, b)),
+        (reg(), reg(), any::<i8>()).prop_map(|(d, a, i)| BodyOp::AddI(d, a, i)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| BodyOp::Sub(d, a, b)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| BodyOp::Mul(d, a, b)),
+        (reg(), 0u8..MEM_WORDS as u8).prop_map(|(d, a)| BodyOp::Load(d, a)),
+        (reg(), 0u8..MEM_WORDS as u8).prop_map(|(s, a)| BodyOp::Store(s, a)),
+        (reg(), 0u8..MEM_WORDS as u8).prop_map(|(d, a)| BodyOp::FetchAdd(d, a)),
+    ]
+}
+
+/// One structural segment of a generated kernel.
+#[derive(Debug, Clone)]
+enum Segment {
+    /// Straight-line body ops.
+    Flat(Vec<BodyOp>),
+    /// A countdown loop: `iters` trips over the body (backward branch).
+    Loop(u8, Vec<BodyOp>),
+    /// A data-dependent forward skip over the body (`beq r_a, r_b`).
+    Skip(u8, u8, Vec<BodyOp>),
+}
+
+fn body() -> impl Strategy<Value = Vec<BodyOp>> {
+    proptest::collection::vec(body_op(), 1..8)
+}
+
+fn segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        body().prop_map(Segment::Flat),
+        (1u8..5, body()).prop_map(|(k, b)| Segment::Loop(k, b)),
+        (reg(), reg(), body()).prop_map(|(a, b, ops)| Segment::Skip(a, b, ops)),
+    ]
+}
+
+fn emit_body(b: &mut ProgramBuilder, ops: &[BodyOp]) {
+    for &op in ops {
+        match op {
+            BodyOp::Li(d, i) => b.li(Reg(d), i as i64),
+            BodyOp::Mov(d, s) => b.mov(Reg(d), Reg(s)),
+            BodyOp::Add(d, a, x) => b.add(Reg(d), Reg(a), Reg(x)),
+            BodyOp::AddI(d, a, i) => b.addi(Reg(d), Reg(a), i as i64),
+            BodyOp::Sub(d, a, x) => b.sub(Reg(d), Reg(a), Reg(x)),
+            BodyOp::Mul(d, a, x) => b.mul(Reg(d), Reg(a), Reg(x)),
+            BodyOp::Load(d, a) => b.load_abs(Reg(d), a as usize),
+            BodyOp::Store(s, a) => b.store_abs(Reg(s), a as usize),
+            BodyOp::FetchAdd(d, a) => b.fetch_add_imm(Reg(d), a as i64, Reg(2)),
+        };
+    }
+}
+
+/// Lower segments to a program. Loops use r9 as the trip counter so the
+/// generated bodies (r2..r7) cannot clobber it.
+fn lower(segments: &[Segment]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for seg in segments {
+        match seg {
+            Segment::Flat(ops) => emit_body(&mut b, ops),
+            Segment::Loop(k, ops) => {
+                b.li(Reg(9), *k as i64);
+                let top = b.here();
+                emit_body(&mut b, ops);
+                b.addi(Reg(9), Reg(9), -1);
+                b.bne(Reg(9), Reg(0), top);
+            }
+            Segment::Skip(x, y, ops) => {
+                let fx = b.beq_fwd(Reg(*x), Reg(*y));
+                emit_body(&mut b, ops);
+                b.bind(fx);
+            }
+        }
+    }
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_random_kernels(
+        segments in proptest::collection::vec(segment(), 0..6),
+        mem_init in proptest::collection::vec(-4i64..5, MEM_WORDS..MEM_WORDS + 1),
+    ) {
+        let prog = lower(&segments);
+        for &(p, streams) in &[(1usize, 3usize), (2, 5)] {
+            let (rt, mt) = run_engine(&prog, MtaEngine::Trace, p, streams, &mem_init);
+            let (rs, ms) = run_engine(&prog, MtaEngine::SingleStep, p, streams, &mem_init);
+            prop_assert_eq!(&rt, &rs, "report diverged at p={} streams={}", p, streams);
+            prop_assert_eq!(&mt, &ms, "memory diverged at p={} streams={}", p, streams);
+        }
+    }
+}
+
+/// Fig. 1-shaped kernel: each stream claims a node by `int_fetch_add`,
+/// then chases `next[]` pointers until it hits a marked node, counting
+/// hops — the paper's list-walk inner loop (load-load-branch per step).
+#[test]
+fn fig1_walk_kernel_golden() {
+    // Memory layout: [0] claim counter, [1] hop-count accumulator,
+    // [2..2+n] next-pointer array (a ring offset by +2), marks at ring
+    // positions divisible by 4 encoded as next = 0 (sentinel).
+    let n = 24i64;
+    let mut mem = vec![0i64; MEM_WORDS];
+    for i in 0..n {
+        let succ = (i + 1) % n;
+        mem[(2 + i) as usize] = if succ % 4 == 0 { 0 } else { 2 + succ };
+    }
+    let mut b = ProgramBuilder::new();
+    let (i, one, lim, j, c) = (Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(one, 1).li(lim, n);
+    let claim = b.here();
+    b.fetch_add_imm(i, 0, one);
+    let done = b.bge_fwd(i, lim);
+    b.addi(j, i, 2); // node address
+    let walk = b.here();
+    b.load(j, j, 0); // j = next[j]
+    b.beq(j, Reg(0), claim); // sentinel: walk done, claim another
+    b.fetch_add_imm(c, 1, one); // count the hop
+    b.jmp(walk);
+    b.bind(done);
+    b.halt();
+    let prog = b.build();
+    assert_schedule_preserved(&prog, &mem);
+}
+
+/// Fig. 2-shaped kernel: scan an edge list, and for each edge compare
+/// component labels and conditionally store — the paper's Shiloach-Vishkin
+/// graft step (load-load-compare-store per edge).
+#[test]
+fn fig2_graft_kernel_golden() {
+    // Memory: [0] edge claim counter, edges at [2..2+2m] as (u,v) pairs,
+    // labels D[] at [30..30+8].
+    let m_edges = 10i64;
+    let mut mem = vec![0i64; MEM_WORDS];
+    for e in 0..m_edges {
+        mem[(2 + 2 * e) as usize] = (e * 3) % 8;
+        mem[(3 + 2 * e) as usize] = (e * 5 + 1) % 8;
+    }
+    for v in 0..8 {
+        mem[30 + v as usize] = v;
+    }
+    let mut b = ProgramBuilder::new();
+    let (e, one, lim, u, v, du, dv) = (Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
+    b.li(one, 1).li(lim, m_edges);
+    let top = b.here();
+    b.fetch_add_imm(e, 0, one);
+    let done = b.bge_fwd(e, lim);
+    b.add(u, e, e); // 2e
+    b.load(v, u, 3); // v = mem[2e + 3]
+    b.load(u, u, 2); // u = mem[2e + 2]
+    b.load(du, u, 30);
+    b.load(dv, v, 30);
+    let no_graft = b.bge_fwd(du, dv);
+    b.store(du, v, 30); // D[v] = D[u] when D[u] < D[v] (racy, like Alg. 3)
+    b.bind(no_graft);
+    b.jmp(top);
+    b.bind(done);
+    b.halt();
+    let prog = b.build();
+    assert_schedule_preserved(&prog, &mem);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions: hand-reduced cases that exercise batch-path edges.
+// ---------------------------------------------------------------------------
+
+/// A lone backward branch (run_len 1, tail): batchable via its taken edge.
+#[test]
+fn pinned_lone_branch_countdown() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg(2), 50);
+    let top = b.here();
+    b.addi(Reg(2), Reg(2), -1);
+    b.bne(Reg(2), Reg(0), top);
+    b.halt();
+    let prog = b.build();
+    assert_schedule_preserved(&prog, &[]);
+}
+
+/// Halt inside a batched run must count as issued, then stop the stream.
+#[test]
+fn pinned_halt_terminates_batch() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg(2), 1).add(Reg(3), Reg(2), Reg(2)).halt();
+    let prog = b.build();
+    assert_schedule_preserved(&prog, &[]);
+}
+
+/// A straight-line run longer than the decoder's `u8` saturation (255):
+/// the truncated run must re-enter the batcher mid-trace and stay exact.
+#[test]
+fn pinned_run_longer_than_saturation() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg(2), 0);
+    for k in 0..300 {
+        b.addi(Reg(2), Reg(2), k % 7);
+    }
+    b.store_abs(Reg(2), 0).halt();
+    let prog = b.build();
+    assert_schedule_preserved(&prog, &[0]);
+}
+
+/// A load feeding the next run's use-set: the batcher must refuse to run
+/// past the not-yet-arrived register rather than issue early.
+#[test]
+fn pinned_load_use_blocks_batch() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg(2), 5).store_abs(Reg(2), 3);
+    b.load_abs(Reg(4), 3);
+    b.add(Reg(5), Reg(4), Reg(4)); // needs the load
+    b.addi(Reg(5), Reg(5), 1);
+    b.store_abs(Reg(5), 4);
+    b.halt();
+    let prog = b.build();
+    assert_schedule_preserved(&prog, &[0, 0, 0, 0, 0]);
+}
+
+/// Forward skip taken vs not taken, diverging by stream id: streams pick
+/// different paths, so the batcher follows different taken edges per
+/// stream while the oracle interleaves them.
+#[test]
+fn pinned_stream_dependent_skip() {
+    let mut b = ProgramBuilder::new();
+    let fx = b.bne_fwd(Reg(1), Reg(0)); // stream 0 falls through
+    b.li(Reg(2), 7).store_abs(Reg(2), 0);
+    b.bind(fx);
+    b.addi(Reg(3), Reg(1), 10);
+    b.store(Reg(3), Reg(1), 8);
+    b.halt();
+    let prog = b.build();
+    assert_schedule_preserved(&prog, &[]);
+}

@@ -4,9 +4,17 @@
 # local shims (see shims/) and must never reach for the network.
 #
 # Usage:  scripts/ci.sh
+#
+# This is the same entry point .github/workflows/ci.yml runs; setting
+# CI=1 makes the bench step skip host wall-clock tolerances (simulator
+# fingerprints are still exact — see scripts/bench_check.sh).
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
+
+echo "== toolchain =="
+cargo --version
+rustc --version
 
 echo "== cargo fmt --check =="
 cargo fmt --check
@@ -18,7 +26,7 @@ echo "== cargo build --release =="
 cargo build --release --offline
 
 echo "== cargo test =="
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo "== bench regression check =="
 scripts/bench_check.sh
