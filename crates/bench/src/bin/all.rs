@@ -5,7 +5,7 @@
 //! cargo run --release -p archgraph-bench --bin all -- [smoke|default|full]
 //! ```
 
-use archgraph_bench::{fig1, fig2, table1, Scale};
+use archgraph_bench::{fig1, fig2, scale_or_usage, table1};
 use archgraph_core::report::{fmt_percent, fmt_ratio, ratios, Table};
 
 fn mean(r: &[(usize, usize, f64)]) -> f64 {
@@ -13,10 +13,8 @@ fn mean(r: &[(usize, usize, f64)]) -> f64 {
 }
 
 fn main() {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
-        .unwrap_or(Scale::Default);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_or_usage(&args, "all [smoke|default|full]");
     let p = *scale.procs().last().unwrap();
     println!("regenerating the full evaluation at {scale:?} scale (p up to {p})\n");
 

@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use archgraph_bench::workloads::ListKind;
 use archgraph_bench::{fig1, fig2, table1};
+use archgraph_mta_sim::machine::{with_engine, MtaEngine};
 
 /// Schema version written into the JSON; bump on any layout change.
 const SCHEMA: u64 = 1;
@@ -95,15 +96,42 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
     const N_LIST: usize = 1 << 15;
     const N_GRAPH: usize = 1 << 11;
     const M_GRAPH: usize = 5 << 11;
+    // MTA cells are pinned to an explicit engine so a change to the
+    // session default cannot silently re-time (or re-fingerprint) a
+    // baseline recorded under another engine. The `mta-compiled` cells
+    // run the same workloads through `MtaEngine::Compiled`; their `sim`
+    // fingerprints must stay byte-identical to the trace-engine cells —
+    // that identity is the bench-side echo of the differential suite.
     vec![
         time_cell("fig1/mta/random/p8", reps, || {
-            mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
+            with_engine(MtaEngine::Trace, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
+            })
         }),
         time_cell("fig1/mta/ordered/p8", reps, || {
-            mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
+            with_engine(MtaEngine::Trace, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
+            })
         }),
         time_cell("fig1/mta/random/p1", reps, || {
-            mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
+            with_engine(MtaEngine::Trace, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
+            })
+        }),
+        time_cell("fig1/mta-compiled/random/p8", reps, || {
+            with_engine(MtaEngine::Compiled, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
+            })
+        }),
+        time_cell("fig1/mta-compiled/ordered/p8", reps, || {
+            with_engine(MtaEngine::Compiled, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
+            })
+        }),
+        time_cell("fig1/mta-compiled/random/p1", reps, || {
+            with_engine(MtaEngine::Compiled, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
+            })
         }),
         time_cell("fig1/smp/random/p8", reps, || {
             smp_fingerprint(&fig1::smp_cell(ListKind::Random, 8, N_LIST).stats)
@@ -112,19 +140,32 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
             smp_fingerprint(&fig1::smp_cell(ListKind::Ordered, 8, N_LIST).stats)
         }),
         time_cell("fig2/mta/p8", reps, || {
-            mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
+            with_engine(MtaEngine::Trace, || {
+                mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
+            })
+        }),
+        time_cell("fig2/mta-compiled/p8", reps, || {
+            with_engine(MtaEngine::Compiled, || {
+                mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
+            })
         }),
         time_cell("fig2/smp/p8", reps, || {
             smp_fingerprint(&fig2::smp_cell(8, N_GRAPH, M_GRAPH).stats)
         }),
         time_cell("table1/mta/random/p8", reps, || {
-            table1_fingerprint(&table1::bench_list_cell(ListKind::Random, 8, N_LIST))
+            with_engine(MtaEngine::Trace, || {
+                table1_fingerprint(&table1::bench_list_cell(ListKind::Random, 8, N_LIST))
+            })
         }),
         time_cell("table1/mta/ordered/p8", reps, || {
-            table1_fingerprint(&table1::bench_list_cell(ListKind::Ordered, 8, N_LIST))
+            with_engine(MtaEngine::Trace, || {
+                table1_fingerprint(&table1::bench_list_cell(ListKind::Ordered, 8, N_LIST))
+            })
         }),
         time_cell("table1/mta/cc/p8", reps, || {
-            table1_fingerprint(&table1::bench_cc_cell(8, N_GRAPH, M_GRAPH))
+            with_engine(MtaEngine::Trace, || {
+                table1_fingerprint(&table1::bench_cc_cell(8, N_GRAPH, M_GRAPH))
+            })
         }),
     ]
 }

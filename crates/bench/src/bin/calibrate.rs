@@ -11,17 +11,15 @@
 
 use archgraph_bench::grid::par_map;
 use archgraph_bench::workloads::{make_graph, make_list, ListKind};
-use archgraph_bench::Scale;
+use archgraph_bench::{scale_or_usage, Scale};
 use archgraph_concomp::{sim_mta as cc_mta, sim_smp as cc_smp};
 use archgraph_core::machine::{MtaParams, SmpParams};
 use archgraph_core::report::fmt_ratio;
 use archgraph_listrank::{sim_mta as lr_mta, sim_smp as lr_smp};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Default);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_or_usage(&args, "calibrate [smoke|default|full]");
     let smp = SmpParams::sun_e4500();
     let mta = MtaParams::mta2();
     let p = 8usize;

@@ -6,7 +6,7 @@
 //! cargo run --release -p archgraph-bench --bin fig2 -- [smoke|default|full] [--arch mta|smp|both] [--csv]
 //! ```
 
-use archgraph_bench::{fig2, Scale};
+use archgraph_bench::{fig2, scale_or_usage, usage_error};
 use archgraph_core::experiment::Series;
 use archgraph_core::plot::{ascii_plot, PlotOptions};
 use archgraph_core::report::{fmt_seconds, series_csv, Table};
@@ -37,19 +37,27 @@ fn print_panel(title: &str, series: &[Series], ms: &[usize], procs: &[usize]) {
     println!("\n{}", ascii_plot(series, &opts));
 }
 
+const USAGE: &str = "fig2 [smoke|default|full] [--arch mta|smp|both] [--csv]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = args
-        .iter()
-        .find_map(|a| Scale::parse(a))
-        .unwrap_or(Scale::Default);
-    let arch = args
-        .iter()
-        .position(|a| a == "--arch")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-        .unwrap_or("both");
-    let csv = args.iter().any(|a| a == "--csv");
+    let mut rest = Vec::new();
+    let mut arch = "both".to_string();
+    let mut csv = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--arch" => match it.next().as_deref() {
+                Some(v @ ("mta" | "smp" | "both")) => arch = v.to_string(),
+                Some(v) => usage_error(&format!("unrecognized --arch value `{v}`"), USAGE),
+                None => usage_error("--arch needs a value", USAGE),
+            },
+            "--csv" => csv = true,
+            _ => rest.push(a),
+        }
+    }
+    let scale = scale_or_usage(&rest, USAGE);
+    let arch = arch.as_str();
 
     let (n, ms) = scale.fig2_sizes();
     let procs = scale.procs();

@@ -9,7 +9,7 @@
 //! cargo run --release -p archgraph-bench --bin ratios -- [smoke|default|full]
 //! ```
 
-use archgraph_bench::{fig1, fig2, Scale};
+use archgraph_bench::{fig1, fig2, scale_or_usage};
 use archgraph_core::experiment::Series;
 use archgraph_core::report::{fmt_ratio, ratios, Table};
 
@@ -32,10 +32,8 @@ fn mean_ratio(r: &[(usize, usize, f64)]) -> f64 {
 }
 
 fn main() {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
-        .unwrap_or(Scale::Default);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_or_usage(&args, "ratios [smoke|default|full]");
     let p = *scale.procs().last().unwrap();
 
     eprintln!("running list-ranking series ({scale:?})...");

@@ -11,18 +11,16 @@
 //! cargo run --release -p archgraph-bench --bin speedup -- [smoke|default|full]
 //! ```
 
+use archgraph_bench::scale_or_usage;
 use archgraph_bench::workloads::{make_graph, make_list, ListKind};
-use archgraph_bench::Scale;
 use archgraph_concomp::sim_smp::{simulate_seq_unionfind, simulate_sv};
 use archgraph_core::machine::{MtaParams, SmpParams};
 use archgraph_core::report::{fmt_ratio, fmt_seconds, Table};
 use archgraph_listrank::sim_smp::{simulate_hj, simulate_seq};
 
 fn main() {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
-        .unwrap_or(Scale::Default);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_or_usage(&args, "speedup [smoke|default|full]");
     let smp = SmpParams::sun_e4500();
     let mta = MtaParams::mta2();
     let procs = scale.procs();

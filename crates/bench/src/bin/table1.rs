@@ -5,14 +5,12 @@
 //! cargo run --release -p archgraph-bench --bin table1 -- [smoke|default|full]
 //! ```
 
-use archgraph_bench::{table1, Scale};
+use archgraph_bench::{scale_or_usage, table1};
 use archgraph_core::report::{fmt_percent, Table};
 
 fn main() {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
-        .unwrap_or(Scale::Default);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_or_usage(&args, "table1 [smoke|default|full]");
     eprintln!("computing Table 1 utilizations ({scale:?})...");
     let rows = table1::utilization_table(scale, true);
 

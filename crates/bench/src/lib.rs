@@ -16,4 +16,4 @@ pub mod scale;
 pub mod table1;
 pub mod workloads;
 
-pub use scale::Scale;
+pub use scale::{parse_scale_args, scale_or_usage, usage_error, Scale};

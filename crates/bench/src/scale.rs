@@ -76,6 +76,43 @@ impl Scale {
     }
 }
 
+/// Strict scale parsing shared by the bin CLIs: every word must be a scale
+/// preset and at most one may appear. Anything else is an error — a typo
+/// like `ful` or a misspelled flag must not silently fall back to the
+/// default experiment (it used to, and a "full" run that quietly ran at
+/// `Default` scale wastes hours of attention before anyone notices).
+pub fn parse_scale_args<'a, I>(args: I) -> Result<Scale, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut scale = None;
+    for a in args {
+        match (Scale::parse(a), scale) {
+            (Some(s), None) => scale = Some(s),
+            (Some(_), Some(_)) => return Err(format!("duplicate scale argument `{a}`")),
+            (None, _) => return Err(format!("unrecognized argument `{a}`")),
+        }
+    }
+    Ok(scale.unwrap_or(Scale::Default))
+}
+
+/// [`parse_scale_args`] for `main`: prints the error plus a usage line and
+/// exits nonzero on anything unrecognized.
+pub fn scale_or_usage(args: &[String], usage: &str) -> Scale {
+    match parse_scale_args(args.iter().map(String::as_str)) {
+        Ok(s) => s,
+        Err(e) => usage_error(&e, usage),
+    }
+}
+
+/// Print `error: <msg>` and a usage line, then exit with status 2 (the
+/// conventional bad-usage code, distinct from runtime failures).
+pub fn usage_error(msg: &str, usage: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {usage}");
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +147,22 @@ mod tests {
     #[test]
     fn procs_follow_paper() {
         assert_eq!(Scale::Default.procs(), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn strict_args_accept_one_scale_word() {
+        assert_eq!(parse_scale_args([]), Ok(Scale::Default));
+        assert_eq!(parse_scale_args(["full"]), Ok(Scale::Full));
+        assert_eq!(parse_scale_args(["smoke"]), Ok(Scale::Smoke));
+    }
+
+    #[test]
+    fn strict_args_reject_typos_and_duplicates() {
+        // The original bug: `ful` fell through `find_map(Scale::parse)` and
+        // silently ran at Default scale.
+        assert!(parse_scale_args(["ful"]).is_err());
+        assert!(parse_scale_args(["--full"]).is_err());
+        assert!(parse_scale_args(["full", "extra"]).is_err());
+        assert!(parse_scale_args(["smoke", "full"]).is_err());
     }
 }

@@ -1,0 +1,66 @@
+//! Regression: the figure/table bins used to extract the scale word with
+//! `find_map(Scale::parse).unwrap_or(Scale::Default)`, so a typo like `ful`
+//! or a stray `--full` silently ran the wrong experiment at Default scale.
+//! Every bin must now reject unrecognized arguments with a usage message on
+//! stderr and exit status 2 — and it must do so before any sweep starts, so
+//! these checks are cheap.
+
+use std::process::Command;
+
+fn expect_usage_rejection(bin: &str, exe: &str, args: &[&str]) {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{bin} {args:?} should exit 2, got {:?}\nstderr: {stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{bin} {args:?} should print usage, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("error:"),
+        "{bin} {args:?} should name the offending argument, got: {stderr}"
+    );
+}
+
+macro_rules! bad_arg_cases {
+    ($($test:ident: $bin:literal => $exe:expr;)*) => {
+        $(
+            #[test]
+            fn $test() {
+                // `ful` is the motivating typo; `--full` looks like a flag
+                // but was equally swallowed; duplicates are ambiguous.
+                expect_usage_rejection($bin, $exe, &["ful"]);
+                expect_usage_rejection($bin, $exe, &["--full"]);
+                expect_usage_rejection($bin, $exe, &["smoke", "full"]);
+            }
+        )*
+    };
+}
+
+bad_arg_cases! {
+    fig1_rejects_bad_args: "fig1" => env!("CARGO_BIN_EXE_fig1");
+    fig2_rejects_bad_args: "fig2" => env!("CARGO_BIN_EXE_fig2");
+    table1_rejects_bad_args: "table1" => env!("CARGO_BIN_EXE_table1");
+    ratios_rejects_bad_args: "ratios" => env!("CARGO_BIN_EXE_ratios");
+    all_rejects_bad_args: "all" => env!("CARGO_BIN_EXE_all");
+    calibrate_rejects_bad_args: "calibrate" => env!("CARGO_BIN_EXE_calibrate");
+    speedup_rejects_bad_args: "speedup" => env!("CARGO_BIN_EXE_speedup");
+}
+
+#[test]
+fn fig_bins_reject_bad_arch_values() {
+    for (bin, exe) in [
+        ("fig1", env!("CARGO_BIN_EXE_fig1")),
+        ("fig2", env!("CARGO_BIN_EXE_fig2")),
+    ] {
+        expect_usage_rejection(bin, exe, &["--arch", "bogus"]);
+        expect_usage_rejection(bin, exe, &["smoke", "--arch"]);
+    }
+}

@@ -1,0 +1,749 @@
+//! The threaded-code MTA engine ([`crate::machine::MtaEngine::Compiled`]).
+//!
+//! At [`crate::isa::ProgramBuilder::build`] time every instruction is
+//! lowered into a [`Uop`]: a fused 16-byte micro-op carrying the resolved
+//! register indices, the immediate operand (or branch target, or word
+//! offset), the folded memory/hotspot descriptor bits, and the per-pc
+//! trace metadata ([`crate::isa::TraceTable`] run length, tail flag, and
+//! batch gate). The event loop here then executes each scheduler visit
+//! against that one flat array — one 16-byte load per instruction instead
+//! of the interpreter's `Instr` match plus side-table lookups — and
+//! private runs retire through a token-threaded function table
+//! ([`ALU_FNS`]) with **zero per-instruction decode or match dispatch**:
+//! the opcode byte indexes straight into the handler, and the run's tail
+//! continuation (branch/jump/halt) resolves the successor pc from the
+//! pre-lowered target.
+//!
+//! **Why the schedule is still exact.** This engine reuses the trace
+//! engine's preemption-horizon rule, tightened one notch: a multi-op
+//! visit is taken only when every issue slot of the run strictly precedes
+//! the ready queue's front event time (the same `TimeWheel::peek` bound
+//! the trace engine consults, ignoring its id tie-break — treating the
+//! bound as exclusive forfeits at most one slot of batching) and every
+//! register in the run's external use-set is already available.
+//! Batch *extent* is host-side policy: any horizon-respecting split
+//! issues at identical times. Lowering changes *how* an
+//! instruction's effect is computed (pre-decoded fields instead of a
+//! match), never *when* it issues: readiness, lookahead-window waits,
+//! hotspot serialization, retry requeues, and the eager-wake fold are
+//! ported line-for-line from the single-step loop. The scheduler is the
+//! shared `machine::TimeWheel` itself — the identical calendar queue the
+//! other two engines pop — so the event sequence driving all of the
+//! above is engine-independent by construction. (An engine-private
+//! bitmap-bucket wheel was tried first and lost: its window × streams
+//! bit rows outgrow the fast cache levels, while the intrusive-list
+//! wheel's whole state stays L1-resident.) DESIGN.md carries the full
+//! argument;
+//! `tests/trace_differential.rs` holds all three engines to bit-identical
+//! reports and memory.
+
+use crate::isa::{Instr, TraceTable, NREGS, N_OP_CLASSES};
+use crate::machine::{Stream, TimeWheel, WordFree};
+use crate::memory::Memory;
+use crate::report::EngineStats;
+
+// Micro-op opcodes. The ALU kinds 0..6 double as indices into [`ALU_FNS`];
+// `lower` guarantees every run body consists solely of those.
+const LI: u8 = 0;
+const MOV: u8 = 1;
+const ADD: u8 = 2;
+const ADDI: u8 = 3;
+const SUB: u8 = 4;
+const MUL: u8 = 5;
+const LOAD: u8 = 6;
+const STORE: u8 = 7;
+const READFE: u8 = 8;
+const WRITEEF: u8 = 9;
+const READFF: u8 = 10;
+const FETCH_ADD: u8 = 11;
+const BEQ: u8 = 12;
+const BNE: u8 = 13;
+const BLT: u8 = 14;
+const BGE: u8 = 15;
+const JMP: u8 = 16;
+const HALT: u8 = 17;
+
+/// Flag bits in [`Uop::flags`].
+const F_MEMORY: u8 = 1 << 0;
+const F_TAIL: u8 = 1 << 1;
+const F_BATCHABLE: u8 = 1 << 2;
+
+/// One pre-decoded micro-op: everything a scheduler visit needs in a
+/// single 16-byte record (the interpreter reads a 24-byte `Instr` *and* a
+/// 12-byte `Decoded` side entry for the same decision).
+///
+/// Operand roles by kind: `a`/`b` are always the two source registers in
+/// [`Instr::sources`] order (absent sources lowered to r0, whose ready
+/// time is pinned at 0, so readiness is a branch-free two-way max exactly
+/// as in the interpreter). For memory kinds `a` or `b` is the address
+/// base per the table in [`lower`]; `imm` holds the immediate, word
+/// offset, or branch target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Uop {
+    kind: u8,
+    dst: u8,
+    a: u8,
+    b: u8,
+    flags: u8,
+    /// Private-run length starting here, saturated at 255 (see `Decoded`).
+    run_len: u8,
+    /// Issue-slot thirds (memory 3, other 1).
+    cost: u8,
+    class_idx: u8,
+    imm: i64,
+}
+
+/// The threaded-code form of a program, lowered once at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CompiledProgram {
+    uops: Vec<Uop>,
+    /// External use-set per pc (run body + tail), off the hot 16-byte
+    /// record because it is only read on batch attempts.
+    use_mask: Vec<u32>,
+    /// [`RegCell`]s per stream in the engine's register arena: the highest
+    /// register index the program references, rounded up to a whole cache
+    /// line (4 cells). Programs use a handful of low registers, so this is
+    /// typically 8-16 — the arena packs each stream's live architectural
+    /// state into 2-4 lines instead of the 8+ the full `Stream` record
+    /// spreads it over.
+    stride: usize,
+}
+
+/// Lower a program into its micro-op array. Runs at `Program::build`;
+/// the per-pc trace metadata is folded in so a run entered at *any* pc
+/// (branch targets and stall resumptions included) sees its remaining
+/// suffix.
+pub(crate) fn lower(instrs: &[Instr], traces: &TraceTable) -> CompiledProgram {
+    let uops: Vec<Uop> = instrs
+        .iter()
+        .enumerate()
+        .map(|(pc, ins)| {
+            let (kind, dst, a, b, imm) = match *ins {
+                Instr::Li { dst, imm } => (LI, dst.0, 0, 0, imm),
+                Instr::Mov { dst, src } => (MOV, dst.0, src.0, 0, 0),
+                Instr::Add { dst, a, b } => (ADD, dst.0, a.0, b.0, 0),
+                Instr::AddI { dst, a, imm } => (ADDI, dst.0, a.0, 0, imm),
+                Instr::Sub { dst, a, b } => (SUB, dst.0, a.0, b.0, 0),
+                Instr::Mul { dst, a, b } => (MUL, dst.0, a.0, b.0, 0),
+                Instr::Load { dst, addr, off } => (LOAD, dst.0, addr.0, 0, off),
+                Instr::Store { src, addr, off } => (STORE, 0, src.0, addr.0, off),
+                Instr::ReadFE { dst, addr, off } => (READFE, dst.0, addr.0, 0, off),
+                Instr::WriteEF { src, addr, off } => (WRITEEF, 0, src.0, addr.0, off),
+                Instr::ReadFF { dst, addr, off } => (READFF, dst.0, addr.0, 0, off),
+                Instr::FetchAdd {
+                    dst,
+                    addr,
+                    off,
+                    delta,
+                } => (FETCH_ADD, dst.0, addr.0, delta.0, off),
+                Instr::Beq { a, b, target } => (BEQ, 0, a.0, b.0, target as i64),
+                Instr::Bne { a, b, target } => (BNE, 0, a.0, b.0, target as i64),
+                Instr::Blt { a, b, target } => (BLT, 0, a.0, b.0, target as i64),
+                Instr::Bge { a, b, target } => (BGE, 0, a.0, b.0, target as i64),
+                Instr::Jmp { target } => (JMP, 0, 0, 0, target as i64),
+                Instr::Halt => (HALT, 0, 0, 0, 0),
+            };
+            // Saturate long runs at 255 body ops, dropping the tail flag of
+            // a truncated run — same rule as the interpreter's `Decoded`.
+            let full = traces.run_len(pc);
+            let (run_len, tail) = if full > u8::MAX.into() {
+                (u8::MAX, false)
+            } else {
+                (full as u8, traces.has_tail(pc))
+            };
+            let mut flags = 0u8;
+            if ins.is_memory() {
+                flags |= F_MEMORY;
+            }
+            if tail {
+                flags |= F_TAIL;
+            }
+            // Unlike `Decoded::batchable` this is engine-independent: the
+            // compiled engine always batches, the others never read it.
+            if run_len >= 2 || tail {
+                flags |= F_BATCHABLE;
+            }
+            Uop {
+                kind,
+                dst,
+                a,
+                b,
+                flags,
+                run_len,
+                cost: if ins.is_memory() { 3 } else { 1 },
+                class_idx: ins.class().index() as u8,
+                imm,
+            }
+        })
+        .collect();
+    let use_mask = (0..instrs.len()).map(|pc| traces.use_mask(pc)).collect();
+    let nregs = uops
+        .iter()
+        .map(|u| u.dst.max(u.a).max(u.b) as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let stride = nregs.next_multiple_of(4);
+    CompiledProgram {
+        uops,
+        use_mask,
+        stride,
+    }
+}
+
+/// One architectural register as the compiled engine stores it: value and
+/// ready time interleaved, so reading an operand and its availability is
+/// one cache-line touch. `run_region` keeps all streams' registers in one
+/// dense arena of these (stride [`CompiledProgram::stride`]) — the hot
+/// working set shrinks from ~650 bytes per stream (the full `Stream`
+/// record) to the registers the program actually names, which is what
+/// keeps the per-event register traffic cache-resident at saturation.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+pub(crate) struct RegCell {
+    v: i64,
+    ready: u64,
+}
+
+/// Reusable per-machine scratch for the compiled engine: the register
+/// arena, rebuilt per region but carried across regions so repeated runs
+/// skip its allocation. (The ready queue is a fresh per-region
+/// `machine::TimeWheel`, exactly as the other engines allocate theirs.)
+#[derive(Debug, Default)]
+pub(crate) struct EngineScratch {
+    arena: Vec<RegCell>,
+}
+
+/// Masked register index: `lower` only emits indices below [`NREGS`], so
+/// the mask is a no-op that lets the optimizer drop the bounds check on
+/// the fixed-size register files.
+#[inline(always)]
+fn r(x: u8) -> usize {
+    x as usize & (NREGS - 1)
+}
+
+/// Bounds-free view of one stream's registers in the arena.
+///
+/// Safety contract: [`lower`] computes the arena stride as the *maximum*
+/// register index any micro-op names, so every index reaching these
+/// accessors is in bounds by construction — debug builds assert it, and
+/// the differential suite exercises every opcode under those asserts.
+/// This removes the per-access bounds checks a dynamically-sized slice
+/// would otherwise pay on the hottest loads in the engine.
+struct Regs {
+    p: *mut RegCell,
+    n: usize,
+}
+
+impl Regs {
+    #[inline(always)]
+    fn v(&self, i: u8) -> i64 {
+        let k = r(i);
+        debug_assert!(k < self.n);
+        unsafe { (*self.p.add(k)).v }
+    }
+    #[inline(always)]
+    fn ready(&self, i: u8) -> u64 {
+        let k = r(i);
+        debug_assert!(k < self.n);
+        unsafe { (*self.p.add(k)).ready }
+    }
+    /// Ready time by pre-masked index (use-mask bit positions).
+    #[inline(always)]
+    fn ready_at(&self, k: usize) -> u64 {
+        debug_assert!(k < self.n);
+        unsafe { (*self.p.add(k)).ready }
+    }
+    /// Write `dst` with the given ready time; writes to r0 are discarded
+    /// (hardwired zero).
+    #[inline(always)]
+    fn set(&mut self, dst: u8, v: i64, ready: u64) {
+        let d = r(dst);
+        debug_assert!(d < self.n);
+        if d != 0 {
+            unsafe { *self.p.add(d) = RegCell { v, ready } }
+        }
+    }
+    /// Branch-free [`Self::set`]: writes the slot unconditionally, then
+    /// restores r0 from a pre-read copy — a `dst` of r0 nets out to a
+    /// no-op without the data-dependent `d != 0` branch, which matters on
+    /// the unified ALU/control path where `dst` is r0 for every branch op
+    /// and live for every ALU op (an unpredictable mix at saturation).
+    #[inline(always)]
+    fn set_any(&mut self, dst: u8, v: i64, ready: u64) {
+        let d = r(dst);
+        debug_assert!(d < self.n);
+        unsafe {
+            let c0 = *self.p;
+            *self.p.add(d) = RegCell { v, ready };
+            *self.p = c0;
+        }
+    }
+}
+
+/// Token-threaded ALU handlers, indexed by the micro-op kind byte. Run
+/// bodies execute through this table — no decode, no match. They see only
+/// the stream's register-arena view: an ALU op never touches the
+/// `Stream` record at all.
+type AluFn = fn(&mut Regs, &Uop, u64);
+
+fn x_li(rr: &mut Regs, u: &Uop, ia: u64) {
+    rr.set(u.dst, u.imm, ia + 1);
+}
+fn x_mov(rr: &mut Regs, u: &Uop, ia: u64) {
+    rr.set(u.dst, rr.v(u.a), ia + 1);
+}
+fn x_add(rr: &mut Regs, u: &Uop, ia: u64) {
+    let v = rr.v(u.a).wrapping_add(rr.v(u.b));
+    rr.set(u.dst, v, ia + 1);
+}
+fn x_addi(rr: &mut Regs, u: &Uop, ia: u64) {
+    let v = rr.v(u.a).wrapping_add(u.imm);
+    rr.set(u.dst, v, ia + 1);
+}
+fn x_sub(rr: &mut Regs, u: &Uop, ia: u64) {
+    let v = rr.v(u.a).wrapping_sub(rr.v(u.b));
+    rr.set(u.dst, v, ia + 1);
+}
+fn x_mul(rr: &mut Regs, u: &Uop, ia: u64) {
+    let v = rr.v(u.a).wrapping_mul(rr.v(u.b));
+    rr.set(u.dst, v, ia + 1);
+}
+
+static ALU_FNS: [AluFn; 6] = [x_li, x_mov, x_add, x_addi, x_sub, x_mul];
+
+/// Push a completion onto the stream's outstanding ring while keeping the
+/// region's SoA mirrors (`olen[idx]`, `ofront[idx]`) coherent.
+#[inline(always)]
+fn ring_push(s: &mut Stream, ol: &mut u8, of: &mut u64, done: u64) {
+    if s.out_len == 0 {
+        *of = done;
+    }
+    s.out_push(done);
+    *ol = s.out_len;
+}
+
+/// A committed run: processor clock after the last slot, ops executed,
+/// and whether the stream halted (mirror of the interpreter's batch
+/// result).
+struct RunDone {
+    clock: u64,
+    n_exec: u64,
+    halted: bool,
+    /// Successor pc after the run (the caller owns pc, not the stream
+    /// record — see the SoA split in `run_region`).
+    pc: usize,
+}
+
+/// Execute the private run starting at `pc` under the preemption
+/// horizon — the compiled counterpart of the trace engine's `try_batch`,
+/// with the body retiring through [`ALU_FNS`] and the tail continuation
+/// resolved from the pre-lowered target. Returns `None` (stream
+/// untouched) when not even one op fits; the caller then single-steps.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn try_run(
+    limit: u64,
+    rr: &mut Regs,
+    cp: &CompiledProgram,
+    first: Uop,
+    mut pc: usize,
+    issue_at: u64,
+    op_mix: &mut [u64; N_OP_CLASSES],
+) -> Option<RunDone> {
+    // `limit` is the ready queue's front event time (`TimeWheel::peek`),
+    // with the id tie-break ignored. Treating the bound as exclusive (as
+    // if the tie-break always went against us) forfeits at most one slot
+    // of batching; the ops we do batch still all precede the true front
+    // event, so the schedule is unchanged.
+    let mut u = first;
+    let mut at = issue_at;
+    let mut halted = false;
+    let mut n_exec = 0u64;
+    while limit.saturating_sub(at) >= 2 || n_exec > 0 {
+        let run = u64::from(u.run_len);
+        let fits = limit.saturating_sub(at).min(run);
+        if fits == 0 {
+            break;
+        }
+        let mut mask = cp.use_mask[pc];
+        let mut rmax = 0u64;
+        while mask != 0 {
+            let idx = mask.trailing_zeros() as usize & (NREGS - 1);
+            mask &= mask - 1;
+            rmax = rmax.max(rr.ready_at(idx));
+        }
+        if rmax > at {
+            break;
+        }
+        let tail = (u.flags & F_TAIL != 0) && fits == run;
+        let body = (fits - u64::from(tail)) as usize;
+        for k in 0..body {
+            let w = &cp.uops[pc + k];
+            ALU_FNS[w.kind as usize](rr, w, at + k as u64);
+        }
+        op_mix[crate::isa::OpClass::Alu.index()] += body as u64;
+        pc += body;
+        at += body as u64;
+        n_exec += fits;
+        if tail {
+            let w = cp.uops[pc];
+            op_mix[w.class_idx as usize] += 1;
+            at += 1;
+            let next = pc + 1;
+            let taken = w.imm as usize;
+            match w.kind {
+                BEQ => {
+                    pc = if rr.v(w.a) == rr.v(w.b) { taken } else { next };
+                }
+                BNE => {
+                    pc = if rr.v(w.a) != rr.v(w.b) { taken } else { next };
+                }
+                BLT => {
+                    pc = if rr.v(w.a) < rr.v(w.b) { taken } else { next };
+                }
+                BGE => {
+                    pc = if rr.v(w.a) >= rr.v(w.b) { taken } else { next };
+                }
+                JMP => pc = taken,
+                _ => halted = true, // HALT (nothing else is a tail)
+            }
+        }
+        if halted || pc >= cp.uops.len() {
+            halted = true;
+            break;
+        }
+        if !tail {
+            break;
+        }
+        u = cp.uops[pc];
+    }
+    (n_exec > 0).then_some(RunDone {
+        clock: at,
+        n_exec,
+        halted,
+        pc,
+    })
+}
+
+/// Accumulators a region run hands back to `MtaMachine::run`'s shared
+/// report epilogue.
+pub(crate) struct RegionOut {
+    /// Instructions issued.
+    pub issued: u64,
+    /// Issue-slot thirds consumed.
+    pub issued_thirds: u64,
+    /// Instruction-mix histogram.
+    pub op_mix: [u64; N_OP_CLASSES],
+    /// Latest memory-completion time (thirds).
+    pub last_completion: u64,
+    /// Host-side engine accounting for this region.
+    pub stats: EngineStats,
+}
+
+/// The compiled engine's issue loop: semantically line-for-line the
+/// single-step loop in `machine.rs`, reading pre-lowered micro-ops off
+/// the same [`TimeWheel`] ready queue the other engines pop. Every
+/// simulated quantity (issue order, clocks, counters, memory image) is
+/// bit-identical by construction; only host-side speed differs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_region(
+    cp: &CompiledProgram,
+    memory: &mut Memory,
+    streams: &mut [Stream],
+    proc_clock: &mut [u64],
+    scratch: &mut Option<EngineScratch>,
+    streams_per_proc: usize,
+    latency: u64,
+    lookahead: usize,
+    retry: u64,
+) -> RegionOut {
+    let n = cp.uops.len();
+    let uops = cp.uops.as_slice();
+    let mut issued = 0u64;
+    let mut issued_thirds = 0u64;
+    let mut last_completion = 0u64;
+    let mut op_mix = [0u64; N_OP_CLASSES];
+    let mut word_free = WordFree::new();
+    let mut stats = EngineStats::default();
+    let EngineScratch { arena } = scratch.get_or_insert_with(EngineScratch::default);
+    let mut wheel = TimeWheel::new(streams.len());
+    for id in 0..streams.len() {
+        wheel.push(0, id as u32);
+    }
+    // Register arena: each stream's first `stride` registers, interleaved
+    // with their ready times (see [`RegCell`]). Authoritative for the
+    // region; folded back into the records at the end. Registers at or
+    // above `stride` are never named by the program, so leaving them in
+    // the records loses nothing.
+    let stride = cp.stride.min(NREGS);
+    arena.clear();
+    arena.resize(streams.len() * stride, RegCell::default());
+    for (i, s) in streams.iter().enumerate() {
+        for k in 0..stride {
+            arena[i * stride + k] = RegCell {
+                v: s.regs[k],
+                ready: s.reg_ready[k],
+            };
+        }
+    }
+    // `id / streams_per_proc` per event is a hardware divide on the
+    // hottest path; a flat lookup (a few KB, L1-resident) is far cheaper.
+    let proc_of: Vec<u32> = (0..streams.len())
+        .map(|id| (id / streams_per_proc) as u32)
+        .collect();
+    // SoA split of the scheduler-hot per-stream scalars. The top of every
+    // event needs only (pc, ring length, ring front time); pulling them
+    // out of the ~650-byte `Stream` record into three dense arrays keeps
+    // them L1-resident across the whole stream population, so the common
+    // event (no drain, window open) never touches the record before the
+    // execute arms do. These caches are authoritative for the region;
+    // `Stream::pc` is synced back at region end, and the ring mirrors
+    // (`olen`, `ofront`; `u64::MAX` = empty) are refreshed on every ring
+    // mutation.
+    let mut pcs: Vec<u32> = streams.iter().map(|s| s.pc as u32).collect();
+    let mut olen: Vec<u8> = streams.iter().map(|s| s.out_len).collect();
+    let mut ofront: Vec<u64> = streams
+        .iter()
+        .map(|s| s.out_front().unwrap_or(u64::MAX))
+        .collect();
+
+    // Raw arena base: every in-loop register access goes through `Regs`
+    // (see its safety contract); the Vec itself is only re-touched after
+    // the loop for the copy-back.
+    let arena_ptr = arena.as_mut_ptr();
+
+    while let Some((t, id)) = wheel.pop() {
+        stats.events += 1;
+        let idx = id as usize;
+        let proc = proc_of[idx] as usize;
+        let pc = pcs[idx] as usize;
+        if pc >= n {
+            continue; // falling off the end halts the stream
+        }
+        let u = uops[pc];
+        let mut rr = Regs {
+            p: unsafe { arena_ptr.add(idx * stride) },
+            n: stride,
+        };
+        debug_assert!(!streams[idx].halted);
+
+        // The interpreter re-maxes the sources' ready times here; for this
+        // engine that is provably redundant: every wake pushed for this
+        // stream folded them in (eager wake — including branch targets,
+        // retries, and batch exits), and a stream's ready times only
+        // change during its own events. So `e == t` up to the lookahead-
+        // window constraints below, and the two cold `reg_ready` loads
+        // disappear from the top of every event.
+        debug_assert_eq!(t, t.max(rr.ready(u.a)).max(rr.ready(u.b)));
+        let mut e = t;
+        if ofront[idx] <= e {
+            let s = &mut streams[idx];
+            loop {
+                s.out_pop();
+                match s.out_front() {
+                    Some(c) if c <= e => {}
+                    Some(c) => {
+                        ofront[idx] = c;
+                        break;
+                    }
+                    None => {
+                        ofront[idx] = u64::MAX;
+                        break;
+                    }
+                }
+            }
+            olen[idx] = s.out_len;
+        }
+        if (u.flags & F_MEMORY != 0) && olen[idx] as usize >= lookahead {
+            let s = &mut streams[idx];
+            e = e.max(ofront[idx]);
+            s.out_pop();
+            olen[idx] = s.out_len;
+            ofront[idx] = s.out_front().unwrap_or(u64::MAX);
+        }
+        if e > t {
+            wheel.push(e, id);
+            continue;
+        }
+
+        let issue_at = e.max(proc_clock[proc]);
+
+        // A batch attempt can only succeed when at least two issue slots
+        // fit under the horizon; `peek`'s fast path (a same-time remnant
+        // of the current bucket) answers that in two loads.
+        if u.flags & F_BATCHABLE != 0 {
+            let limit = match wheel.peek() {
+                Some((h, _)) => h,
+                None => u64::MAX,
+            };
+            if limit.saturating_sub(issue_at) >= 2 {
+                if let Some(done) = try_run(limit, &mut rr, cp, u, pc, issue_at, &mut op_mix) {
+                    proc_clock[proc] = done.clock;
+                    issued += done.n_exec;
+                    issued_thirds += done.n_exec;
+                    if done.n_exec >= 2 {
+                        stats.batches += 1;
+                        stats.batched_instrs += done.n_exec;
+                    }
+                    pcs[idx] = done.pc as u32;
+                    if done.halted {
+                        streams[idx].halted = true;
+                        continue;
+                    }
+                    let nx = &uops[done.pc];
+                    let wake = done.clock.max(rr.ready(nx.a)).max(rr.ready(nx.b));
+                    wheel.push(wake, id);
+                    continue;
+                }
+            }
+        }
+
+        let cost = u64::from(u.cost);
+        proc_clock[proc] = issue_at + cost;
+        issued += 1;
+        issued_thirds += cost;
+        op_mix[u.class_idx as usize] += 1;
+        let mut next_ready = issue_at + cost;
+        let mut next_pc = pc + 1;
+
+        if u.flags & F_MEMORY == 0 {
+            if u.kind == HALT {
+                streams[idx].halted = true;
+                continue;
+            }
+            // Unified ALU + control path, branch-free: the interleaving of
+            // hundreds of streams makes the per-event opcode sequence
+            // pseudo-random, so a jump-table dispatch mispredicts on
+            // nearly every event. Instead compute every cheap ALU result,
+            // select by kind, write through [`Regs::set_any`], and resolve
+            // the successor pc with a selected condition — the only
+            // remaining data-dependent branch on this path is gone.
+            let a = rr.v(u.a);
+            let b = rr.v(u.b);
+            let k = u.kind as usize;
+            let vals = [
+                u.imm,
+                a,
+                a.wrapping_add(b),
+                a.wrapping_add(u.imm),
+                a.wrapping_sub(b),
+                a.wrapping_mul(b),
+            ];
+            rr.set_any(u.dst, vals[k.min(5)], issue_at + 1);
+            let conds = [a == b, a != b, a < b, a >= b, true, true, true, true];
+            let is_ctl = k >= BEQ as usize;
+            let taken = is_ctl & conds[k.wrapping_sub(BEQ as usize) & 7];
+            next_pc = if taken { u.imm as usize } else { next_pc };
+        } else {
+            match u.kind {
+                LOAD => {
+                    let a = (rr.v(u.a) + u.imm) as usize;
+                    let v = memory.load(a);
+                    let done = issue_at + latency;
+                    rr.set(u.dst, v, done);
+                    ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
+                    last_completion = last_completion.max(done);
+                }
+                STORE => {
+                    let a = (rr.v(u.b) + u.imm) as usize;
+                    memory.store(a, rr.v(u.a));
+                    let done = issue_at + latency;
+                    ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
+                    last_completion = last_completion.max(done);
+                }
+                READFE => {
+                    let a = (rr.v(u.a) + u.imm) as usize;
+                    match memory.readfe(a) {
+                        Some(v) => {
+                            let slot = word_free.slot(a);
+                            let service = (*slot).max(issue_at);
+                            *slot = service + 3;
+                            let done = service + latency;
+                            rr.set(u.dst, v, done);
+                            ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
+                            last_completion = last_completion.max(done);
+                        }
+                        None => {
+                            next_pc = pc; // retry the same op
+                            next_ready = issue_at + retry;
+                        }
+                    }
+                }
+                WRITEEF => {
+                    let a = (rr.v(u.b) + u.imm) as usize;
+                    if memory.writeef(a, rr.v(u.a)) {
+                        let slot = word_free.slot(a);
+                        let service = (*slot).max(issue_at);
+                        *slot = service + 3;
+                        let done = service + latency;
+                        ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
+                        last_completion = last_completion.max(done);
+                    } else {
+                        next_pc = pc;
+                        next_ready = issue_at + retry;
+                    }
+                }
+                READFF => {
+                    let a = (rr.v(u.a) + u.imm) as usize;
+                    match memory.readff(a) {
+                        Some(v) => {
+                            let slot = word_free.slot(a);
+                            let service = (*slot).max(issue_at);
+                            *slot = service + 3;
+                            let done = service + latency;
+                            rr.set(u.dst, v, done);
+                            ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
+                            last_completion = last_completion.max(done);
+                        }
+                        None => {
+                            next_pc = pc;
+                            next_ready = issue_at + retry;
+                        }
+                    }
+                }
+                FETCH_ADD => {
+                    let a = (rr.v(u.a) + u.imm) as usize;
+                    let old = memory.int_fetch_add(a, rr.v(u.b));
+                    // Hotspot: atomics on one word drain at 1 per cycle.
+                    let slot = word_free.slot(a);
+                    let service = (*slot).max(issue_at);
+                    *slot = service + 3;
+                    let done = service + latency;
+                    rr.set(u.dst, old, done);
+                    ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
+                    last_completion = last_completion.max(done);
+                }
+                _ => unreachable!("non-memory kind on the memory path"),
+            }
+        }
+
+        pcs[idx] = next_pc as u32;
+        if next_pc >= n {
+            streams[idx].halted = true;
+            continue;
+        }
+        let nx = &uops[next_pc];
+        let wake = next_ready.max(rr.ready(nx.a)).max(rr.ready(nx.b));
+        wheel.push(wake, id);
+    }
+
+    // The SoA pc cache and the register arena were authoritative for the
+    // whole region; fold them back so the stream records leave in the
+    // interpreter-identical state.
+    for (i, s) in streams.iter_mut().enumerate() {
+        s.pc = pcs[i] as usize;
+        for k in 0..stride {
+            let cell = arena[i * stride + k];
+            s.regs[k] = cell.v;
+            s.reg_ready[k] = cell.ready;
+        }
+    }
+
+    RegionOut {
+        issued,
+        issued_thirds,
+        op_mix,
+        last_completion,
+        stats,
+    }
+}

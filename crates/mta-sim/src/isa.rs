@@ -587,6 +587,7 @@ impl TraceSummary {
 pub struct Program {
     instrs: Vec<Instr>,
     traces: TraceTable,
+    compiled: crate::compiled::CompiledProgram,
 }
 
 impl Program {
@@ -598,6 +599,12 @@ impl Program {
     /// Trace metadata computed at build time (see [`TraceTable`]).
     pub fn traces(&self) -> &TraceTable {
         &self.traces
+    }
+
+    /// The micro-op lowering computed at build time (the threaded-code
+    /// engine's program form; see [`crate::compiled`]).
+    pub(crate) fn compiled(&self) -> &crate::compiled::CompiledProgram {
+        &self.compiled
     }
 
     /// Static trace statistics for this program.
@@ -864,9 +871,11 @@ impl ProgramBuilder {
             }
         }
         let traces = TraceTable::build(&self.instrs);
+        let compiled = crate::compiled::lower(&self.instrs, &traces);
         Program {
             instrs: self.instrs,
             traces,
+            compiled,
         }
     }
 }

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub(crate) mod compiled;
 pub mod isa;
 pub mod machine;
 pub mod memory;

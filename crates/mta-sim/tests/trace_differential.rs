@@ -1,7 +1,8 @@
-//! Differential suite: the trace-batched engine must be *schedule
-//! preserving* — on every program, bit-identical to the single-step
-//! oracle in the full [`RunReport`] (cycles, issued, thirds, op mix,
-//! memory counters, sync retries) and in the final memory image.
+//! Differential suite: the trace-batched engine and the threaded-code
+//! (compiled) engine must both be *schedule preserving* — on every
+//! program, bit-identical to the single-step oracle in the full
+//! [`RunReport`] (cycles, issued, thirds, op mix, memory counters, sync
+//! retries) and in the final memory image.
 //!
 //! Programs come from two sources:
 //!
@@ -42,13 +43,24 @@ fn run_engine(
     (rep, m.memory().peek_slice(0, MEM_WORDS))
 }
 
-/// Assert both engines agree on `prog` for several machine shapes.
+/// The engines checked against the single-step oracle.
+const FAST_ENGINES: [MtaEngine; 2] = [MtaEngine::Trace, MtaEngine::Compiled];
+
+/// Assert all engines agree on `prog` for several machine shapes.
 fn assert_schedule_preserved(prog: &Program, mem_init: &[i64]) {
     for &(p, streams) in &[(1usize, 1usize), (1, 4), (2, 3), (2, 8)] {
-        let (rt, mt) = run_engine(prog, MtaEngine::Trace, p, streams, mem_init);
         let (rs, ms) = run_engine(prog, MtaEngine::SingleStep, p, streams, mem_init);
-        assert_eq!(rt, rs, "report diverged at p={p} streams={streams}");
-        assert_eq!(mt, ms, "memory diverged at p={p} streams={streams}");
+        for engine in FAST_ENGINES {
+            let (rt, mt) = run_engine(prog, engine, p, streams, mem_init);
+            assert_eq!(
+                rt, rs,
+                "{engine:?} report diverged at p={p} streams={streams}"
+            );
+            assert_eq!(
+                mt, ms,
+                "{engine:?} memory diverged at p={p} streams={streams}"
+            );
+        }
     }
 }
 
@@ -159,10 +171,18 @@ proptest! {
     ) {
         let prog = lower(&segments);
         for &(p, streams) in &[(1usize, 3usize), (2, 5)] {
-            let (rt, mt) = run_engine(&prog, MtaEngine::Trace, p, streams, &mem_init);
             let (rs, ms) = run_engine(&prog, MtaEngine::SingleStep, p, streams, &mem_init);
-            prop_assert_eq!(&rt, &rs, "report diverged at p={} streams={}", p, streams);
-            prop_assert_eq!(&mt, &ms, "memory diverged at p={} streams={}", p, streams);
+            for engine in FAST_ENGINES {
+                let (rt, mt) = run_engine(&prog, engine, p, streams, &mem_init);
+                prop_assert_eq!(
+                    &rt, &rs,
+                    "{:?} report diverged at p={} streams={}", engine, p, streams
+                );
+                prop_assert_eq!(
+                    &mt, &ms,
+                    "{:?} memory diverged at p={} streams={}", engine, p, streams
+                );
+            }
         }
     }
 }
@@ -289,6 +309,57 @@ fn pinned_load_use_blocks_batch() {
     b.halt();
     let prog = b.build();
     assert_schedule_preserved(&prog, &[0, 0, 0, 0, 0]);
+}
+
+/// Full/empty producer-consumer handshake: `writeef` / `readfe` retries
+/// and word-hotspot serialization must schedule identically under every
+/// engine (the generated kernels never emit sync ops, so this pins the
+/// sync paths explicitly).
+#[test]
+fn pinned_sync_handshake() {
+    // mem[1] starts empty; the lower half of the streams produce into it,
+    // the upper half consume from it and accumulate into mem[4] via
+    // fetch_add. The program is built per machine shape so producers and
+    // consumers are exactly balanced (else the extras retry forever).
+    let build = |total: i64| {
+        let mut b = ProgramBuilder::new();
+        let (v, half, t) = (Reg(2), Reg(3), Reg(5));
+        b.li(half, total / 2);
+        b.mul(v, Reg(1), Reg(1)); // per-stream payload
+        let consumer = b.bge_fwd(Reg(1), half);
+        b.writeef(v, Reg(0), 1);
+        b.halt();
+        b.bind(consumer);
+        b.readfe(v, Reg(0), 1);
+        b.fetch_add_imm(t, 4, v);
+        b.halt();
+        b.build()
+    };
+    for &(p, streams) in &[(1usize, 2usize), (2, 4), (2, 8)] {
+        let prog = build((p * streams) as i64);
+        let (rs, ms) = {
+            let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), p, 1 << 12);
+            m.memory_mut().alloc(MEM_WORDS);
+            m.memory_mut().set_empty(1);
+            m.set_engine(MtaEngine::SingleStep);
+            let rep = m.run(&prog, streams, |_, _| {});
+            (rep, m.memory().peek_slice(0, MEM_WORDS))
+        };
+        for engine in FAST_ENGINES {
+            let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), p, 1 << 12);
+            m.memory_mut().alloc(MEM_WORDS);
+            m.memory_mut().set_empty(1);
+            m.set_engine(engine);
+            let rep = m.run(&prog, streams, |_, _| {});
+            assert_eq!(rep, rs, "{engine:?} report diverged at p={p} s={streams}");
+            assert_eq!(
+                m.memory().peek_slice(0, MEM_WORDS),
+                ms,
+                "{engine:?} memory diverged at p={p} s={streams}"
+            );
+            assert!(rep.mem.sync_ops > 0, "handshake must use sync ops");
+        }
+    }
 }
 
 /// Forward skip taken vs not taken, diverging by stream id: streams pick

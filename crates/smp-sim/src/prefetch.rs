@@ -18,6 +18,11 @@ pub struct Prefetcher {
     streams: Vec<u64>,
     /// Candidate streams: (next expected line, observed run length).
     candidates: Vec<(u64, usize)>,
+    /// Eviction bound for the candidate table. This must be an explicit
+    /// field: bounding against `candidates.capacity()` is Clone-unsafe,
+    /// because `Vec::clone` allocates for the clone's *length*, so a cloned
+    /// prefetcher would evict earlier than its template and diverge.
+    max_candidates: usize,
     /// Consecutive misses required to establish a stream.
     trigger: usize,
     /// Number of useful prefetches delivered.
@@ -28,9 +33,11 @@ impl Prefetcher {
     /// A prefetcher with `streams` stream slots and the given trigger
     /// length. `streams = 0` produces an always-miss (disabled) prefetcher.
     pub fn new(streams: usize, trigger: usize) -> Self {
+        let max_candidates = streams.max(4) * 2;
         Prefetcher {
             streams: vec![u64::MAX; streams],
-            candidates: Vec::with_capacity(streams.max(4) * 2),
+            candidates: Vec::with_capacity(max_candidates),
+            max_candidates,
             trigger: trigger.max(1),
             hits: 0,
         }
@@ -64,7 +71,7 @@ impl Prefetcher {
                 self.candidates.push((line + 1, run));
             }
         } else {
-            if self.candidates.len() >= self.candidates.capacity() {
+            if self.candidates.len() >= self.max_candidates {
                 self.candidates.remove(0);
             }
             self.candidates.push((line + 1, 1));
@@ -150,6 +157,31 @@ mod tests {
         assert!(!p.on_miss(501)); // promotes, evicting the old stream
         assert!(!p.on_miss(3), "old stream was evicted");
         assert!(p.on_miss(502));
+    }
+
+    #[test]
+    fn clone_preserves_candidate_eviction_bound() {
+        // Regression: the candidate table used to be bounded by
+        // `candidates.capacity()`, which `Vec::clone` shrinks to the clone's
+        // length. A cloned prefetcher then evicted candidates its template
+        // kept, and the two diverged on identical miss streams.
+        let mut a = Prefetcher::new(2, 2); // bound = max(2,4)*2 = 8
+        for base in [100, 200, 300] {
+            assert!(!a.on_miss(base)); // three live candidates, len 3 < 8
+        }
+        let mut b = a.clone();
+        for p in [&mut a, &mut b] {
+            // Under the old capacity-based bound, the clone (capacity ==
+            // len == 3) evicts candidate (101, 1) here; the template
+            // (capacity 8) keeps it.
+            assert!(!p.on_miss(400));
+            // Matches candidate (101, 1) -> run 2 == trigger -> stream
+            // expecting 102 — but only where (101, 1) survived.
+            assert!(!p.on_miss(101));
+        }
+        assert!(a.on_miss(102), "template predicts line 102");
+        assert!(b.on_miss(102), "clone must behave like its template");
+        assert_eq!(a.hits, b.hits);
     }
 
     #[test]

@@ -28,6 +28,18 @@ cargo build --release --offline
 echo "== cargo test =="
 cargo test -q --offline --workspace
 
+echo "== engine differential smoke =="
+# Re-run the simulator and kernel suites with each MTA engine as the
+# session default. The kernel tests pin simulated cycle/utilization
+# quantities, so any engine whose schedule diverges from the oracle
+# fails loudly here — the env-var path is exactly what users reach for
+# (ARCHGRAPH_MTA_ENGINE), so it is the path this leg exercises.
+for engine in single-step trace compiled; do
+    echo "-- ARCHGRAPH_MTA_ENGINE=$engine"
+    ARCHGRAPH_MTA_ENGINE="$engine" \
+        cargo test -q --offline -p archgraph-mta-sim -p archgraph-listrank -p archgraph-concomp
+done
+
 echo "== bench regression check =="
 scripts/bench_check.sh
 
