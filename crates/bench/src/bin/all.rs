@@ -5,7 +5,7 @@
 //! cargo run --release -p archgraph-bench --bin all -- [smoke|default|full]
 //! ```
 
-use archgraph_bench::{fig1, fig2, scale_or_usage, table1};
+use archgraph_bench::{fig1, fig2, last_or_exit, scale_or_usage, series_or_exit, table1};
 use archgraph_core::report::{fmt_percent, fmt_ratio, ratios, Table};
 
 fn mean(r: &[(usize, usize, f64)]) -> f64 {
@@ -15,7 +15,7 @@ fn mean(r: &[(usize, usize, f64)]) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_or_usage(&args, "all [smoke|default|full]");
-    let p = *scale.procs().last().unwrap();
+    let p = *last_or_exit(&scale.procs(), "processor grid");
     println!("regenerating the full evaluation at {scale:?} scale (p up to {p})\n");
 
     eprintln!("[1/4] Fig. 1 series...");
@@ -29,10 +29,7 @@ fn main() {
     eprintln!("[4/4] ratios...\n");
 
     let find = |set: &[archgraph_core::experiment::Series], label: String| {
-        set.iter()
-            .find(|s| s.label == label)
-            .cloned()
-            .expect("series present")
+        series_or_exit(set, &label).clone()
     };
     let smp_ord = find(&f1_smp, format!("SMP Ordered p={p}"));
     let smp_rnd = find(&f1_smp, format!("SMP Random p={p}"));
@@ -69,7 +66,10 @@ fn main() {
         "5-6x".into(),
     ]);
     for row in &t1 {
-        let (pp, u) = *row.utilization.last().unwrap();
+        let (pp, u) = *last_or_exit(
+            &row.utilization,
+            &format!("utilization sweep for {}", row.label),
+        );
         t.row([
             format!("MTA utilization: {} (p={pp})", row.label),
             fmt_percent(u),

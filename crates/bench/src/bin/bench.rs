@@ -102,6 +102,12 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
     // run the same workloads through `MtaEngine::Compiled`; their `sim`
     // fingerprints must stay byte-identical to the trace-engine cells —
     // that identity is the bench-side echo of the differential suite.
+    // The `mta-partitioned` cells do the same through the windowed
+    // parallel engine; the worker count is deliberately left to the
+    // ambient setting (ARCHGRAPH_MTA_WORKERS, else host parallelism)
+    // because the `sim` fingerprint must be identical for every worker
+    // count — scripts/ci.sh re-runs the suite at W=1 and W=4 and diffs
+    // the fingerprint lines byte-for-byte.
     vec![
         time_cell("fig1/mta/random/p8", reps, || {
             with_engine(MtaEngine::Trace, || {
@@ -133,6 +139,21 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
                 mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
             })
         }),
+        time_cell("fig1/mta-partitioned/random/p8", reps, || {
+            with_engine(MtaEngine::Partitioned, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
+            })
+        }),
+        time_cell("fig1/mta-partitioned/ordered/p8", reps, || {
+            with_engine(MtaEngine::Partitioned, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
+            })
+        }),
+        time_cell("fig1/mta-partitioned/random/p1", reps, || {
+            with_engine(MtaEngine::Partitioned, || {
+                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
+            })
+        }),
         time_cell("fig1/smp/random/p8", reps, || {
             smp_fingerprint(&fig1::smp_cell(ListKind::Random, 8, N_LIST).stats)
         }),
@@ -146,6 +167,11 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
         }),
         time_cell("fig2/mta-compiled/p8", reps, || {
             with_engine(MtaEngine::Compiled, || {
+                mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
+            })
+        }),
+        time_cell("fig2/mta-partitioned/p8", reps, || {
+            with_engine(MtaEngine::Partitioned, || {
                 mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
             })
         }),

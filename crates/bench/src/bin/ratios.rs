@@ -9,23 +9,8 @@
 //! cargo run --release -p archgraph-bench --bin ratios -- [smoke|default|full]
 //! ```
 
-use archgraph_bench::{fig1, fig2, scale_or_usage};
-use archgraph_core::experiment::Series;
+use archgraph_bench::{fig1, fig2, last_or_exit, scale_or_usage, series_or_exit as find};
 use archgraph_core::report::{fmt_ratio, ratios, Table};
-
-/// Look up a series by label, or exit with a diagnostic listing what was
-/// actually produced (e.g. when a scale's processor grid doesn't include
-/// the requested p).
-fn find<'a>(series: &'a [Series], label: &str) -> &'a Series {
-    series.iter().find(|s| s.label == label).unwrap_or_else(|| {
-        let present: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
-        eprintln!(
-            "error: no series labelled {label:?} in this sweep; present labels: {}",
-            present.join(", ")
-        );
-        std::process::exit(1);
-    })
-}
 
 fn mean_ratio(r: &[(usize, usize, f64)]) -> f64 {
     r.iter().map(|&(_, _, x)| x).sum::<f64>() / r.len().max(1) as f64
@@ -34,7 +19,7 @@ fn mean_ratio(r: &[(usize, usize, f64)]) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_or_usage(&args, "ratios [smoke|default|full]");
-    let p = *scale.procs().last().unwrap();
+    let p = *last_or_exit(&scale.procs(), "processor grid");
 
     eprintln!("running list-ranking series ({scale:?})...");
     let mta1 = fig1::mta_series(scale, false);

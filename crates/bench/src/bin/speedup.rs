@@ -11,8 +11,8 @@
 //! cargo run --release -p archgraph-bench --bin speedup -- [smoke|default|full]
 //! ```
 
-use archgraph_bench::scale_or_usage;
 use archgraph_bench::workloads::{make_graph, make_list, ListKind};
+use archgraph_bench::{last_or_exit, scale_or_usage};
 use archgraph_concomp::sim_smp::{simulate_seq_unionfind, simulate_sv};
 use archgraph_core::machine::{MtaParams, SmpParams};
 use archgraph_core::report::{fmt_ratio, fmt_seconds, Table};
@@ -26,7 +26,7 @@ fn main() {
     let procs = scale.procs();
 
     // ---- list ranking vs sequential pointer chasing (SMP) ----
-    let n = *scale.fig1_sizes().last().unwrap();
+    let n = *last_or_exit(&scale.fig1_sizes(), "fig1 size list");
     println!("== List ranking speedup vs best sequential (simulated SMP, n = {n}) ==");
     for kind in ListKind::both() {
         let list = make_list(kind, n, 51);
@@ -48,6 +48,8 @@ fn main() {
 
     // ---- connected components vs union-find (SMP and MTA) ----
     let (nv, ms) = scale.fig2_sizes();
+    // ms[len/2] on an empty sweep would be an index panic; fail loudly.
+    let _ = last_or_exit(&ms, "fig2 edge-count sweep");
     let m_edges = ms[ms.len() / 2];
     let g = make_graph(nv, m_edges, 52);
     let t_uf = simulate_seq_unionfind(&g, &smp).seconds;

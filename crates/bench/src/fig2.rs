@@ -140,8 +140,12 @@ mod tests {
     #[test]
     fn times_grow_with_m() {
         for s in smp_series(Scale::Smoke, false) {
-            let first = s.points.first().unwrap().seconds;
-            let last = s.points.last().unwrap().seconds;
+            let first = crate::guard::require_first(&s.points, &s.label)
+                .expect("series has points")
+                .seconds;
+            let last = crate::guard::require_last(&s.points, &s.label)
+                .expect("series has points")
+                .seconds;
             assert!(last > first, "{}: denser graphs must take longer", s.label);
         }
     }

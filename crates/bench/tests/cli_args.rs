@@ -54,6 +54,31 @@ bad_arg_cases! {
     speedup_rejects_bad_args: "speedup" => env!("CARGO_BIN_EXE_speedup");
 }
 
+/// The bins also guard `.last()` on sweep grids and series-label lookups
+/// through `guard::*_or_exit`, which follow the same convention as the
+/// strict argument parser: one `error:` line, exit status 2. The built-in
+/// grids are hard-coded non-empty, so that exit path is unreachable from
+/// the CLI; pin the `Result`-level diagnostics here instead so the messages
+/// a future empty preset would print stay greppable.
+#[test]
+fn empty_series_guards_name_what_is_missing() {
+    use archgraph_bench::guard::{require_last, require_series};
+    use archgraph_core::experiment::Series;
+
+    let empty: [usize; 0] = [];
+    assert_eq!(
+        require_last(&empty, "processor grid").unwrap_err(),
+        "processor grid is empty"
+    );
+
+    let set = vec![Series::new("MTA Random p=2")];
+    let err = require_series(&set, "MTA Random p=8").unwrap_err();
+    assert!(
+        err.contains("no series labelled \"MTA Random p=8\"") && err.contains("MTA Random p=2"),
+        "diagnostic must name the missing label and list the present ones: {err}"
+    );
+}
+
 #[test]
 fn fig_bins_reject_bad_arch_values() {
     for (bin, exe) in [

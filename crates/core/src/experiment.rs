@@ -55,10 +55,13 @@ impl Measurement {
         var.sqrt()
     }
 
-    /// Median (averaging the middle pair for even lengths).
+    /// Median (averaging the middle pair for even lengths). Total order
+    /// on floats (`f64::total_cmp`), so a NaN wall-clock sample — a
+    /// possibility on clock glitches — sorts to the high end instead of
+    /// panicking the whole sweep.
     pub fn median(&self) -> f64 {
         let mut v = self.samples.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         let n = v.len();
         if n % 2 == 1 {
             v[n / 2]
@@ -218,6 +221,16 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn empty_measurement_panics() {
         let _ = Measurement::new(vec![]);
+    }
+
+    #[test]
+    fn median_tolerates_nan_samples() {
+        // A NaN sample must not panic the sort; total order puts NaN at
+        // the high end, so the finite samples still dominate the median.
+        let m = Measurement::new(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(m.median(), 2.5); // sorted: [1, 2, 3, NaN] → (2+3)/2
+        let all_nan = Measurement::new(vec![f64::NAN]);
+        assert!(all_nan.median().is_nan());
     }
 
     #[test]

@@ -38,9 +38,10 @@
 //! reports and memory.
 
 use crate::isa::{Instr, TraceTable, NREGS, N_OP_CLASSES};
-use crate::machine::{Stream, TimeWheel, WordFree};
+use crate::machine::{Stream, WordFree};
 use crate::memory::Memory;
 use crate::report::EngineStats;
+use crate::wheel::TimeWheel;
 
 // Micro-op opcodes. The ALU kinds 0..6 double as indices into [`ALU_FNS`];
 // `lower` guarantees every run body consists solely of those.

@@ -63,10 +63,12 @@ pub mod isa;
 pub mod machine;
 pub mod memory;
 pub mod parloop;
+pub(crate) mod partition;
 pub mod report;
 pub mod runtime;
+pub(crate) mod wheel;
 pub mod word;
 
-pub use machine::{with_engine, MtaEngine, MtaMachine};
+pub use machine::{with_engine, with_workers, MtaEngine, MtaMachine};
 pub use memory::Memory;
 pub use report::{EngineStats, RunReport};

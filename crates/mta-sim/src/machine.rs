@@ -61,8 +61,6 @@
 //! table — no per-instruction `match`, no side-table lookups.
 
 use std::cell::Cell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::OnceLock;
 
 use archgraph_core::MtaParams;
@@ -70,6 +68,7 @@ use archgraph_core::MtaParams;
 use crate::isa::{Instr, OpClass, Program, NREGS, N_OP_CLASSES};
 use crate::memory::Memory;
 use crate::report::{EngineStats, RunReport};
+use crate::wheel::TimeWheel;
 
 /// Default simulated memory size in words.
 pub const DEFAULT_MEMORY_WORDS: usize = 1 << 22;
@@ -85,29 +84,29 @@ pub const DEFAULT_MEMORY_WORDS: usize = 1 << 22;
 /// the trace engine's batch gate reads the same 12-byte record the
 /// single-step path already has in cache.
 #[derive(Clone, Copy)]
-struct Decoded {
+pub(crate) struct Decoded {
     /// External use-set of the private run starting here (see
     /// [`crate::isa::TraceTable`]).
-    use_mask: u32,
-    src0: u8,
-    src1: u8,
+    pub(crate) use_mask: u32,
+    pub(crate) src0: u8,
+    pub(crate) src1: u8,
     /// Issue-slot thirds this operation consumes (memory 3, other 1).
-    cost: u8,
-    is_memory: bool,
-    class_idx: u8,
+    pub(crate) cost: u8,
+    pub(crate) is_memory: bool,
+    pub(crate) class_idx: u8,
     /// Private run length starting here, saturated at `u8::MAX` (a batch
     /// longer than 255 is beyond every horizon this engine meets).
-    run_len: u8,
+    pub(crate) run_len: u8,
     /// Whether that run ends with a trailing control op.
-    tail: bool,
-    /// Single-byte gate for the issue loop: true iff the trace engine is
-    /// on and a visit here could cover ≥ 2 instructions — a run of at
-    /// least two, or a trailing control op whose taken edge may reveal a
-    /// further run. Pinned false under the single-step oracle.
-    batchable: bool,
+    pub(crate) tail: bool,
+    /// Single-byte gate for the issue loop: true iff batching is on and a
+    /// visit here could cover ≥ 2 instructions — a run of at least two,
+    /// or a trailing control op whose taken edge may reveal a further
+    /// run. Pinned false under the single-step oracle.
+    pub(crate) batchable: bool,
 }
 
-fn decode(prog: &Program, batching: bool) -> Vec<Decoded> {
+pub(crate) fn decode(prog: &Program, batching: bool) -> Vec<Decoded> {
     let traces = prog.traces();
     prog.instrs()
         .iter()
@@ -135,6 +134,19 @@ fn decode(prog: &Program, batching: bool) -> Vec<Decoded> {
             }
         })
         .collect()
+}
+
+/// Whether a program contains full/empty-bit synchronization. The
+/// partitioned engine's conservative window cannot resolve sync retries
+/// (their outcome depends on globally ordered tag state), so such programs
+/// take the batched interpreter path instead.
+pub(crate) fn program_has_sync(instrs: &[Instr]) -> bool {
+    instrs.iter().any(|i| {
+        matches!(
+            i,
+            Instr::ReadFE { .. } | Instr::WriteEF { .. } | Instr::ReadFF { .. }
+        )
+    })
 }
 
 /// Open-addressed map from word address to the next time (in thirds) that
@@ -213,184 +225,6 @@ impl WordFree {
     }
 }
 
-/// Buckets in the scheduler's calendar queue, covering this many thirds of
-/// a cycle ahead of the current time (4096 thirds ≈ 1365 cycles, well past
-/// the memory latency and sync-retry horizons). Events beyond the window —
-/// e.g. streams parked behind a deep hotspot backlog — wait in an overflow
-/// heap and migrate into the wheel as time advances.
-const WHEEL_SIZE: usize = 1 << 12;
-
-/// Empty-bucket / end-of-list marker in [`TimeWheel`]'s intrusive lists.
-const NO_STREAM: u32 = u32::MAX;
-
-/// The scheduler's ready queue: a calendar queue ("time wheel") ordered
-/// exactly like the `BinaryHeap<Reverse<(time, stream)>>` it replaces.
-///
-/// Every live stream has at most one pending event, so each wheel bucket
-/// is an intrusive singly-linked list threaded through a per-stream `next`
-/// array — push is O(1) with zero allocation, and draining a bucket sorts
-/// the (few) stream ids so same-time events still pop in id order. A
-/// binary heap pays a cache-missing, branch-mispredicting sift per event;
-/// the wheel pays an array write, which is what makes the interpreter's
-/// issue loop fast at hundreds of streams.
-pub(crate) struct TimeWheel {
-    /// Bucket heads, indexed by `time & (WHEEL_SIZE - 1)`.
-    head: Box<[u32]>,
-    /// Occupancy bitmap over buckets (one bit per bucket), so finding the
-    /// next nonempty bucket is a couple of `trailing_zeros` words rather
-    /// than a linear walk over empty slots.
-    occ: Box<[u64]>,
-    /// Intrusive next-pointers, indexed by stream id.
-    next: Box<[u32]>,
-    /// Events at or beyond `base + WHEEL_SIZE`.
-    overflow: BinaryHeap<Reverse<(u64, u32)>>,
-    /// All wheel events lie in `[base, base + WHEEL_SIZE)`.
-    base: u64,
-    /// Events currently threaded in the wheel (not overflow, not bucket).
-    wheel_count: usize,
-    /// The drained current bucket, ascending ids, read via `cursor`.
-    bucket: Vec<u32>,
-    cursor: usize,
-    bucket_time: u64,
-}
-
-impl TimeWheel {
-    pub(crate) fn new(total_streams: usize) -> Self {
-        TimeWheel {
-            head: vec![NO_STREAM; WHEEL_SIZE].into_boxed_slice(),
-            occ: vec![0u64; WHEEL_SIZE / 64].into_boxed_slice(),
-            next: vec![NO_STREAM; total_streams].into_boxed_slice(),
-            overflow: BinaryHeap::new(),
-            base: 0,
-            wheel_count: 0,
-            bucket: Vec::new(),
-            cursor: 0,
-            bucket_time: 0,
-        }
-    }
-
-    /// Schedule stream `id` at time `t` (thirds). `t` must not precede the
-    /// most recently popped event — pushes always target the future.
-    #[inline]
-    pub(crate) fn push(&mut self, t: u64, id: u32) {
-        if t < self.base + WHEEL_SIZE as u64 {
-            let b = t as usize & (WHEEL_SIZE - 1);
-            self.next[id as usize] = self.head[b];
-            self.head[b] = id;
-            self.occ[b >> 6] |= 1 << (b & 63);
-            self.wheel_count += 1;
-        } else {
-            self.overflow.push(Reverse((t, id)));
-        }
-    }
-
-    /// Time of the first occupied bucket at or after `from`. Requires
-    /// `wheel_count > 0`; distances are computed modulo the wheel size.
-    #[inline]
-    fn next_occupied(&self, from: u64) -> u64 {
-        let mask = WHEEL_SIZE - 1;
-        let nwords = WHEEL_SIZE / 64;
-        let start = from as usize & mask;
-        let first_word = start >> 6;
-        let head_bits = self.occ[first_word] & (!0u64 << (start & 63));
-        if head_bits != 0 {
-            let b = (first_word << 6) | head_bits.trailing_zeros() as usize;
-            return from + (b.wrapping_sub(start) & mask) as u64;
-        }
-        for k in 1..=nwords {
-            let wi = (first_word + k) & (nwords - 1);
-            let bits = self.occ[wi];
-            if bits != 0 {
-                let b = (wi << 6) | bits.trailing_zeros() as usize;
-                return from + (b.wrapping_sub(start) & mask) as u64;
-            }
-        }
-        unreachable!("next_occupied called on an empty wheel")
-    }
-
-    /// Move overflow events that now fit the window into the wheel.
-    fn admit_overflow(&mut self) {
-        while let Some(&Reverse((t, id))) = self.overflow.peek() {
-            if t >= self.base + WHEEL_SIZE as u64 {
-                break;
-            }
-            self.overflow.pop();
-            let b = t as usize & (WHEEL_SIZE - 1);
-            self.next[id as usize] = self.head[b];
-            self.head[b] = id;
-            self.occ[b >> 6] |= 1 << (b & 63);
-            self.wheel_count += 1;
-        }
-    }
-
-    /// Next event in ascending `(time, id)` order.
-    pub(crate) fn pop(&mut self) -> Option<(u64, u32)> {
-        if self.cursor < self.bucket.len() {
-            let id = self.bucket[self.cursor];
-            self.cursor += 1;
-            return Some((self.bucket_time, id));
-        }
-        loop {
-            if self.wheel_count == 0 {
-                // Jump straight to the earliest parked event.
-                let &Reverse((t, _)) = self.overflow.peek()?;
-                self.base = t;
-                self.admit_overflow();
-                continue;
-            }
-            // The nearest event is in the window; jump to its bucket.
-            let t = self.next_occupied(self.base);
-            let b = t as usize & (WHEEL_SIZE - 1);
-            self.bucket.clear();
-            let mut id = self.head[b];
-            self.head[b] = NO_STREAM;
-            self.occ[b >> 6] &= !(1 << (b & 63));
-            while id != NO_STREAM {
-                self.bucket.push(id);
-                id = self.next[id as usize];
-            }
-            self.wheel_count -= self.bucket.len();
-            self.bucket.sort_unstable();
-            self.bucket_time = t;
-            self.cursor = 1;
-            self.base = t + 1;
-            self.admit_overflow();
-            return Some((t, self.bucket[0]));
-        }
-    }
-
-    /// Earliest pending event in ascending `(time, id)` order, without
-    /// consuming it — the trace engine's preemption horizon. The common
-    /// case (a remnant of the current bucket) is a pair of loads; the
-    /// out-of-line slow path scans the occupancy bitmap and walks that
-    /// bucket's short intrusive list for its minimum id, draining
-    /// nothing, so a subsequent [`Self::pop`] is unaffected.
-    #[inline]
-    pub(crate) fn peek(&mut self) -> Option<(u64, u32)> {
-        if self.cursor < self.bucket.len() {
-            return Some((self.bucket_time, self.bucket[self.cursor]));
-        }
-        self.peek_slow()
-    }
-
-    #[inline(never)]
-    fn peek_slow(&self) -> Option<(u64, u32)> {
-        if self.wheel_count > 0 {
-            let t = self.next_occupied(self.base);
-            let b = t as usize & (WHEEL_SIZE - 1);
-            let mut id = self.head[b];
-            let mut min_id = id;
-            while id != NO_STREAM {
-                min_id = min_id.min(id);
-                id = self.next[id as usize];
-            }
-            // Windowed events all precede anything parked in overflow.
-            return Some((t, min_id));
-        }
-        self.overflow.peek().map(|&Reverse(e)| e)
-    }
-}
-
 /// Which issue-loop strategy [`MtaMachine::run`] uses. All three produce
 /// bit-identical [`RunReport`]s and memory states; they differ only in
 /// host-side speed (see [`EngineStats`]).
@@ -406,6 +240,15 @@ pub enum MtaEngine {
     /// [`crate::compiled`]) with the trace engine's batching rule — the
     /// fastest engine on interpreter-bound workloads.
     Compiled,
+    /// Partitioned time wheel: shard streams across worker partitions
+    /// (whole processors each), execute bounded time windows in parallel,
+    /// and apply cross-partition memory operations serially at each
+    /// window barrier in `(time, stream_id)` order (see
+    /// [`crate::partition`]). Bit-identical to the oracle for every
+    /// worker count; the only engine that uses more than one host core
+    /// for a single region. Programs containing full/empty sync
+    /// operations fall back to the exact single-wheel path.
+    Partitioned,
 }
 
 thread_local! {
@@ -439,46 +282,91 @@ fn configured_engine() -> MtaEngine {
     *ENV.get_or_init(|| match std::env::var("ARCHGRAPH_MTA_ENGINE").as_deref() {
         Ok("single-step" | "single_step" | "oracle") => MtaEngine::SingleStep,
         Ok("compiled" | "threaded") => MtaEngine::Compiled,
+        Ok("partitioned" | "parallel") => MtaEngine::Partitioned,
         _ => MtaEngine::Trace,
     })
 }
 
+thread_local! {
+    static WORKERS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Run `f` with every [`MtaMachine`] constructed on this thread using
+/// `workers` partitions under [`MtaEngine::Partitioned`] (the differential
+/// suite sweeps `W ∈ {1, 2, 4, 8}` through this). Panic-safe and
+/// nestable, like [`with_engine`]. Worker count never affects any
+/// simulated quantity — only host-side parallelism.
+pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKERS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKERS_OVERRIDE.with(|c| c.replace(Some(workers.max(1)))));
+    f()
+}
+
+/// Worker-partition count for newly constructed machines: the
+/// [`with_workers`] override if one is active, else `ARCHGRAPH_MTA_WORKERS`
+/// (clamped to ≥ 1), else the host's available parallelism. Only
+/// [`MtaEngine::Partitioned`] reads it.
+fn configured_workers() -> usize {
+    if let Some(w) = WORKERS_OVERRIDE.with(|c| c.get()) {
+        return w;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    if let Some(w) = *ENV.get_or_init(|| {
+        std::env::var("ARCHGRAPH_MTA_WORKERS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map(|w| w.max(1))
+    }) {
+        return w;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// A committed trace batch: the processor clock after its last issue
 /// slot, the instructions executed, and whether the stream halted.
-struct BatchDone {
-    clock: u64,
-    n_exec: u64,
-    halted: bool,
+pub(crate) struct BatchDone {
+    pub(crate) clock: u64,
+    pub(crate) n_exec: u64,
+    pub(crate) halted: bool,
+}
+
+/// The preemption-horizon limit for a batch attempt by stream `id`: a
+/// batched slot `u` is exact iff the single-step engine would pop
+/// `(u, id)` before the queue's front `(ht, hid)`. The front over *all*
+/// processors is conservative — other processors' events commute with
+/// private ops — but never wrong. No pending event → no limit.
+#[inline]
+pub(crate) fn batch_limit(wheel: &mut TimeWheel, id: u32) -> u64 {
+    match wheel.peek() {
+        None => u64::MAX,
+        Some((ht, hid)) => ht + u64::from(id < hid),
+    }
 }
 
 /// The trace-batch fast path: execute the private run starting at `s.pc`
 /// — ALU body plus trailing branch/jump/halt — following taken branches
-/// into further runs while every issue slot stays ahead of the queue's
-/// front event and every register read is ready. Returns `None` (stream
-/// untouched) when no instruction could be batched; the caller then takes
-/// the single-step path. Kept out of line so the issue loop's per-event
-/// code stays compact; `Decoded::batchable` gates entry.
+/// into further runs while every issue slot stays under `limit` (the
+/// caller-computed preemption horizon, see [`batch_limit`]; the
+/// partitioned engine additionally caps it at its epoch end) and every
+/// register read is ready. Returns `None` (stream untouched) when no
+/// instruction could be batched; the caller then takes the single-step
+/// path. Kept out of line so the issue loop's per-event code stays
+/// compact; `Decoded::batchable` gates entry.
 #[inline(never)]
-#[allow(clippy::too_many_arguments)]
-fn try_batch(
-    wheel: &mut TimeWheel,
+pub(crate) fn try_batch(
+    limit: u64,
     s: &mut Stream,
     instrs: &[Instr],
     decoded: &[Decoded],
     d: Decoded,
-    id: u32,
     issue_at: u64,
     op_mix: &mut [u64; N_OP_CLASSES],
 ) -> Option<BatchDone> {
-    // Preemption horizon: a batched slot `u` is exact iff the single-step
-    // engine would pop `(u, id)` before the queue's front `(ht, hid)`.
-    // The front over *all* processors is conservative — other processors'
-    // events commute with private ops — but never wrong. No pending
-    // event → no limit.
-    let limit = match wheel.peek() {
-        None => u64::MAX,
-        Some((ht, hid)) => ht + u64::from(id < hid),
-    };
     let mut dr = d;
     let mut at = issue_at;
     let mut halted = false;
@@ -573,7 +461,7 @@ fn try_batch(
 /// Execute one ALU-class instruction at issue time `ia` (a trace-batch
 /// body step; terminators never come through here).
 #[inline]
-fn alu_step(s: &mut Stream, instr: Instr, ia: u64) {
+pub(crate) fn alu_step(s: &mut Stream, instr: Instr, ia: u64) {
     let (dst, v) = match instr {
         Instr::Li { dst, imm } => (dst, imm),
         Instr::Mov { dst, src } => (dst, s.regs[src.0 as usize]),
@@ -646,6 +534,29 @@ impl Stream {
         self.outstanding[i] = done;
         self.out_len += 1;
     }
+
+    /// Absolute ring index the next [`Self::out_push`] will land in.
+    /// Absolute indices are stable under pops (only `out_head` moves), so
+    /// the partitioned engine can address a provisional completion for its
+    /// merge-phase fix-up.
+    #[inline]
+    pub(crate) fn out_next_slot(&self) -> usize {
+        (self.out_head as usize + self.out_len as usize) % MAX_LOOKAHEAD
+    }
+
+    /// Absolute ring index of the current front entry.
+    #[inline]
+    pub(crate) fn out_front_slot(&self) -> usize {
+        self.out_head as usize
+    }
+
+    /// Overwrite the completion time in absolute ring slot `slot` (the
+    /// partitioned engine replacing a provisional fetch-add completion
+    /// with the hotspot-serialized true time).
+    #[inline]
+    pub(crate) fn out_set_slot(&mut self, slot: usize, done: u64) {
+        self.outstanding[slot] = done;
+    }
 }
 
 /// A simulated MTA system: `p` processors over one flat shared memory.
@@ -657,6 +568,10 @@ pub struct MtaMachine {
     total_cycles: u64,
     host_seconds: f64,
     engine: MtaEngine,
+    /// Worker-partition count for [`MtaEngine::Partitioned`] (ignored by
+    /// the serial engines). Clamped to the processor count at run time;
+    /// never affects simulated quantities.
+    workers: usize,
     engine_stats: EngineStats,
     reports: Vec<RunReport>,
     /// Reusable scratch (the register arena) for the compiled engine —
@@ -681,6 +596,7 @@ impl MtaMachine {
             total_cycles: 0,
             host_seconds: 0.0,
             engine: configured_engine(),
+            workers: configured_workers(),
             engine_stats: EngineStats::default(),
             reports: Vec::new(),
             compiled_scratch: None,
@@ -697,6 +613,18 @@ impl MtaMachine {
     /// `ARCHGRAPH_MTA_ENGINE` environment variable).
     pub fn set_engine(&mut self, engine: MtaEngine) {
         self.engine = engine;
+    }
+
+    /// Worker-partition count the partitioned engine will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Override the worker-partition count for subsequent [`Self::run`]
+    /// calls (normal construction follows [`with_workers`] / the
+    /// `ARCHGRAPH_MTA_WORKERS` environment variable). Clamped to ≥ 1.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// Issue-loop accounting accumulated over all regions run so far.
@@ -813,6 +741,31 @@ impl MtaMachine {
             op_mix = out.op_mix;
             last_completion = out.last_completion;
             stats = out.stats;
+        } else if self.engine == MtaEngine::Partitioned && !program_has_sync(instrs) && latency >= 2
+        {
+            // Partitioned time wheel: streams sharded across worker
+            // partitions (whole processors each), bounded time windows,
+            // shared-memory operations applied serially at each window
+            // barrier in (time, stream_id) order. Sync (full/empty)
+            // programs take the `else` branch below instead — their
+            // retry outcomes depend on globally ordered tag state that a
+            // conservative window cannot resolve in parallel (see
+            // crate::partition docs) — so results stay exact either way.
+            let out = crate::partition::run_region(
+                prog,
+                &mut self.memory,
+                &mut streams,
+                &mut proc_clock,
+                streams_per_proc,
+                latency,
+                lookahead,
+                self.workers,
+            );
+            issued = out.issued;
+            issued_thirds = out.issued_thirds;
+            op_mix = out.op_mix;
+            last_completion = out.last_completion;
+            stats = out.stats;
         } else {
             // Ready queue keyed by earliest possible issue time; stream id
             // breaks ties, which combined with re-insertion at issue_time + 1
@@ -828,8 +781,10 @@ impl MtaMachine {
             // can service another atomic/sync operation.
             let mut word_free = WordFree::new();
             // Scheduling metadata per instruction (including the trace-batch
-            // gate), decoded once up front.
-            let batching = self.engine == MtaEngine::Trace;
+            // gate), decoded once up front. The partitioned engine's sync
+            // fallback batches like Trace — Trace is itself oracle-exact,
+            // so the fallback is too.
+            let batching = matches!(self.engine, MtaEngine::Trace | MtaEngine::Partitioned);
             let decoded = decode(prog, batching);
 
             while let Some((t, id)) = wheel.pop() {
@@ -893,16 +848,10 @@ impl MtaMachine {
                     // into further private runs (a loop of `add; bne` iterations
                     // can retire in a single visit).
                     if d.batchable {
-                        if let Some(done) = try_batch(
-                            &mut wheel,
-                            s,
-                            instrs,
-                            &decoded,
-                            d,
-                            id,
-                            issue_at,
-                            &mut op_mix,
-                        ) {
+                        let limit = batch_limit(&mut wheel, id);
+                        if let Some(done) =
+                            try_batch(limit, s, instrs, &decoded, d, issue_at, &mut op_mix)
+                        {
                             proc_clock[proc] = done.clock;
                             issued += done.n_exec;
                             issued_thirds += done.n_exec;

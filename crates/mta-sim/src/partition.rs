@@ -1,0 +1,841 @@
+//! The partitioned time-wheel engine ([`crate::machine::MtaEngine::Partitioned`]):
+//! deterministic intra-cell parallelism for the MTA simulator.
+//!
+//! # Scheme
+//!
+//! Streams are sharded across `W` worker partitions by **whole
+//! processors** (contiguous processor ranges, so stream ids and processor
+//! clocks split without overlap). Each partition owns a private
+//! [`TimeWheel`] and runs the familiar issue loop inside **bounded time
+//! windows** `[T, W_e)` with `W_e = T + Δ` and `Δ = latency − 1` thirds.
+//! Shared-memory operations (`load` / `store` / `int_fetch_add`) are not
+//! applied in-window: the worker logs them and the main thread applies the
+//! whole window's log **serially at the barrier**, merged across
+//! partitions by the same ascending `(time, stream_id)` key the single
+//! wheel pops in.
+//!
+//! # Determinism argument (DESIGN.md has the long form)
+//!
+//! * **Merge order = single-wheel pop order.** The single-step engine
+//!   applies a memory operation's side effects at its pop, and an issuing
+//!   pop has `e == t`, so the global side-effect order is exactly
+//!   ascending `(t, id)`. Each partition's log is appended in local pop
+//!   order (ascending `(t, id)`), partitions cover disjoint id ranges, and
+//!   windows cover disjoint time ranges, so the k-way merge by `(t, id)`
+//!   reproduces the global order bit-for-bit — same memory image, same
+//!   hotspot (`WordFree`) serialization, same completion times.
+//! * **Readiness implies finality.** Any value produced by an in-window
+//!   memory operation completes at `issue_at + latency ≥ T + latency =
+//!   W_e + 1`, strictly beyond the window. A register whose ready time is
+//!   `≤ W_e` therefore already holds its final value; a visit whose source
+//!   max is `> W_e` is *suspended* (parked on a side list, replayed after
+//!   the merge fixes land) rather than issued against stale state. The
+//!   replayed visit always re-queues (`e > W_e ≥ t`) and touches only
+//!   stream-private state, so its deferral commutes with every other
+//!   event.
+//! * **Provisional completions.** A `fetch_add`'s completion depends on
+//!   hotspot serialization only the merge can order, so its ready time and
+//!   lookahead-ring entry carry the lower bound `issue_at + latency` until
+//!   the merge fix rewrites them (ring slots are addressed absolutely, so
+//!   the fix lands even after pops). A forced lookahead pop that would
+//!   consume a provisional ring entry suspends instead. Wheel pushes made
+//!   from provisional wake hints are lower bounds: the early pop recomputes
+//!   `e` from fixed values and re-queues, changing host-side event counts
+//!   but no simulated quantity.
+//! * **Overwrite guard.** A later in-window write may clobber a register
+//!   still awaiting its merge fix (plain WAR over an in-flight load /
+//!   `fetch_add` destination). Each pending fix carries a per-register
+//!   sequence number; any intervening register write retires the number,
+//!   so a stale fix is dropped exactly when the single-step engine's write
+//!   order would have buried it. Trace batching is gated off while a
+//!   stream has a pending fix (batch extent is host-side policy — PR 2's
+//!   schedule-preservation lemma makes any horizon-respecting split,
+//!   including "no batch", issue at identical times).
+//! * **Batch horizon.** In-window batches use the *local* wheel front
+//!   capped at `W_e`: same-processor streams are always co-partitioned, so
+//!   the local front is the exact same-processor constraint; other
+//!   partitions' events commute with private ops (the same cross-processor
+//!   argument the shared-wheel engines already rely on); and the `W_e` cap
+//!   keeps every batched slot inside the window where readiness implies
+//!   finality.
+//!
+//! Full/empty-bit synchronization (`ReadFE`/`WriteEF`/`ReadFF`) is *not*
+//! windowable: a retry's outcome depends on globally ordered tag state
+//! that a conservative horizon cannot resolve in parallel. Programs
+//! containing sync ops take the batched interpreter path in
+//! `MtaMachine::run` instead (bit-identical by the trace engine's proof);
+//! the arms below are unreachable.
+//!
+//! Worker count never affects simulated quantities — `W = 1` runs the same
+//! windowed loop without threads, and the differential suite pins `W ∈
+//! {1, 2, 4, 8}` against the single-step oracle.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::compiled::RegionOut;
+use crate::isa::{Instr, Program, NREGS, N_OP_CLASSES};
+use crate::machine::{batch_limit, decode, try_batch, Decoded, Stream, WordFree};
+use crate::memory::Memory;
+use crate::report::EngineStats;
+use crate::wheel::TimeWheel;
+
+/// "No pending memory fix" sentinel in the per-register sequence table.
+const NONE_FIX: u32 = u32::MAX;
+
+/// Read-only per-region context shared by every partition.
+struct Env<'a> {
+    instrs: &'a [Instr],
+    decoded: &'a [Decoded],
+    streams_per_proc: usize,
+    latency: u64,
+    lookahead: usize,
+}
+
+/// A shared-memory operation logged in-window, applied at the merge.
+struct MemOp {
+    /// Pop key (equals the issue check's `e`): the merge sort key.
+    t: u64,
+    /// Global stream id: the merge tie-break.
+    id: u32,
+    /// Pending-fix sequence number (guards destination-register fix-up).
+    fid: u32,
+    issue_at: u64,
+    addr: usize,
+    kind: MemKind,
+}
+
+enum MemKind {
+    Load { dst: u8 },
+    Store { val: i64 },
+    FetchAdd { delta: i64, dst: u8, slot: u8 },
+}
+
+/// Merge-phase result handed back to the owning partition: the value (and,
+/// for `fetch_add`, the hotspot-serialized completion time) a logged
+/// operation resolved to.
+enum Fix {
+    LoadVal {
+        local: u32,
+        fid: u32,
+        dst: u8,
+        val: i64,
+    },
+    FetchAdd {
+        local: u32,
+        fid: u32,
+        dst: u8,
+        slot: u8,
+        val: i64,
+        done: u64,
+    },
+}
+
+/// Per-partition mailbox: the worker deposits its window log and next
+/// pending-event time; the merger deposits fixes. Locked once per phase
+/// per side, so the mutex is uncontended by construction.
+#[derive(Default)]
+struct Mailbox {
+    log: Vec<MemOp>,
+    fixes: Vec<Fix>,
+    next_event: u64,
+}
+
+/// Sense-reversing spin barrier. Two crossings per window over at most a
+/// few dozen participants; spinning (with a yield fallback) beats a
+/// mutex/condvar round-trip at the window rates the bench cells hit.
+/// When the host cannot actually run all participants at once
+/// (oversubscription), spinning only steals the quantum the straggler
+/// needs, so the spin budget drops to zero and waiters yield immediately.
+struct SpinBarrier {
+    n: usize,
+    spin_budget: u32,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        let oversubscribed = std::thread::available_parallelism()
+            .map(|c| c.get() < n)
+            .unwrap_or(true);
+        SpinBarrier {
+            n,
+            spin_budget: if oversubscribed { 0 } else { 1 << 14 },
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            if spins < self.spin_budget {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Coordination state shared by the main thread and the workers.
+struct Shared {
+    barrier: SpinBarrier,
+    /// End (exclusive, in thirds) of the window being executed.
+    window_end: AtomicU64,
+    done: AtomicBool,
+    boxes: Vec<Mutex<Mailbox>>,
+}
+
+/// One worker partition: a contiguous processor range with its private
+/// wheel, plus the bookkeeping the window/merge protocol needs.
+struct Partition<'a> {
+    streams: &'a mut [Stream],
+    proc_clock: &'a mut [u64],
+    /// Global id of this partition's first stream.
+    stream_lo: usize,
+    /// Global index of this partition's first processor.
+    proc_lo: usize,
+    wheel: TimeWheel,
+    /// Provisional-completion bitmask over each stream's lookahead ring
+    /// (absolute slots): set on `fetch_add` push, cleared by its fix.
+    prov: Vec<u16>,
+    /// Pending-fix sequence per register, [`NONE_FIX`] when none.
+    seq: Vec<[u32; NREGS]>,
+    /// Count of registers with a pending fix (gates trace batching).
+    cnt: Vec<u32>,
+    /// Suspended visits `(t, id)`, replayed after the next merge.
+    side: Vec<(u64, u32)>,
+    log: Vec<MemOp>,
+    fix_seq: u32,
+    issued: u64,
+    issued_thirds: u64,
+    op_mix: [u64; N_OP_CLASSES],
+    stats: EngineStats,
+}
+
+impl Partition<'_> {
+    /// Apply the previous window's merge fixes. Runs before anything else
+    /// in a phase, so every provisional value is final before execution.
+    fn apply_fixes(&mut self, fixes: &mut Vec<Fix>) {
+        for f in fixes.drain(..) {
+            match f {
+                Fix::LoadVal {
+                    local,
+                    fid,
+                    dst,
+                    val,
+                } => {
+                    let li = local as usize;
+                    let di = dst as usize;
+                    if self.seq[li][di] == fid {
+                        self.seq[li][di] = NONE_FIX;
+                        self.cnt[li] -= 1;
+                        self.streams[li].regs[di] = val;
+                    }
+                }
+                Fix::FetchAdd {
+                    local,
+                    fid,
+                    dst,
+                    slot,
+                    val,
+                    done,
+                } => {
+                    let li = local as usize;
+                    let s = &mut self.streams[li];
+                    s.out_set_slot(slot as usize, done);
+                    self.prov[li] &= !(1u16 << slot);
+                    let di = dst as usize;
+                    if di != 0 && self.seq[li][di] == fid {
+                        self.seq[li][di] = NONE_FIX;
+                        self.cnt[li] -= 1;
+                        s.regs[di] = val;
+                        s.reg_ready[di] = done;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replay visits suspended in the previous window. All register and
+    /// ring state is final by now, so this performs exactly the pop-time
+    /// work the single-step engine would have: recompute `e`, drain the
+    /// lookahead ring, take the forced pop if the ring is full, and
+    /// re-queue (a suspended visit always has `e > t`, so it never issues
+    /// here). All of it is stream-private, so doing it after other
+    /// partitions' higher-keyed events is a pure commutation.
+    fn replay_suspended(&mut self, env: &Env) {
+        if self.side.is_empty() {
+            return;
+        }
+        let side = std::mem::take(&mut self.side);
+        for (t, id) in side {
+            let li = id as usize - self.stream_lo;
+            let s = &mut self.streams[li];
+            let d = env.decoded[s.pc];
+            let mut e = t
+                .max(s.reg_ready[d.src0 as usize])
+                .max(s.reg_ready[d.src1 as usize]);
+            while let Some(c) = s.out_front() {
+                if c <= e {
+                    s.out_pop();
+                } else {
+                    break;
+                }
+            }
+            if d.is_memory && s.out_len as usize >= env.lookahead {
+                debug_assert_eq!(self.prov[li], 0, "fixes must precede replay");
+                let c = s.out_front().unwrap();
+                e = e.max(c);
+                s.out_pop();
+            }
+            debug_assert!(e > t, "suspended visits re-queue past the window");
+            self.wheel.push(e, id);
+        }
+    }
+
+    /// Earliest pending event after a window: the wheel front, or — if
+    /// suspended visits are still awaiting fixes — the just-finished
+    /// window end as a conservative stand-in (their re-queue times are
+    /// provably beyond it).
+    fn next_event(&mut self, we: u64) -> u64 {
+        let w = self.wheel.peek().map_or(u64::MAX, |(t, _)| t);
+        if self.side.is_empty() {
+            w
+        } else {
+            w.min(we)
+        }
+    }
+
+    /// The issue loop over one bounded window `[.., we)` — line-for-line
+    /// the single-step loop in `machine.rs`, except that shared-memory
+    /// effects are logged for the merge and visits that would touch
+    /// non-final state are suspended.
+    fn run_window(&mut self, we: u64, env: &Env) {
+        while let Some((t, id)) = self.wheel.pop_before(we) {
+            self.stats.events += 1;
+            let li = id as usize - self.stream_lo;
+            let proc = id as usize / env.streams_per_proc;
+            let pi = proc - self.proc_lo;
+            let s = &mut self.streams[li];
+            debug_assert!(!s.halted);
+            if s.pc >= env.instrs.len() {
+                s.halted = true;
+                continue;
+            }
+            let instr = env.instrs[s.pc];
+            let d = env.decoded[s.pc];
+
+            let rmax = s.reg_ready[d.src0 as usize].max(s.reg_ready[d.src1 as usize]);
+            if rmax > we {
+                // A source is still in flight past the window — possibly a
+                // provisional lower bound. Park the visit; the replay after
+                // the merge sees final values.
+                self.side.push((t, id));
+                continue;
+            }
+            let mut e = t.max(rmax);
+            while let Some(c) = s.out_front() {
+                // Ring entries ≤ e ≤ we are final (provisional ones are
+                // > we by construction), so this drain is exact.
+                if c <= e {
+                    s.out_pop();
+                } else {
+                    break;
+                }
+            }
+            if d.is_memory && s.out_len as usize >= env.lookahead {
+                if self.prov[li] & (1u16 << s.out_front_slot()) != 0 {
+                    // The forced pop would consume a provisional
+                    // completion; its final time arrives with the merge.
+                    self.side.push((t, id));
+                    continue;
+                }
+                let c = s.out_front().unwrap();
+                e = e.max(c);
+                s.out_pop();
+            }
+            if e > t {
+                self.wheel.push(e, id);
+                continue;
+            }
+            let issue_at = e.max(self.proc_clock[pi]);
+
+            if d.batchable && self.cnt[li] == 0 {
+                // Local front is the exact same-processor horizon (whole
+                // processors per partition); the `we` cap keeps batched
+                // slots where readiness implies finality. Batching is
+                // skipped while a register fix is pending so no batched
+                // write can bury one unnoticed.
+                let limit = batch_limit(&mut self.wheel, id).min(we);
+                if let Some(done) = try_batch(
+                    limit,
+                    s,
+                    env.instrs,
+                    env.decoded,
+                    d,
+                    issue_at,
+                    &mut self.op_mix,
+                ) {
+                    self.proc_clock[pi] = done.clock;
+                    self.issued += done.n_exec;
+                    self.issued_thirds += done.n_exec;
+                    if done.n_exec >= 2 {
+                        self.stats.batches += 1;
+                        self.stats.batched_instrs += done.n_exec;
+                    }
+                    if done.halted {
+                        s.halted = true;
+                        continue;
+                    }
+                    let dn = env.decoded[s.pc];
+                    let wake = done
+                        .clock
+                        .max(s.reg_ready[dn.src0 as usize])
+                        .max(s.reg_ready[dn.src1 as usize]);
+                    self.wheel.push(wake, id);
+                    continue;
+                }
+            }
+
+            let cost = u64::from(d.cost);
+            self.proc_clock[pi] = issue_at + cost;
+            self.issued += 1;
+            self.issued_thirds += cost;
+            self.op_mix[d.class_idx as usize] += 1;
+            let next_ready = issue_at + cost;
+            let mut next_pc = s.pc + 1;
+
+            macro_rules! wreg {
+                ($dst:expr, $val:expr, $ready:expr) => {{
+                    let di = $dst.0 as usize;
+                    if di != 0 {
+                        s.regs[di] = $val;
+                        s.reg_ready[di] = $ready;
+                        if self.seq[li][di] != NONE_FIX {
+                            // This write buries a pending memory fix: the
+                            // single-step engine's later write wins there
+                            // too, so retire the fix.
+                            self.seq[li][di] = NONE_FIX;
+                            self.cnt[li] -= 1;
+                        }
+                    }
+                }};
+            }
+
+            match instr {
+                Instr::Li { dst, imm } => wreg!(dst, imm, issue_at + 1),
+                Instr::Mov { dst, src } => {
+                    wreg!(dst, s.regs[src.0 as usize], issue_at + 1)
+                }
+                Instr::Add { dst, a, b } => {
+                    let v = s.regs[a.0 as usize].wrapping_add(s.regs[b.0 as usize]);
+                    wreg!(dst, v, issue_at + 1)
+                }
+                Instr::AddI { dst, a, imm } => {
+                    let v = s.regs[a.0 as usize].wrapping_add(imm);
+                    wreg!(dst, v, issue_at + 1)
+                }
+                Instr::Sub { dst, a, b } => {
+                    let v = s.regs[a.0 as usize].wrapping_sub(s.regs[b.0 as usize]);
+                    wreg!(dst, v, issue_at + 1)
+                }
+                Instr::Mul { dst, a, b } => {
+                    let v = s.regs[a.0 as usize].wrapping_mul(s.regs[b.0 as usize]);
+                    wreg!(dst, v, issue_at + 1)
+                }
+                Instr::Load { dst, addr, off } => {
+                    let a = (s.regs[addr.0 as usize] + off) as usize;
+                    let done = issue_at + env.latency;
+                    let fid = self.fix_seq;
+                    self.fix_seq += 1;
+                    let di = dst.0 as usize;
+                    if di != 0 {
+                        // Ready time is final; the value lands with the
+                        // merge fix. Readers gate on the ready time, so
+                        // the stale `regs` word is unreachable meanwhile.
+                        s.reg_ready[di] = done;
+                        if self.seq[li][di] == NONE_FIX {
+                            self.cnt[li] += 1;
+                        }
+                        self.seq[li][di] = fid;
+                    }
+                    self.log.push(MemOp {
+                        t,
+                        id,
+                        fid,
+                        issue_at,
+                        addr: a,
+                        kind: MemKind::Load { dst: dst.0 },
+                    });
+                    s.out_push(done);
+                }
+                Instr::Store { src, addr, off } => {
+                    let a = (s.regs[addr.0 as usize] + off) as usize;
+                    self.log.push(MemOp {
+                        t,
+                        id,
+                        fid: NONE_FIX,
+                        issue_at,
+                        addr: a,
+                        kind: MemKind::Store {
+                            val: s.regs[src.0 as usize],
+                        },
+                    });
+                    s.out_push(issue_at + env.latency);
+                }
+                Instr::FetchAdd {
+                    dst,
+                    addr,
+                    off,
+                    delta,
+                } => {
+                    let a = (s.regs[addr.0 as usize] + off) as usize;
+                    // Lower bound on the completion; the merge serializes
+                    // the word hotspot and rewrites ready/ring with the
+                    // true `service + latency`.
+                    let done_lb = issue_at + env.latency;
+                    let slot = s.out_next_slot();
+                    let fid = self.fix_seq;
+                    self.fix_seq += 1;
+                    let di = dst.0 as usize;
+                    if di != 0 {
+                        s.reg_ready[di] = done_lb;
+                        if self.seq[li][di] == NONE_FIX {
+                            self.cnt[li] += 1;
+                        }
+                        self.seq[li][di] = fid;
+                    }
+                    self.prov[li] |= 1u16 << slot;
+                    self.log.push(MemOp {
+                        t,
+                        id,
+                        fid,
+                        issue_at,
+                        addr: a,
+                        kind: MemKind::FetchAdd {
+                            delta: s.regs[delta.0 as usize],
+                            dst: dst.0,
+                            slot: slot as u8,
+                        },
+                    });
+                    s.out_push(done_lb);
+                }
+                Instr::ReadFE { .. } | Instr::WriteEF { .. } | Instr::ReadFF { .. } => {
+                    unreachable!("sync programs take the interpreter path")
+                }
+                Instr::Beq { a, b, target } => {
+                    if s.regs[a.0 as usize] == s.regs[b.0 as usize] {
+                        next_pc = target;
+                    }
+                }
+                Instr::Bne { a, b, target } => {
+                    if s.regs[a.0 as usize] != s.regs[b.0 as usize] {
+                        next_pc = target;
+                    }
+                }
+                Instr::Blt { a, b, target } => {
+                    if s.regs[a.0 as usize] < s.regs[b.0 as usize] {
+                        next_pc = target;
+                    }
+                }
+                Instr::Bge { a, b, target } => {
+                    if s.regs[a.0 as usize] >= s.regs[b.0 as usize] {
+                        next_pc = target;
+                    }
+                }
+                Instr::Jmp { target } => next_pc = target,
+                Instr::Halt => {
+                    s.halted = true;
+                    continue;
+                }
+            }
+
+            s.pc = next_pc;
+            if s.pc >= env.instrs.len() {
+                s.halted = true;
+                continue;
+            }
+            let dn = env.decoded[s.pc];
+            let wake = next_ready
+                .max(s.reg_ready[dn.src0 as usize])
+                .max(s.reg_ready[dn.src1 as usize]);
+            self.wheel.push(wake, id);
+        }
+    }
+}
+
+/// One worker's lifetime: fences at the barrier, runs its partition's
+/// phase, deposits the window log, and fences again while the main thread
+/// merges.
+fn worker_loop(part: &mut Partition, k: usize, shared: &Shared, env: &Env) {
+    let mut fixes: Vec<Fix> = Vec::new();
+    loop {
+        shared.barrier.wait();
+        if shared.done.load(Ordering::Acquire) {
+            break;
+        }
+        let we = shared.window_end.load(Ordering::Acquire);
+        {
+            let mut mb = shared.boxes[k].lock().unwrap();
+            std::mem::swap(&mut fixes, &mut mb.fixes);
+        }
+        part.apply_fixes(&mut fixes);
+        part.replay_suspended(env);
+        part.run_window(we, env);
+        {
+            let mut mb = shared.boxes[k].lock().unwrap();
+            std::mem::swap(&mut mb.log, &mut part.log);
+            mb.next_event = part.next_event(we);
+        }
+        shared.barrier.wait();
+    }
+}
+
+/// Serially apply one window's logs in global `(t, id)` order (a k-way
+/// merge over the per-partition logs, each already locally ascending),
+/// producing per-partition fixes.
+#[allow(clippy::too_many_arguments)]
+fn merge_apply(
+    logs: &[Vec<MemOp>],
+    stream_lo: &[usize],
+    memory: &mut Memory,
+    word_free: &mut WordFree,
+    latency: u64,
+    last_completion: &mut u64,
+    idx: &mut [usize],
+    fixes: &mut [Vec<Fix>],
+) {
+    idx.fill(0);
+    loop {
+        let mut best: Option<((u64, u32), usize)> = None;
+        for (k, log) in logs.iter().enumerate() {
+            if let Some(op) = log.get(idx[k]) {
+                let key = (op.t, op.id);
+                if best.is_none_or(|(bk, _)| key < bk) {
+                    best = Some((key, k));
+                }
+            }
+        }
+        let Some((_, k)) = best else { break };
+        let op = &logs[k][idx[k]];
+        idx[k] += 1;
+        let local = (op.id as usize - stream_lo[k]) as u32;
+        match op.kind {
+            MemKind::Load { dst } => {
+                let v = memory.load(op.addr);
+                let done = op.issue_at + latency;
+                *last_completion = (*last_completion).max(done);
+                if dst != 0 {
+                    fixes[k].push(Fix::LoadVal {
+                        local,
+                        fid: op.fid,
+                        dst,
+                        val: v,
+                    });
+                }
+            }
+            MemKind::Store { val } => {
+                memory.store(op.addr, val);
+                *last_completion = (*last_completion).max(op.issue_at + latency);
+            }
+            MemKind::FetchAdd { delta, dst, slot } => {
+                let old = memory.int_fetch_add(op.addr, delta);
+                let wf = word_free.slot(op.addr);
+                let service = (*wf).max(op.issue_at);
+                *wf = service + 3;
+                let done = service + latency;
+                *last_completion = (*last_completion).max(done);
+                fixes[k].push(Fix::FetchAdd {
+                    local,
+                    fid: op.fid,
+                    dst,
+                    slot,
+                    val: old,
+                    done,
+                });
+            }
+        }
+    }
+}
+
+/// Execute one region under the partitioned engine. Same contract as the
+/// other engines' region runners: every simulated quantity (issue order,
+/// clocks, counters, memory image) is bit-identical to the single-step
+/// oracle for any `workers`, including 1.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_region(
+    prog: &Program,
+    memory: &mut Memory,
+    streams: &mut [Stream],
+    proc_clock: &mut [u64],
+    streams_per_proc: usize,
+    latency: u64,
+    lookahead: usize,
+    workers: usize,
+) -> RegionOut {
+    let total = streams.len();
+    let p = proc_clock.len();
+    let w_eff = workers.clamp(1, p);
+    // Window width Δ = latency − 1: an in-window memory operation issues at
+    // ≥ the window start T, so it completes at ≥ T + latency = W_e + 1,
+    // strictly beyond the window — which is what makes "ready time ≤ W_e"
+    // imply "value is final". (The dispatcher guarantees latency ≥ 3.)
+    debug_assert!(latency >= 2);
+    let delta = latency.saturating_sub(1).max(1);
+    let decoded = decode(prog, true);
+    let env = Env {
+        instrs: prog.instrs(),
+        decoded: &decoded,
+        streams_per_proc,
+        latency,
+        lookahead,
+    };
+
+    // Carve contiguous whole-processor partitions.
+    let mut parts: Vec<Partition> = Vec::with_capacity(w_eff);
+    let mut stream_lo_tab: Vec<usize> = Vec::with_capacity(w_eff);
+    {
+        let mut srest = streams;
+        let mut crest = proc_clock;
+        let mut proc_lo = 0usize;
+        for k in 0..w_eff {
+            let nproc = p / w_eff + usize::from(k < p % w_eff);
+            let (sa, srest2) = srest.split_at_mut(nproc * streams_per_proc);
+            let (ca, crest2) = crest.split_at_mut(nproc);
+            srest = srest2;
+            crest = crest2;
+            let stream_lo = proc_lo * streams_per_proc;
+            stream_lo_tab.push(stream_lo);
+            let mut wheel = TimeWheel::new(total);
+            for i in 0..sa.len() {
+                wheel.push(0, (stream_lo + i) as u32);
+            }
+            let n = sa.len();
+            parts.push(Partition {
+                streams: sa,
+                proc_clock: ca,
+                stream_lo,
+                proc_lo,
+                wheel,
+                prov: vec![0u16; n],
+                seq: vec![[NONE_FIX; NREGS]; n],
+                cnt: vec![0u32; n],
+                side: Vec::new(),
+                log: Vec::new(),
+                fix_seq: 0,
+                issued: 0,
+                issued_thirds: 0,
+                op_mix: [0u64; N_OP_CLASSES],
+                stats: EngineStats::default(),
+            });
+            proc_lo += nproc;
+        }
+    }
+
+    let shared = Shared {
+        barrier: SpinBarrier::new(w_eff),
+        window_end: AtomicU64::new(delta),
+        done: AtomicBool::new(false),
+        boxes: (0..w_eff).map(|_| Mutex::new(Mailbox::default())).collect(),
+    };
+
+    let mut last_completion = 0u64;
+    {
+        let (head, rest) = parts.split_at_mut(1);
+        let p0 = &mut head[0];
+        std::thread::scope(|scope| {
+            for (i, part) in rest.iter_mut().enumerate() {
+                let shared = &shared;
+                let env = &env;
+                scope.spawn(move || worker_loop(part, i + 1, shared, env));
+            }
+            // Main thread: partition 0's worker phase plus the serial merge.
+            let mut word_free = WordFree::new();
+            let mut fixes0: Vec<Fix> = Vec::new();
+            let mut logs: Vec<Vec<MemOp>> = (0..w_eff).map(|_| Vec::new()).collect();
+            let mut fixes: Vec<Vec<Fix>> = (0..w_eff).map(|_| Vec::new()).collect();
+            let mut idx = vec![0usize; w_eff];
+            loop {
+                shared.barrier.wait();
+                if shared.done.load(Ordering::Acquire) {
+                    break;
+                }
+                let we = shared.window_end.load(Ordering::Acquire);
+                {
+                    let mut mb = shared.boxes[0].lock().unwrap();
+                    std::mem::swap(&mut fixes0, &mut mb.fixes);
+                }
+                p0.apply_fixes(&mut fixes0);
+                p0.replay_suspended(&env);
+                p0.run_window(we, &env);
+                {
+                    let mut mb = shared.boxes[0].lock().unwrap();
+                    std::mem::swap(&mut mb.log, &mut p0.log);
+                    mb.next_event = p0.next_event(we);
+                }
+                shared.barrier.wait();
+
+                let mut t_next = u64::MAX;
+                for (k, bx) in shared.boxes.iter().enumerate() {
+                    let mut mb = bx.lock().unwrap();
+                    std::mem::swap(&mut logs[k], &mut mb.log);
+                    t_next = t_next.min(mb.next_event);
+                }
+                merge_apply(
+                    &logs,
+                    &stream_lo_tab,
+                    memory,
+                    &mut word_free,
+                    latency,
+                    &mut last_completion,
+                    &mut idx,
+                    &mut fixes,
+                );
+                for (k, bx) in shared.boxes.iter().enumerate() {
+                    logs[k].clear();
+                    if !fixes[k].is_empty() {
+                        let mut mb = bx.lock().unwrap();
+                        std::mem::swap(&mut mb.fixes, &mut fixes[k]);
+                    }
+                }
+                if t_next == u64::MAX {
+                    shared.done.store(true, Ordering::Release);
+                } else {
+                    shared
+                        .window_end
+                        .store(t_next.saturating_add(delta), Ordering::Release);
+                }
+            }
+        });
+    }
+
+    let mut out = RegionOut {
+        issued: 0,
+        issued_thirds: 0,
+        op_mix: [0u64; N_OP_CLASSES],
+        last_completion,
+        stats: EngineStats::default(),
+    };
+    for part in &parts {
+        out.issued += part.issued;
+        out.issued_thirds += part.issued_thirds;
+        for (acc, v) in out.op_mix.iter_mut().zip(part.op_mix.iter()) {
+            *acc += v;
+        }
+        out.stats.events += part.stats.events;
+        out.stats.batches += part.stats.batches;
+        out.stats.batched_instrs += part.stats.batched_instrs;
+    }
+    out
+}

@@ -19,7 +19,7 @@ use proptest::prelude::*;
 
 use archgraph_core::MtaParams;
 use archgraph_mta_sim::isa::{Program, ProgramBuilder, Reg};
-use archgraph_mta_sim::machine::{MtaEngine, MtaMachine};
+use archgraph_mta_sim::machine::{with_workers, MtaEngine, MtaMachine};
 use archgraph_mta_sim::report::RunReport;
 
 const MEM_WORDS: usize = 48;
@@ -43,8 +43,14 @@ fn run_engine(
     (rep, m.memory().peek_slice(0, MEM_WORDS))
 }
 
-/// The engines checked against the single-step oracle.
-const FAST_ENGINES: [MtaEngine; 2] = [MtaEngine::Trace, MtaEngine::Compiled];
+/// The engines checked against the single-step oracle. Partitioned runs
+/// at the ambient worker count here (the host's parallelism); the
+/// explicit `W ∈ {1, 2, 4, 8}` sweep is pinned further down.
+const FAST_ENGINES: [MtaEngine; 3] = [
+    MtaEngine::Trace,
+    MtaEngine::Compiled,
+    MtaEngine::Partitioned,
+];
 
 /// Assert all engines agree on `prog` for several machine shapes.
 fn assert_schedule_preserved(prog: &Program, mem_init: &[i64]) {
@@ -358,6 +364,54 @@ fn pinned_sync_handshake() {
                 "{engine:?} memory diverged at p={p} s={streams}"
             );
             assert!(rep.mem.sync_ops > 0, "handshake must use sync ops");
+        }
+    }
+}
+
+/// The partitioned engine must be bit-identical to the oracle at every
+/// worker count, including counts above the processor count (clamped)
+/// and `W = 1` (the windowed loop without threads). Exercises the
+/// memory-heavy golden kernels where suspensions, provisional
+/// fetch-add completions, and the window merge all fire.
+#[test]
+fn partitioned_matches_oracle_across_worker_counts() {
+    // Fig. 1-shaped list walk (see `fig1_walk_kernel_golden`).
+    let n = 24i64;
+    let mut mem = vec![0i64; MEM_WORDS];
+    for i in 0..n {
+        let succ = (i + 1) % n;
+        mem[(2 + i) as usize] = if succ % 4 == 0 { 0 } else { 2 + succ };
+    }
+    let mut b = ProgramBuilder::new();
+    let (i, one, lim, j, c) = (Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(one, 1).li(lim, n);
+    let claim = b.here();
+    b.fetch_add_imm(i, 0, one);
+    let done = b.bge_fwd(i, lim);
+    b.addi(j, i, 2);
+    let walk = b.here();
+    b.load(j, j, 0);
+    b.beq(j, Reg(0), claim);
+    b.fetch_add_imm(c, 1, one);
+    b.jmp(walk);
+    b.bind(done);
+    b.halt();
+    let prog = b.build();
+
+    for &(p, streams) in &[(1usize, 4usize), (2, 3), (3, 8), (8, 8)] {
+        let (rs, ms) = run_engine(&prog, MtaEngine::SingleStep, p, streams, &mem);
+        for w in [1usize, 2, 4, 8] {
+            let (rp, mp) = with_workers(w, || {
+                run_engine(&prog, MtaEngine::Partitioned, p, streams, &mem)
+            });
+            assert_eq!(
+                rp, rs,
+                "partitioned report diverged at p={p} streams={streams} workers={w}"
+            );
+            assert_eq!(
+                mp, ms,
+                "partitioned memory diverged at p={p} streams={streams} workers={w}"
+            );
         }
     }
 }

@@ -34,11 +34,27 @@ echo "== engine differential smoke =="
 # quantities, so any engine whose schedule diverges from the oracle
 # fails loudly here — the env-var path is exactly what users reach for
 # (ARCHGRAPH_MTA_ENGINE), so it is the path this leg exercises.
-for engine in single-step trace compiled; do
+for engine in single-step trace compiled partitioned; do
     echo "-- ARCHGRAPH_MTA_ENGINE=$engine"
     ARCHGRAPH_MTA_ENGINE="$engine" \
         cargo test -q --offline -p archgraph-mta-sim -p archgraph-listrank -p archgraph-concomp
 done
+
+echo "== partitioned engine: worker-count identity =="
+# The partitioned engine's determinism contract: simulation fingerprints
+# must be byte-identical for every worker count. Run the bench cells
+# (fingerprints only, 1 rep) at W=1 and W=4 and diff the "sim" lines —
+# any difference is a merge-order bug, not noise.
+w1="$(mktemp)" w4="$(mktemp)"
+trap 'rm -f "$w1" "$w4"' EXIT
+ARCHGRAPH_MTA_WORKERS=1 \
+    cargo run --release --offline -p archgraph-bench --bin bench -- --out "$w1" --reps 1
+ARCHGRAPH_MTA_WORKERS=4 \
+    cargo run --release --offline -p archgraph-bench --bin bench -- --out "$w4" --reps 1
+if ! diff <(grep '"sim"' "$w1") <(grep '"sim"' "$w4"); then
+    echo "ci: FAIL — partitioned-engine fingerprints differ between W=1 and W=4" >&2
+    exit 1
+fi
 
 echo "== bench regression check =="
 scripts/bench_check.sh
