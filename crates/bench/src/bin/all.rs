@@ -5,6 +5,7 @@
 //! cargo run --release -p archgraph-bench --bin all -- [smoke|default|full]
 //! ```
 
+use archgraph_bench::sweep::exit_if_failed;
 use archgraph_bench::{fig1, fig2, last_or_exit, scale_or_usage, series_or_exit, table1};
 use archgraph_core::report::{fmt_percent, fmt_ratio, ratios, Table};
 
@@ -19,14 +20,27 @@ fn main() {
     println!("regenerating the full evaluation at {scale:?} scale (p up to {p})\n");
 
     eprintln!("[1/4] Fig. 1 series...");
-    let f1_mta = fig1::mta_series(scale, true);
-    let f1_smp = fig1::smp_series(scale, true);
+    let f1_mta_sw = fig1::mta_sweep(scale, true);
+    let f1_smp_sw = fig1::smp_sweep(scale, true);
     eprintln!("[2/4] Fig. 2 series...");
-    let f2_mta = fig2::mta_series(scale, true);
-    let f2_smp = fig2::smp_series(scale, true);
+    let f2_mta_sw = fig2::mta_sweep(scale, true);
+    let f2_smp_sw = fig2::smp_sweep(scale, true);
     eprintln!("[3/4] Table 1...");
-    let t1 = table1::utilization_table(scale, true);
+    let t1_sw = table1::utilization_sweep(scale, true);
     eprintln!("[4/4] ratios...\n");
+
+    // Every sweep completed its surviving cells; summarize and bail now if
+    // any cell panicked — the ratio section below needs complete series.
+    let mut failures = Vec::new();
+    failures.extend(f1_mta_sw.failures.iter().cloned());
+    failures.extend(f1_smp_sw.failures.iter().cloned());
+    failures.extend(f2_mta_sw.failures.iter().cloned());
+    failures.extend(f2_smp_sw.failures.iter().cloned());
+    failures.extend(t1_sw.failures.iter().cloned());
+    exit_if_failed("all", &failures);
+    let (f1_mta, f1_smp) = (f1_mta_sw.series, f1_smp_sw.series);
+    let (f2_mta, f2_smp) = (f2_mta_sw.series, f2_smp_sw.series);
+    let t1 = t1_sw.rows;
 
     let find = |set: &[archgraph_core::experiment::Series], label: String| {
         series_or_exit(set, &label).clone()

@@ -16,12 +16,21 @@
 //! Cells run serially (never through the rayon grid) so timings are not
 //! polluted by sibling cells competing for cores.
 //!
+//! Each cell is panic-isolated (`sweep::isolate`): a cell that panics —
+//! including a guardrail firing, since every simulation here runs under
+//! the default `ARCHGRAPH_MAX_CYCLES` watchdog, so a regression that
+//! *hangs* now dies in bounded time instead of timing out the CI runner —
+//! records an `"error"` entry in the output JSON, the remaining cells
+//! still run, and the driver exits nonzero. On a clean run the JSON is
+//! byte-identical to what the pre-guardrail driver wrote.
+//!
 //! ```text
 //! cargo run --release -p archgraph-bench --bin bench [-- --out PATH] [--reps N]
 //! ```
 
 use std::time::Instant;
 
+use archgraph_bench::sweep;
 use archgraph_bench::workloads::ListKind;
 use archgraph_bench::{fig1, fig2, table1};
 use archgraph_mta_sim::machine::{with_engine, MtaEngine};
@@ -32,38 +41,45 @@ const SCHEMA: u64 = 1;
 /// Default output path — the committed baseline at the repo root.
 const DEFAULT_OUT: &str = "BENCH_archgraph.json";
 
-/// One timed cell: a stable name, the timed closure's minimum wall-clock
-/// seconds, and the exact simulated-quantity fingerprint.
+/// Exact simulated-quantity fingerprint: `(label, value)` pairs.
+type Fingerprint = Vec<(&'static str, u64)>;
+
+/// One cell: a stable name plus either the timed result (minimum
+/// wall-clock seconds and the exact simulated-quantity fingerprint) or
+/// the panic message that killed it.
 struct CellResult {
     name: &'static str,
-    host_seconds: f64,
-    sim: Vec<(&'static str, u64)>,
+    outcome: Result<(f64, Fingerprint), String>,
 }
 
 /// Time `f` with one warm-up plus `reps` repetitions; keep the fastest.
 /// The fingerprint must be identical across repetitions — the simulators
-/// are deterministic, so any variation is a harness bug worth crashing on.
-fn time_cell<F: Fn() -> Vec<(&'static str, u64)>>(
-    name: &'static str,
-    reps: usize,
-    f: F,
-) -> CellResult {
-    let fingerprint = f(); // warm-up (untimed)
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let fp = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        assert_eq!(
-            fp, fingerprint,
-            "{name}: simulation fingerprint varied across repetitions"
-        );
+/// are deterministic, so any variation is a harness bug worth failing on.
+/// Panics inside the cell (fingerprint drift, simulator guardrails, the
+/// deliberate `ARCHGRAPH_BENCH_PANIC_CELL` hook) are isolated: the cell
+/// records the failure and the rest of the suite still runs.
+fn time_cell<F: Fn() -> Fingerprint>(name: &'static str, reps: usize, f: F) -> CellResult {
+    let outcome = sweep::isolate(name, || {
+        let fingerprint = f(); // warm-up (untimed)
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let fp = f();
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                fp, fingerprint,
+                "{name}: simulation fingerprint varied across repetitions"
+            );
+        }
+        (best, fingerprint)
+    });
+    match &outcome {
+        Ok((best, fingerprint)) => eprintln!("  bench {name}: {best:.4} s  {fingerprint:?}"),
+        Err(failure) => eprintln!("  bench {failure}"),
     }
-    eprintln!("  bench {name}: {best:.4} s  {fingerprint:?}");
     CellResult {
         name,
-        host_seconds: best,
-        sim: fingerprint,
+        outcome: outcome.map_err(|f| f.message),
     }
 }
 
@@ -196,8 +212,29 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
     ]
 }
 
+/// Escape a string for a JSON literal (quotes, backslashes, control
+/// characters — panic messages can contain anything).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render the results as pretty-printed JSON. Hand-rolled on purpose: the
 /// schema is tiny and the workspace has no JSON dependency to lean on.
+/// Completed cells render exactly as before the guardrail layer existed
+/// (the committed baseline must stay byte-identical); failed cells render
+/// an `"error"` entry instead of `host_seconds`/`sim`.
 fn to_json(cells: &[CellResult], reps: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -208,15 +245,22 @@ fn to_json(cells: &[CellResult], reps: usize) -> String {
     for (i, c) in cells.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", c.name));
-        out.push_str(&format!("      \"host_seconds\": {:.6},\n", c.host_seconds));
-        out.push_str("      \"sim\": { ");
-        for (j, (k, v)) in c.sim.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
+        match &c.outcome {
+            Ok((host_seconds, sim)) => {
+                out.push_str(&format!("      \"host_seconds\": {host_seconds:.6},\n"));
+                out.push_str("      \"sim\": { ");
+                for (j, (k, v)) in sim.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{k}\": {v}"));
+                }
+                out.push_str(" }\n");
             }
-            out.push_str(&format!("\"{k}\": {v}"));
+            Err(message) => {
+                out.push_str(&format!("      \"error\": \"{}\"\n", json_escape(message)));
+            }
         }
-        out.push_str(" }\n");
         out.push_str(if i + 1 < cells.len() {
             "    },\n"
         } else {
@@ -265,4 +309,76 @@ fn main() {
         std::process::exit(1);
     });
     println!("wrote {} cells to {out_path}", cells.len());
+
+    let failed: Vec<&CellResult> = cells.iter().filter(|c| c.outcome.is_err()).collect();
+    if !failed.is_empty() {
+        eprintln!("bench: {} cell(s) failed:", failed.len());
+        for c in &failed {
+            if let Err(m) = &c.outcome {
+                eprintln!("  {}: {m}", c.name);
+            }
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_cell(name: &'static str) -> CellResult {
+        CellResult {
+            name,
+            outcome: Ok((0.0123456, vec![("cycles", 100), ("issued", 42)])),
+        }
+    }
+
+    /// Clean cells must render exactly the pre-guardrail schema — the
+    /// committed `BENCH_archgraph.json` baseline is diffed byte-for-byte.
+    #[test]
+    fn clean_json_matches_the_legacy_schema() {
+        let json = to_json(&[ok_cell("a/b"), ok_cell("c/d")], 3);
+        let expected = "{\n  \"schema\": 1,\n  \"tool\": \"archgraph-bench\",\n  \"reps\": 3,\n  \"cells\": [\n    {\n      \"name\": \"a/b\",\n      \"host_seconds\": 0.012346,\n      \"sim\": { \"cycles\": 100, \"issued\": 42 }\n    },\n    {\n      \"name\": \"c/d\",\n      \"host_seconds\": 0.012346,\n      \"sim\": { \"cycles\": 100, \"issued\": 42 }\n    }\n  ]\n}\n";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn failed_cells_render_an_error_entry() {
+        let cells = [
+            ok_cell("good"),
+            CellResult {
+                name: "bad",
+                outcome: Err("deadlock at cycle 9:\n  stream \"0\"".to_string()),
+            },
+        ];
+        let json = to_json(&cells, 1);
+        assert!(json.contains("\"error\": \"deadlock at cycle 9:\\n  stream \\\"0\\\"\""));
+        assert!(
+            !json.contains("\"error\": \"deadlock at cycle 9:\n"),
+            "newlines must be escaped"
+        );
+        assert!(
+            json.contains("\"name\": \"good\""),
+            "surviving cells still render"
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    /// The deliberate-panic hook plus isolation: the named cell fails,
+    /// the suite keeps going, and the failure carries the message.
+    #[test]
+    fn time_cell_isolates_panics() {
+        let r = time_cell("unit/panics", 1, || panic!("cell exploded"));
+        assert_eq!(r.outcome, Err("cell exploded".to_string()));
+        let ok = time_cell("unit/fine", 1, || vec![("cycles", 7)]);
+        match ok.outcome {
+            Ok((_, fp)) => assert_eq!(fp, vec![("cycles", 7)]),
+            Err(e) => panic!("clean cell failed: {e}"),
+        }
+    }
 }

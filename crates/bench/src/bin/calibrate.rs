@@ -10,12 +10,31 @@
 //! ```
 
 use archgraph_bench::grid::par_map;
+use archgraph_bench::sweep::{exit_if_failed, isolate, CellFailure, Checkpoint};
 use archgraph_bench::workloads::{make_graph, make_list, ListKind};
 use archgraph_bench::{scale_or_usage, Scale};
 use archgraph_concomp::{sim_mta as cc_mta, sim_smp as cc_smp};
 use archgraph_core::machine::{MtaParams, SmpParams};
 use archgraph_core::report::fmt_ratio;
 use archgraph_listrank::{sim_mta as lr_mta, sim_smp as lr_smp};
+
+/// Panic-isolated, checkpointed `(seconds, utilization)` cell. Float
+/// `Display` is shortest-exact, so restored values are bit-identical.
+fn cal_cell(
+    ck: &Checkpoint,
+    name: &str,
+    f: impl FnOnce() -> (f64, f64),
+) -> Result<(f64, f64), CellFailure> {
+    if let Some(s) = ck.lookup(name) {
+        let mut it = s.split_whitespace().map(str::parse::<f64>);
+        if let (Some(Ok(a)), Some(Ok(b)), None) = (it.next(), it.next(), it.next()) {
+            return Ok((a, b));
+        }
+    }
+    let v = isolate(name, f)?;
+    ck.record(name, &format!("{} {}", v.0, v.1));
+    Ok(v)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,30 +59,54 @@ fn main() {
     let g = make_graph(ng, mg, 2);
 
     // Every simulation is independent; run them as one parallel grid of
-    // `(seconds, utilization)` cells and print in fixed order below.
+    // `(seconds, utilization)` cells — each panic-isolated and (at --full
+    // scale) checkpointed — and print in fixed order below.
+    const NAMES: [&str; 8] = [
+        "calibrate/smp/ordered",
+        "calibrate/smp/random",
+        "calibrate/mta/ordered",
+        "calibrate/mta/random",
+        "calibrate/smp/random/p1",
+        "calibrate/mta/random/p1",
+        "calibrate/smp/cc",
+        "calibrate/mta/cc",
+    ];
+    let ck = Checkpoint::for_sweep("calibrate", scale);
     let tasks: Vec<usize> = (0..8).collect();
-    let results = par_map(&tasks, |&i| match i {
-        0 => (lr_smp::simulate_hj(&ord, &smp, p, 8, 1).seconds, 0.0),
-        1 => (lr_smp::simulate_hj(&rnd, &smp, p, 8, 1).seconds, 0.0),
-        2 => {
-            let r = lr_mta::simulate_walk_ranking(&ord, &mta, p, 100, walks);
-            (r.seconds, r.report.utilization)
-        }
-        3 => {
-            let r = lr_mta::simulate_walk_ranking(&rnd, &mta, p, 100, walks);
-            (r.seconds, r.report.utilization)
-        }
-        4 => (lr_smp::simulate_hj(&rnd, &smp, 1, 8, 1).seconds, 0.0),
-        5 => (
-            lr_mta::simulate_walk_ranking(&rnd, &mta, 1, 100, walks).seconds,
-            0.0,
-        ),
-        6 => (cc_smp::simulate_sv(&g, &smp, p).seconds, 0.0),
-        _ => {
-            let r = cc_mta::simulate_sv_mta(&g, &mta, p, 100);
-            (r.seconds, r.report.utilization)
-        }
+    let outcomes = par_map(&tasks, |&i| {
+        cal_cell(&ck, NAMES[i], || match i {
+            0 => (lr_smp::simulate_hj(&ord, &smp, p, 8, 1).seconds, 0.0),
+            1 => (lr_smp::simulate_hj(&rnd, &smp, p, 8, 1).seconds, 0.0),
+            2 => {
+                let r = lr_mta::simulate_walk_ranking(&ord, &mta, p, 100, walks);
+                (r.seconds, r.report.utilization)
+            }
+            3 => {
+                let r = lr_mta::simulate_walk_ranking(&rnd, &mta, p, 100, walks);
+                (r.seconds, r.report.utilization)
+            }
+            4 => (lr_smp::simulate_hj(&rnd, &smp, 1, 8, 1).seconds, 0.0),
+            5 => (
+                lr_mta::simulate_walk_ranking(&rnd, &mta, 1, 100, walks).seconds,
+                0.0,
+            ),
+            6 => (cc_smp::simulate_sv(&g, &smp, p).seconds, 0.0),
+            _ => {
+                let r = cc_mta::simulate_sv_mta(&g, &mta, p, 100);
+                (r.seconds, r.report.utilization)
+            }
+        })
     });
+    let failures: Vec<CellFailure> = outcomes
+        .iter()
+        .filter_map(|o| o.as_ref().err().cloned())
+        .collect();
+    exit_if_failed("calibrate", &failures);
+    ck.clear();
+    let results: Vec<(f64, f64)> = outcomes
+        .into_iter()
+        .map(|o| o.expect("failures already reported"))
+        .collect();
     let (t_smp_ord, _) = results[0];
     let (t_smp_rnd, _) = results[1];
     let (t_mta_ord, u_mta_ord) = results[2];

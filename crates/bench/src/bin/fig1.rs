@@ -6,6 +6,7 @@
 //! cargo run --release -p archgraph-bench --bin fig1 -- [smoke|default|full] [--arch mta|smp|both] [--csv]
 //! ```
 
+use archgraph_bench::sweep::exit_if_failed;
 use archgraph_bench::{fig1, scale_or_usage, usage_error};
 use archgraph_core::experiment::Series;
 use archgraph_core::plot::{ascii_plot, PlotOptions};
@@ -66,18 +67,21 @@ fn main() {
     let sizes = scale.fig1_sizes();
     let procs = scale.procs();
     let mut all = Vec::new();
+    let mut failures = Vec::new();
 
     if arch != "smp" {
         eprintln!("running MTA panel ({:?})...", scale);
-        let mta = fig1::mta_series(scale, true);
-        print_panel("MTA", &mta, &sizes, &procs);
-        all.extend(mta);
+        let mta = fig1::mta_sweep(scale, true);
+        print_panel("MTA", &mta.series, &sizes, &procs);
+        all.extend(mta.series);
+        failures.extend(mta.failures);
     }
     if arch != "mta" {
         eprintln!("running SMP panel ({:?})...", scale);
-        let smp = fig1::smp_series(scale, true);
-        print_panel("SMP", &smp, &sizes, &procs);
-        all.extend(smp);
+        let smp = fig1::smp_sweep(scale, true);
+        print_panel("SMP", &smp.series, &sizes, &procs);
+        all.extend(smp.series);
+        failures.extend(smp.failures);
     }
 
     if csv {
@@ -87,4 +91,5 @@ fn main() {
         "\nPaper shape checks: MTA curves identical for Ordered/Random; SMP \
          Random 3-4x slower than Ordered; both scale with p."
     );
+    exit_if_failed("fig1", &failures);
 }

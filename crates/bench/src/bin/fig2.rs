@@ -6,6 +6,7 @@
 //! cargo run --release -p archgraph-bench --bin fig2 -- [smoke|default|full] [--arch mta|smp|both] [--csv]
 //! ```
 
+use archgraph_bench::sweep::exit_if_failed;
 use archgraph_bench::{fig2, scale_or_usage, usage_error};
 use archgraph_core::experiment::Series;
 use archgraph_core::plot::{ascii_plot, PlotOptions};
@@ -63,18 +64,21 @@ fn main() {
     let procs = scale.procs();
     println!("random graph: n = {n}, m = 4n .. 20n (paper: n = 1M, m = 4M..20M)");
     let mut all = Vec::new();
+    let mut failures = Vec::new();
 
     if arch != "smp" {
         eprintln!("running MTA panel ({:?})...", scale);
-        let mta = fig2::mta_series(scale, true);
-        print_panel("MTA", &mta, &ms, &procs);
-        all.extend(mta);
+        let mta = fig2::mta_sweep(scale, true);
+        print_panel("MTA", &mta.series, &ms, &procs);
+        all.extend(mta.series);
+        failures.extend(mta.failures);
     }
     if arch != "mta" {
         eprintln!("running SMP panel ({:?})...", scale);
-        let smp = fig2::smp_series(scale, true);
-        print_panel("SMP", &smp, &ms, &procs);
-        all.extend(smp);
+        let smp = fig2::smp_sweep(scale, true);
+        print_panel("SMP", &smp.series, &ms, &procs);
+        all.extend(smp.series);
+        failures.extend(smp.failures);
     }
 
     if csv {
@@ -84,4 +88,5 @@ fn main() {
         "\nPaper shape checks: both machines scale with problem size and p; \
          the MTA is 5-6x faster than the SMP."
     );
+    exit_if_failed("fig2", &failures);
 }

@@ -13,6 +13,7 @@ use archgraph_listrank::sim_smp::{self, SmpSimResult};
 
 use crate::grid::{par_map, serial_map};
 use crate::scale::Scale;
+use crate::sweep::{assemble_panel, point_cell, CellPoint, Checkpoint, PanelSweep};
 use crate::workloads::{make_list, ListKind};
 
 /// Streams per processor the paper's code requests (`use 100 streams`).
@@ -75,55 +76,79 @@ pub fn smp_grid(scale: Scale, parallel: bool) -> Vec<SmpSimResult> {
     }
 }
 
-/// Produce the MTA (left panel) series: one per (list kind, p).
-pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
-    let cs = cells(scale);
-    let results = mta_grid(scale, true);
-    let sizes = scale.fig1_sizes().len();
-    let mut out = Vec::new();
-    for (cc, rr) in cs.chunks(sizes).zip(results.chunks(sizes)) {
-        let (kind, p, _) = cc[0];
-        let mut s = Series::new(format!("MTA {} p={p}", kind.label()));
-        for (&(kind, p, n), r) in cc.iter().zip(rr) {
-            if verbose {
-                eprintln!(
-                    "  fig1/mta {} p={p} n={n}: {:.4} s (util {:.0}%)",
-                    kind.label(),
-                    r.seconds,
-                    r.report.utilization * 100.0
-                );
-            }
-            s.push(n, p, r.seconds);
-        }
-        out.push(s);
-    }
-    out
+/// `(series label, cell name)` per cell, in [`cells`] order.
+fn cell_names(arch: &str, cs: &[(ListKind, usize, usize)]) -> Vec<(String, String)> {
+    cs.iter()
+        .map(|&(kind, p, n)| {
+            (
+                format!("{} {} p={p}", arch.to_uppercase(), kind.label()),
+                format!("fig1/{arch}/{}/p{p}/n{n}", kind.label()),
+            )
+        })
+        .collect()
 }
 
-/// Produce the SMP (right panel) series: one per (list kind, p).
-pub fn smp_series(scale: Scale, verbose: bool) -> Vec<Series> {
+/// The MTA (left panel) sweep: every cell panic-isolated and (at `--full`
+/// scale) checkpointed for resume; series assembled from completed cells.
+pub fn mta_sweep(scale: Scale, verbose: bool) -> PanelSweep {
     let cs = cells(scale);
-    let results = smp_grid(scale, true);
-    let sizes = scale.fig1_sizes().len();
-    let mut out = Vec::new();
-    for (cc, rr) in cs.chunks(sizes).zip(results.chunks(sizes)) {
-        let (kind, p, _) = cc[0];
-        let mut s = Series::new(format!("SMP {} p={p}", kind.label()));
-        for (&(kind, p, n), r) in cc.iter().zip(rr) {
-            if verbose {
-                eprintln!(
-                    "  fig1/smp {} p={p} n={n}: {:.4} s (L1 {:.0}%, mem {:.0}%)",
-                    kind.label(),
-                    r.seconds,
+    let ck = Checkpoint::for_sweep("fig1-mta", scale);
+    let names = cell_names("mta", &cs);
+    let outs = par_map(&cs, |&(kind, p, n)| {
+        point_cell(&ck, &format!("fig1/mta/{}/p{p}/n{n}", kind.label()), || {
+            let r = mta_cell(kind, p, n);
+            CellPoint {
+                x: n,
+                p,
+                seconds: r.seconds,
+                log: format!("util {:.0}%", r.report.utilization * 100.0),
+            }
+        })
+    });
+    assemble_panel(names, outs, verbose, &ck)
+}
+
+/// The SMP (right panel) sweep (see [`mta_sweep`]).
+pub fn smp_sweep(scale: Scale, verbose: bool) -> PanelSweep {
+    let cs = cells(scale);
+    let ck = Checkpoint::for_sweep("fig1-smp", scale);
+    let names = cell_names("smp", &cs);
+    let outs = par_map(&cs, |&(kind, p, n)| {
+        point_cell(&ck, &format!("fig1/smp/{}/p{p}/n{n}", kind.label()), || {
+            let r = smp_cell(kind, p, n);
+            CellPoint {
+                x: n,
+                p,
+                seconds: r.seconds,
+                log: format!(
+                    "L1 {:.0}%, mem {:.0}%",
                     r.stats.l1_hit_rate() * 100.0,
                     r.stats.mem_access_rate() * 100.0
-                );
+                ),
             }
-            s.push(n, p, r.seconds);
-        }
-        out.push(s);
+        })
+    });
+    assemble_panel(names, outs, verbose, &ck)
+}
+
+/// Produce the MTA (left panel) series: one per (list kind, p). Panics
+/// if any cell failed; drivers that want to keep going use [`mta_sweep`].
+pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let sw = mta_sweep(scale, verbose);
+    if let Some(f) = sw.failures.first() {
+        panic!("{f}");
     }
-    out
+    sw.series
+}
+
+/// Produce the SMP (right panel) series: one per (list kind, p). Panics
+/// if any cell failed; drivers that want to keep going use [`smp_sweep`].
+pub fn smp_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let sw = smp_sweep(scale, verbose);
+    if let Some(f) = sw.failures.first() {
+        panic!("{f}");
+    }
+    sw.series
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use archgraph_graph::unionfind::{connected_components, same_partition};
 
 use crate::grid::{par_map, serial_map};
 use crate::scale::Scale;
+use crate::sweep::{assemble_panel, point_cell, CellPoint, Checkpoint, PanelSweep};
 use crate::workloads::make_graph;
 
 /// Streams per processor for the CC kernel.
@@ -73,52 +74,79 @@ pub fn smp_grid(scale: Scale, parallel: bool) -> Vec<CcSmpSimResult> {
     }
 }
 
-/// MTA (left panel): one series per processor count; x-axis is `m`.
-pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
+/// `(series label, cell name)` per cell, in [`cells`] order.
+fn cell_names(arch: &str, cs: &[(usize, usize, usize)]) -> Vec<(String, String)> {
+    cs.iter()
+        .map(|&(p, n, m)| {
+            (
+                format!("{} CC p={p}", arch.to_uppercase()),
+                format!("fig2/{arch}/p{p}/n{n}/m{m}"),
+            )
+        })
+        .collect()
+}
+
+/// The MTA (left panel) sweep: every cell panic-isolated and (at `--full`
+/// scale) checkpointed for resume; series assembled from completed cells.
+pub fn mta_sweep(scale: Scale, verbose: bool) -> PanelSweep {
     let cs = cells(scale);
-    let results = mta_grid(scale, true);
-    let ms = scale.fig2_sizes().1.len();
-    let mut out = Vec::new();
-    for (cc, rr) in cs.chunks(ms).zip(results.chunks(ms)) {
-        let (p, _, _) = cc[0];
-        let mut s = Series::new(format!("MTA CC p={p}"));
-        for (&(p, n, m), r) in cc.iter().zip(rr) {
-            if verbose {
-                eprintln!(
-                    "  fig2/mta p={p} n={n} m={m}: {:.4} s ({} iters, util {:.0}%)",
-                    r.seconds,
+    let ck = Checkpoint::for_sweep("fig2-mta", scale);
+    let names = cell_names("mta", &cs);
+    let outs = par_map(&cs, |&(p, n, m)| {
+        point_cell(&ck, &format!("fig2/mta/p{p}/n{n}/m{m}"), || {
+            let r = mta_cell(p, n, m);
+            CellPoint {
+                x: m,
+                p,
+                seconds: r.seconds,
+                log: format!(
+                    "{} iters, util {:.0}%",
                     r.iterations,
                     r.report.utilization * 100.0
-                );
+                ),
             }
-            s.push(m, p, r.seconds);
-        }
-        out.push(s);
+        })
+    });
+    assemble_panel(names, outs, verbose, &ck)
+}
+
+/// The SMP (right panel) sweep (see [`mta_sweep`]).
+pub fn smp_sweep(scale: Scale, verbose: bool) -> PanelSweep {
+    let cs = cells(scale);
+    let ck = Checkpoint::for_sweep("fig2-smp", scale);
+    let names = cell_names("smp", &cs);
+    let outs = par_map(&cs, |&(p, n, m)| {
+        point_cell(&ck, &format!("fig2/smp/p{p}/n{n}/m{m}"), || {
+            let r = smp_cell(p, n, m);
+            CellPoint {
+                x: m,
+                p,
+                seconds: r.seconds,
+                log: format!("{} iters", r.iterations),
+            }
+        })
+    });
+    assemble_panel(names, outs, verbose, &ck)
+}
+
+/// MTA (left panel): one series per processor count; x-axis is `m`.
+/// Panics if any cell failed; drivers use [`mta_sweep`] to keep going.
+pub fn mta_series(scale: Scale, verbose: bool) -> Vec<Series> {
+    let sw = mta_sweep(scale, verbose);
+    if let Some(f) = sw.failures.first() {
+        panic!("{f}");
     }
-    out
+    sw.series
 }
 
 /// SMP (right panel): one series per processor count; x-axis is `m`.
+/// Panics if any cell failed; drivers use [`smp_sweep`] to keep going.
 pub fn smp_series(scale: Scale, verbose: bool) -> Vec<Series> {
-    let cs = cells(scale);
-    let results = smp_grid(scale, true);
-    let ms = scale.fig2_sizes().1.len();
-    let mut out = Vec::new();
-    for (cc, rr) in cs.chunks(ms).zip(results.chunks(ms)) {
-        let (p, _, _) = cc[0];
-        let mut s = Series::new(format!("SMP CC p={p}"));
-        for (&(p, n, m), r) in cc.iter().zip(rr) {
-            if verbose {
-                eprintln!(
-                    "  fig2/smp p={p} n={n} m={m}: {:.4} s ({} iters)",
-                    r.seconds, r.iterations
-                );
-            }
-            s.push(m, p, r.seconds);
-        }
-        out.push(s);
+    let sw = smp_sweep(scale, verbose);
+    if let Some(f) = sw.failures.first() {
+        panic!("{f}");
     }
-    out
+    sw.series
 }
 
 #[cfg(test)]

@@ -1,0 +1,413 @@
+//! Panic-isolated, checkpointable sweep cells.
+//!
+//! Every figure/table sweep is a grid of independent cells. Before this
+//! module, one panicking cell (a simulator bug, a guardrail firing, a
+//! poisoned input) unwound through rayon and took the whole grid — and
+//! hours of `--full` sweep progress — with it. Now each cell runs under
+//! [`isolate`]:
+//!
+//! * a panic becomes a [`CellFailure`] carrying the cell name and the
+//!   panic message; the rest of the grid completes; the driver prints a
+//!   failure summary and exits nonzero (see [`exit_if_failed`]);
+//! * completed cells can be checkpointed ([`Checkpoint`]) as one small
+//!   file per cell, so an interrupted `--full` sweep resumes from the
+//!   cells that already finished instead of re-simulating them.
+//!
+//! Checkpointing is on by default at `--full` scale (under
+//! `.archgraph-checkpoints/` in the working directory) and opt-in
+//! elsewhere via `ARCHGRAPH_CHECKPOINT_DIR=<dir>` (`off` or the empty
+//! string disables it). A sweep that completes with no failures removes
+//! its checkpoint directory — stale checkpoints only survive failed or
+//! interrupted runs, where they are exactly what makes the re-run cheap.
+//!
+//! `ARCHGRAPH_BENCH_PANIC_CELL=<cell-name>` makes the named cell panic
+//! deliberately — the end-to-end hook the isolation tests and the CI
+//! fault leg use to prove a poisoned cell cannot take down a sweep.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use archgraph_core::experiment::Series;
+
+use crate::scale::Scale;
+
+/// Environment variable selecting the checkpoint directory (`off` or
+/// empty disables checkpointing even at `--full` scale).
+pub const CHECKPOINT_ENV: &str = "ARCHGRAPH_CHECKPOINT_DIR";
+
+/// Default checkpoint root used at `--full` scale when the env var is
+/// unset.
+pub const DEFAULT_CHECKPOINT_DIR: &str = ".archgraph-checkpoints";
+
+/// Environment variable naming one cell that must panic deliberately.
+pub const PANIC_CELL_ENV: &str = "ARCHGRAPH_BENCH_PANIC_CELL";
+
+/// One sweep cell that panicked instead of completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Stable cell name (e.g. `fig1/mta/Random/p8/n1048576`).
+    pub cell: String,
+    /// The panic message.
+    pub message: String,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell {} failed: {}", self.cell, self.message)
+    }
+}
+
+/// Outcome of one isolated cell.
+pub type CellOutcome<R> = Result<R, CellFailure>;
+
+/// What a figure sweep keeps from one completed cell: the plotted point
+/// plus the verbose log suffix. Small enough to checkpoint as one line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPoint {
+    /// The x-axis value (problem size).
+    pub x: usize,
+    /// Processor count.
+    pub p: usize,
+    /// The plotted quantity (simulated seconds, or utilization for
+    /// Table 1 cells).
+    pub seconds: f64,
+    /// Extra verbose-log detail ("util 93%", "12 iters", ...).
+    pub log: String,
+}
+
+impl CellPoint {
+    /// One-line checkpoint payload. Float `Display` is shortest-exact in
+    /// Rust, so the round trip through [`Self::decode`] is lossless.
+    fn encode(&self) -> String {
+        format!("{} {} {}|{}", self.x, self.p, self.seconds, self.log)
+    }
+
+    fn decode(s: &str) -> Option<CellPoint> {
+        let (nums, log) = s.split_once('|')?;
+        let mut it = nums.split_whitespace();
+        let x = it.next()?.parse().ok()?;
+        let p = it.next()?.parse().ok()?;
+        let seconds = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(CellPoint {
+            x,
+            p,
+            seconds,
+            log: log.to_string(),
+        })
+    }
+}
+
+/// Per-sweep checkpoint store: one file per completed cell under
+/// `<root>/<tag>-<scale>/`.
+#[derive(Debug)]
+pub struct Checkpoint {
+    dir: Option<PathBuf>,
+}
+
+impl Checkpoint {
+    /// The checkpoint store for a named sweep at a given scale: the env
+    /// var's directory if set, the default directory at `--full` scale,
+    /// disabled otherwise.
+    pub fn for_sweep(tag: &str, scale: Scale) -> Checkpoint {
+        let root = match std::env::var(CHECKPOINT_ENV) {
+            Ok(v) if v.is_empty() || v == "off" => None,
+            Ok(v) => Some(PathBuf::from(v)),
+            Err(_) if scale == Scale::Full => Some(PathBuf::from(DEFAULT_CHECKPOINT_DIR)),
+            Err(_) => None,
+        };
+        match root {
+            Some(root) => Checkpoint::at(root.join(format!("{tag}-{scale:?}").to_lowercase())),
+            None => Checkpoint::disabled(),
+        }
+    }
+
+    /// A store rooted at an explicit directory (tests; resume tooling).
+    pub fn at(dir: PathBuf) -> Checkpoint {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!(
+                "warning: cannot create checkpoint dir {}: {e}; checkpointing disabled",
+                dir.display()
+            );
+            return Checkpoint::disabled();
+        }
+        Checkpoint { dir: Some(dir) }
+    }
+
+    /// A store that never records anything.
+    pub fn disabled() -> Checkpoint {
+        Checkpoint { dir: None }
+    }
+
+    /// Is this store actually writing checkpoints?
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn path(&self, cell: &str) -> Option<PathBuf> {
+        let file: String = cell
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.as_ref().map(|d| d.join(file))
+    }
+
+    /// The recorded payload for `cell`, if a prior run completed it.
+    pub fn lookup(&self, cell: &str) -> Option<String> {
+        std::fs::read_to_string(self.path(cell)?).ok()
+    }
+
+    /// Record `cell` as completed. Best-effort: a full disk degrades to a
+    /// non-resumable sweep, it must not fail the run.
+    pub fn record(&self, cell: &str, payload: &str) {
+        let Some(p) = self.path(cell) else { return };
+        if let Err(e) = std::fs::write(&p, payload) {
+            eprintln!("warning: cannot write checkpoint {}: {e}", p.display());
+        }
+    }
+
+    /// Remove the sweep's checkpoint directory (call after a fully clean
+    /// completion — a finished sweep has nothing to resume).
+    pub fn clear(&self) {
+        if let Some(d) = &self.dir {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// Run one cell with panic isolation: a panic inside `f` (or the
+/// deliberate one injected via [`PANIC_CELL_ENV`]) becomes a
+/// [`CellFailure`] instead of unwinding through the grid.
+pub fn isolate<R>(cell: &str, f: impl FnOnce() -> R) -> CellOutcome<R> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if std::env::var(PANIC_CELL_ENV).as_deref() == Ok(cell) {
+            panic!("deliberate panic injected via {PANIC_CELL_ENV}");
+        }
+        f()
+    }))
+    .map_err(|payload| CellFailure {
+        cell: cell.to_string(),
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// [`isolate`] plus checkpointing for point-shaped cells: a cell already
+/// recorded by an interrupted run is restored without re-simulating.
+pub fn point_cell(
+    ck: &Checkpoint,
+    cell: &str,
+    f: impl FnOnce() -> CellPoint,
+) -> CellOutcome<CellPoint> {
+    if let Some(payload) = ck.lookup(cell) {
+        if let Some(pt) = CellPoint::decode(&payload) {
+            return Ok(pt);
+        }
+    }
+    let pt = isolate(cell, f)?;
+    ck.record(cell, &pt.encode());
+    Ok(pt)
+}
+
+/// One figure panel's isolated sweep: the assembled series plus any cell
+/// failures (empty on a clean run).
+#[derive(Debug)]
+pub struct PanelSweep {
+    /// Series assembled from the cells that completed, in cell order.
+    pub series: Vec<Series>,
+    /// Cells that panicked, in cell order.
+    pub failures: Vec<CellFailure>,
+}
+
+/// Assemble per-cell outcomes into series. `cells` pairs each outcome
+/// with its `(series label, cell name)`; consecutive cells sharing a
+/// label land in the same series (cell grids are label-major), and failed
+/// cells are skipped with a log line. A fully clean sweep clears its
+/// checkpoints.
+pub fn assemble_panel(
+    cells: Vec<(String, String)>,
+    outs: Vec<CellOutcome<CellPoint>>,
+    verbose: bool,
+    ck: &Checkpoint,
+) -> PanelSweep {
+    assert_eq!(cells.len(), outs.len(), "one outcome per cell");
+    let mut series: Vec<Series> = Vec::new();
+    let mut failures = Vec::new();
+    for ((label, name), out) in cells.into_iter().zip(outs) {
+        if series.last().map(|s| s.label.as_str()) != Some(label.as_str()) {
+            series.push(Series::new(label));
+        }
+        match out {
+            Ok(pt) => {
+                if verbose {
+                    eprintln!("  {name}: {:.4} s ({})", pt.seconds, pt.log);
+                }
+                series
+                    .last_mut()
+                    .expect("a series was pushed above")
+                    .push(pt.x, pt.p, pt.seconds);
+            }
+            Err(f) => {
+                eprintln!("  {f}");
+                failures.push(f);
+            }
+        }
+    }
+    if failures.is_empty() {
+        ck.clear();
+    }
+    PanelSweep { series, failures }
+}
+
+/// Print a failure summary and exit 1 if any cell failed. Exit code 1 is
+/// a runtime failure, distinct from the CLI's usage errors (2).
+pub fn exit_if_failed(what: &str, failures: &[CellFailure]) {
+    if failures.is_empty() {
+        return;
+    }
+    eprintln!("{what}: {} cell(s) failed:", failures.len());
+    for f in failures {
+        eprintln!("  {f}");
+    }
+    eprintln!("{what}: completed cells are checkpointed where enabled; rerun to resume");
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_store(name: &str) -> Checkpoint {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraph-sweep-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Checkpoint::at(dir)
+    }
+
+    #[test]
+    fn point_roundtrip_is_exact() {
+        let pt = CellPoint {
+            x: 1 << 20,
+            p: 8,
+            seconds: 0.123456789012345678,
+            log: "util 93%, 12 iters".to_string(),
+        };
+        assert_eq!(CellPoint::decode(&pt.encode()), Some(pt));
+        let empty_log = CellPoint {
+            x: 3,
+            p: 1,
+            seconds: 2.5e-9,
+            log: String::new(),
+        };
+        assert_eq!(CellPoint::decode(&empty_log.encode()), Some(empty_log));
+        assert_eq!(CellPoint::decode("garbage"), None);
+        assert_eq!(CellPoint::decode("1 2|x"), None);
+        assert_eq!(CellPoint::decode("1 2 3 4|x"), None);
+    }
+
+    #[test]
+    fn isolate_converts_panics_to_failures() {
+        let ok = isolate("cell/ok", || 7);
+        assert_eq!(ok, Ok(7));
+        let err = isolate("cell/bad", || -> i32 { panic!("boom {}", 42) })
+            .expect_err("panicking cell must fail");
+        assert_eq!(err.cell, "cell/bad");
+        assert_eq!(err.message, "boom 42");
+    }
+
+    #[test]
+    fn checkpoint_restores_without_rerunning() {
+        let ck = temp_store("restore");
+        let runs = AtomicUsize::new(0);
+        let cell = || {
+            runs.fetch_add(1, Ordering::SeqCst);
+            CellPoint {
+                x: 10,
+                p: 2,
+                seconds: 1.5,
+                log: "hi".into(),
+            }
+        };
+        let first = point_cell(&ck, "a/b", cell).expect("cell completes");
+        let second = point_cell(&ck, "a/b", cell).expect("cell restores");
+        assert_eq!(first, second);
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "second call restored");
+        ck.clear();
+        let third = point_cell(&ck, "a/b", cell).expect("cell reruns");
+        assert_eq!(third, first);
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "clear() forgot the cell");
+        ck.clear();
+    }
+
+    #[test]
+    fn failed_cells_are_not_checkpointed() {
+        let ck = temp_store("failed");
+        let out = point_cell(&ck, "bad", || panic!("nope"));
+        assert!(out.is_err());
+        assert!(ck.lookup("bad").is_none(), "failures must rerun on resume");
+        ck.clear();
+    }
+
+    #[test]
+    fn disabled_store_records_nothing() {
+        let ck = Checkpoint::disabled();
+        assert!(!ck.enabled());
+        ck.record("x", "1 2 3|");
+        assert_eq!(ck.lookup("x"), None);
+    }
+
+    #[test]
+    fn assemble_groups_by_label_and_collects_failures() {
+        let ck = Checkpoint::disabled();
+        let cells = vec![
+            ("A p=1".to_string(), "fig/a/p1/n1".to_string()),
+            ("A p=1".to_string(), "fig/a/p1/n2".to_string()),
+            ("A p=2".to_string(), "fig/a/p2/n1".to_string()),
+        ];
+        let outs = vec![
+            Ok(CellPoint {
+                x: 1,
+                p: 1,
+                seconds: 0.1,
+                log: String::new(),
+            }),
+            Err(CellFailure {
+                cell: "fig/a/p1/n2".into(),
+                message: "boom".into(),
+            }),
+            Ok(CellPoint {
+                x: 1,
+                p: 2,
+                seconds: 0.2,
+                log: String::new(),
+            }),
+        ];
+        let sw = assemble_panel(cells, outs, false, &ck);
+        assert_eq!(sw.series.len(), 2);
+        assert_eq!(sw.series[0].points.len(), 1, "failed point skipped");
+        assert_eq!(sw.series[1].points.len(), 1);
+        assert_eq!(sw.failures.len(), 1);
+        assert_eq!(sw.failures[0].cell, "fig/a/p1/n2");
+    }
+}

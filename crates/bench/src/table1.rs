@@ -11,6 +11,7 @@ use archgraph_listrank::sim_mta as lr_sim;
 
 use crate::grid::{par_map, serial_map};
 use crate::scale::Scale;
+use crate::sweep::{point_cell, CellFailure, CellPoint, Checkpoint};
 use crate::workloads::{make_graph, make_list, ListKind};
 
 /// One row block of Table 1: utilization per processor count.
@@ -96,29 +97,77 @@ pub fn utilization_grid(scale: Scale, parallel: bool) -> Vec<f64> {
     }
 }
 
-/// Compute the table.
-pub fn utilization_table(scale: Scale, verbose: bool) -> Vec<UtilizationRow> {
+/// Table 1's isolated sweep: rows assembled from the cells that
+/// completed, plus any cell failures (empty on a clean run).
+#[derive(Debug)]
+pub struct TableSweep {
+    /// The table rows; a failed cell's `(p, utilization)` entry is absent.
+    pub rows: Vec<UtilizationRow>,
+    /// Cells that panicked, in cell order.
+    pub failures: Vec<CellFailure>,
+}
+
+/// Short per-row cell-name slugs.
+const ROW_SLUGS: [&str; 3] = ["random-list", "ordered-list", "cc"];
+
+/// Compute the table with each `(row, p)` cell panic-isolated and (at
+/// `--full` scale) checkpointed for resume.
+pub fn utilization_sweep(scale: Scale, verbose: bool) -> TableSweep {
     let procs = table_procs(scale);
-    let utils = utilization_grid(scale, true);
-    let mut rows = Vec::new();
-    for (row, chunk) in utils.chunks(procs.len()).enumerate() {
-        let mut row_utils = Vec::new();
-        for (&p, &u) in procs.iter().zip(chunk) {
-            if verbose {
-                match row {
-                    0 => eprintln!("  table1 Random list p={p}: util {:.1}%", u * 100.0),
-                    1 => eprintln!("  table1 Ordered list p={p}: util {:.1}%", u * 100.0),
-                    _ => eprintln!("  table1 CC p={p}: util {:.1}%", u * 100.0),
-                }
+    let cs: Vec<(usize, usize)> = (0..ROWS.len())
+        .flat_map(|row| procs.iter().map(move |&p| (row, p)))
+        .collect();
+    let ck = Checkpoint::for_sweep("table1", scale);
+    let outs = par_map(&cs, |&(row, p)| {
+        point_cell(&ck, &format!("table1/{}/p{p}", ROW_SLUGS[row]), || {
+            CellPoint {
+                x: row,
+                p,
+                seconds: cell_utilization(scale, row, p),
+                log: String::new(),
             }
-            row_utils.push((p, u));
+        })
+    });
+    let mut rows: Vec<UtilizationRow> = ROWS
+        .iter()
+        .map(|l| UtilizationRow {
+            label: l.to_string(),
+            utilization: Vec::new(),
+        })
+        .collect();
+    let mut failures = Vec::new();
+    for (&(row, p), out) in cs.iter().zip(outs) {
+        match out {
+            Ok(pt) => {
+                if verbose {
+                    eprintln!(
+                        "  table1/{}/p{p}: util {:.1}%",
+                        ROW_SLUGS[row],
+                        pt.seconds * 100.0
+                    );
+                }
+                rows[row].utilization.push((p, pt.seconds));
+            }
+            Err(f) => {
+                eprintln!("  {f}");
+                failures.push(f);
+            }
         }
-        rows.push(UtilizationRow {
-            label: ROWS[row].to_string(),
-            utilization: row_utils,
-        });
     }
-    rows
+    if failures.is_empty() {
+        ck.clear();
+    }
+    TableSweep { rows, failures }
+}
+
+/// Compute the table. Panics if any cell failed; drivers that want the
+/// rest of the table anyway use [`utilization_sweep`].
+pub fn utilization_table(scale: Scale, verbose: bool) -> Vec<UtilizationRow> {
+    let sw = utilization_sweep(scale, verbose);
+    if let Some(f) = sw.failures.first() {
+        panic!("{f}");
+    }
+    sw.rows
 }
 
 #[cfg(test)]

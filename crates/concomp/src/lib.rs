@@ -44,5 +44,5 @@ pub mod sv;
 pub mod sv_mta;
 pub mod sv_spmd;
 
-pub use sv::shiloach_vishkin;
+pub use sv::{shiloach_vishkin, try_shiloach_vishkin, try_shiloach_vishkin_bounded};
 pub use sv_mta::sv_mta_style;

@@ -20,6 +20,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
+use archgraph_core::SimError;
 use archgraph_graph::edgelist::EdgeList;
 use archgraph_graph::Node;
 use rayon::prelude::*;
@@ -27,14 +28,28 @@ use rayon::prelude::*;
 use crate::star::star_flags_par;
 
 /// Hard iteration bound: SV terminates in `O(log n)` iterations; the
-/// constant here is generous so a livelock (a bug) panics rather than
-/// spinning forever.
-fn iteration_bound(n: usize) -> usize {
+/// constant here is generous so a livelock (a bug) surfaces as a
+/// structured [`SimError::CycleBudgetExceeded`] rather than spinning
+/// forever.
+pub fn iteration_bound(n: usize) -> usize {
     4 * (usize::BITS - n.max(2).leading_zeros()) as usize + 16
+}
+
+/// The structured error a livelocked SV run returns once `iters` passes
+/// `bound` (mirrors the simulators' watchdog error shape).
+fn livelock_error(bound: usize, iters: usize) -> SimError {
+    SimError::CycleBudgetExceeded {
+        budget: bound as u64,
+        spent: iters as u64,
+        what: "shiloach-vishkin iterations",
+    }
 }
 
 /// Connected components by Shiloach–Vishkin (paper Alg. 2). Returns the
 /// parent array `D` flattened to rooted stars (`D[v] == D[D[v]]`).
+/// Panics with the structured-error text if the run blows its `O(log n)`
+/// iteration bound (a livelock is a bug); [`try_shiloach_vishkin`]
+/// returns the error instead.
 ///
 /// # Examples
 /// ```
@@ -50,15 +65,30 @@ fn iteration_bound(n: usize) -> usize {
 /// ));
 /// ```
 pub fn shiloach_vishkin(g: &EdgeList) -> Vec<Node> {
+    try_shiloach_vishkin(g).unwrap_or_else(|e| panic!("shiloach-vishkin livelocked: {e}"))
+}
+
+/// [`shiloach_vishkin`] under its `O(log n)` iteration watchdog,
+/// returning [`SimError::CycleBudgetExceeded`] instead of panicking.
+pub fn try_shiloach_vishkin(g: &EdgeList) -> Result<Vec<Node>, SimError> {
+    try_shiloach_vishkin_bounded(g, iteration_bound(g.n))
+}
+
+/// [`try_shiloach_vishkin`] with an explicit iteration budget. The public
+/// entry points pass [`iteration_bound`]; tests pass deliberately tiny
+/// budgets to pin the livelock-detection path without needing a genuinely
+/// non-terminating input.
+pub fn try_shiloach_vishkin_bounded(g: &EdgeList, bound: usize) -> Result<Vec<Node>, SimError> {
     let n = g.n;
     let d: Vec<AtomicU32> = (0..n as Node).map(AtomicU32::new).collect();
     let edges = &g.edges;
-    let bound = iteration_bound(n);
     let mut iters = 0usize;
 
     loop {
         iters += 1;
-        assert!(iters <= bound, "SV exceeded its O(log n) iteration bound");
+        if iters > bound {
+            return Err(livelock_error(bound, iters));
+        }
         let grafted = AtomicBool::new(false);
 
         // Step 1: conditional graft (both orientations of each edge).
@@ -110,7 +140,7 @@ pub fn shiloach_vishkin(g: &EdgeList) -> Vec<Node> {
         });
     }
 
-    d.into_iter().map(AtomicU32::into_inner).collect()
+    Ok(d.into_iter().map(AtomicU32::into_inner).collect())
 }
 
 /// Iteration (PRAM round) count probe for the ablation benches: runs
@@ -121,13 +151,20 @@ pub fn shiloach_vishkin(g: &EdgeList) -> Vec<Node> {
 /// labeling, up to log n for an arbitrary one" sensitivity statement
 /// lives. Returns `(labels, rounds)`.
 pub fn shiloach_vishkin_iters(g: &EdgeList) -> (Vec<Node>, usize) {
+    try_shiloach_vishkin_iters(g).unwrap_or_else(|e| panic!("shiloach-vishkin livelocked: {e}"))
+}
+
+/// [`shiloach_vishkin_iters`] under the iteration watchdog.
+pub fn try_shiloach_vishkin_iters(g: &EdgeList) -> Result<(Vec<Node>, usize), SimError> {
     let n = g.n;
     let mut d: Vec<Node> = (0..n as Node).collect();
     let bound = iteration_bound(n);
     let mut iters = 0usize;
     loop {
         iters += 1;
-        assert!(iters <= bound);
+        if iters > bound {
+            return Err(livelock_error(bound, iters));
+        }
         let snapshot = d.clone();
         let mut grafted = false;
         // Step 1: conditional grafts against the snapshot.
@@ -165,7 +202,7 @@ pub fn shiloach_vishkin_iters(g: &EdgeList) -> (Vec<Node>, usize) {
             d[v] = before[before[v] as usize];
         }
     }
-    (d, iters)
+    Ok((d, iters))
 }
 
 #[cfg(test)]
@@ -283,5 +320,29 @@ mod tests {
     fn star_graph_converges_fast() {
         let (_, iters) = shiloach_vishkin_iters(&gen::star(1000));
         assert!(iters <= 2, "a star is SV's best case; iters = {iters}");
+    }
+
+    #[test]
+    fn livelock_returns_structured_error_not_panic() {
+        // A long path needs several iterations; a budget of 1 makes it a
+        // stand-in for a livelocked run. The old code path asserted
+        // ("SV exceeded its O(log n) iteration bound"); now the caller
+        // gets the same structured error the simulators' watchdogs emit.
+        let g = gen::path(1024);
+        let err = try_shiloach_vishkin_bounded(&g, 1).unwrap_err();
+        match err {
+            archgraph_core::SimError::CycleBudgetExceeded {
+                budget,
+                spent,
+                what,
+            } => {
+                assert_eq!(budget, 1);
+                assert_eq!(spent, 2, "detected on the first over-budget iteration");
+                assert_eq!(what, "shiloach-vishkin iterations");
+            }
+            other => panic!("expected a budget error, got {other}"),
+        }
+        // The same input under the real bound completes fine.
+        assert!(try_shiloach_vishkin(&g).is_ok());
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod error;
 pub mod experiment;
 pub mod machine;
 pub mod plot;
@@ -34,6 +35,7 @@ pub mod report;
 pub mod shared;
 
 pub use cost::Complexity;
+pub use error::{BlockedStream, SimError};
 pub use experiment::{Measurement, Trials};
 pub use machine::{MtaParams, SmpParams};
 pub use shared::SharedSlice;

@@ -37,6 +37,9 @@
 //! `tests/trace_differential.rs` holds all three engines to bit-identical
 //! reports and memory.
 
+use archgraph_core::error::SimError;
+
+use crate::fault::BlockTracker;
 use crate::isa::{Instr, TraceTable, NREGS, N_OP_CLASSES};
 use crate::machine::{Stream, WordFree};
 use crate::memory::Memory;
@@ -445,7 +448,9 @@ pub(crate) struct RegionOut {
 /// single-step loop in `machine.rs`, reading pre-lowered micro-ops off
 /// the same [`TimeWheel`] ready queue the other engines pop. Every
 /// simulated quantity (issue order, clocks, counters, memory image) is
-/// bit-identical by construction; only host-side speed differs.
+/// bit-identical by construction; only host-side speed differs — and so
+/// are the guardrail failures: the watchdog fires on the same event and
+/// a deadlock returns the same [`SimError`] the interpreter would.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_region(
     cp: &CompiledProgram,
@@ -457,7 +462,9 @@ pub(crate) fn run_region(
     latency: u64,
     lookahead: usize,
     retry: u64,
-) -> RegionOut {
+    max_cycles: u64,
+) -> Result<RegionOut, SimError> {
+    let budget_thirds = max_cycles.saturating_mul(3);
     let n = cp.uops.len();
     let uops = cp.uops.as_slice();
     let mut issued = 0u64;
@@ -513,13 +520,29 @@ pub(crate) fn run_region(
     // the loop for the copy-back.
     let arena_ptr = arena.as_mut_ptr();
 
+    // Blocked/halted bookkeeping behind deadlock detection — the same
+    // schedule-invariant transitions the interpreter records.
+    let mut tracker = BlockTracker::new(streams.len());
+
     while let Some((t, id)) = wheel.pop() {
+        if t > budget_thirds {
+            return Err(SimError::CycleBudgetExceeded {
+                budget: max_cycles,
+                spent: t.div_ceil(3),
+                what: "mta cycles",
+            });
+        }
         stats.events += 1;
         let idx = id as usize;
         let proc = proc_of[idx] as usize;
         let pc = pcs[idx] as usize;
         if pc >= n {
-            continue; // falling off the end halts the stream
+            // Falling off the end halts the stream.
+            tracker.on_halt(idx);
+            if let Some(err) = tracker.deadlock(memory) {
+                return Err(err);
+            }
+            continue;
         }
         let u = uops[pc];
         let mut rr = Regs {
@@ -573,10 +596,14 @@ pub(crate) fn run_region(
         // fit under the horizon; `peek`'s fast path (a same-time remnant
         // of the current bucket) answers that in two loads.
         if u.flags & F_BATCHABLE != 0 {
+            // Cap the horizon at the watchdog boundary so every engine
+            // executes exactly the issue slots at times ≤ the budget
+            // before the budget error fires.
             let limit = match wheel.peek() {
                 Some((h, _)) => h,
                 None => u64::MAX,
-            };
+            }
+            .min(budget_thirds.saturating_add(1));
             if limit.saturating_sub(issue_at) >= 2 {
                 if let Some(done) = try_run(limit, &mut rr, cp, u, pc, issue_at, &mut op_mix) {
                     proc_clock[proc] = done.clock;
@@ -589,6 +616,10 @@ pub(crate) fn run_region(
                     pcs[idx] = done.pc as u32;
                     if done.halted {
                         streams[idx].halted = true;
+                        tracker.on_halt(idx);
+                        if let Some(err) = tracker.deadlock(memory) {
+                            return Err(err);
+                        }
                         continue;
                     }
                     let nx = &uops[done.pc];
@@ -610,6 +641,10 @@ pub(crate) fn run_region(
         if u.flags & F_MEMORY == 0 {
             if u.kind == HALT {
                 streams[idx].halted = true;
+                tracker.on_halt(idx);
+                if let Some(err) = tracker.deadlock(memory) {
+                    return Err(err);
+                }
                 continue;
             }
             // Unified ALU + control path, branch-free: the interleaving of
@@ -640,7 +675,7 @@ pub(crate) fn run_region(
                 LOAD => {
                     let a = (rr.v(u.a) + u.imm) as usize;
                     let v = memory.load(a);
-                    let done = issue_at + latency;
+                    let done = issue_at + latency + memory.fault_extra_latency(a);
                     rr.set(u.dst, v, done);
                     ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                     last_completion = last_completion.max(done);
@@ -648,7 +683,7 @@ pub(crate) fn run_region(
                 STORE => {
                     let a = (rr.v(u.b) + u.imm) as usize;
                     memory.store(a, rr.v(u.a));
-                    let done = issue_at + latency;
+                    let done = issue_at + latency + memory.fault_extra_latency(a);
                     ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                     last_completion = last_completion.max(done);
                 }
@@ -656,49 +691,64 @@ pub(crate) fn run_region(
                     let a = (rr.v(u.a) + u.imm) as usize;
                     match memory.readfe(a) {
                         Some(v) => {
+                            tracker.on_sync_success(idx);
                             let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
-                            let done = service + latency;
+                            let done = service + latency + memory.fault_extra_latency(a);
                             rr.set(u.dst, v, done);
                             ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                             last_completion = last_completion.max(done);
                         }
                         None => {
+                            tracker.on_sync_fail(idx, pc, a, "readfe", issue_at);
+                            if let Some(err) = tracker.deadlock(memory) {
+                                return Err(err);
+                            }
                             next_pc = pc; // retry the same op
-                            next_ready = issue_at + retry;
+                            next_ready = issue_at + retry + memory.fault_wake_delay(a);
                         }
                     }
                 }
                 WRITEEF => {
                     let a = (rr.v(u.b) + u.imm) as usize;
                     if memory.writeef(a, rr.v(u.a)) {
+                        tracker.on_sync_success(idx);
                         let slot = word_free.slot(a);
                         let service = (*slot).max(issue_at);
                         *slot = service + 3;
-                        let done = service + latency;
+                        let done = service + latency + memory.fault_extra_latency(a);
                         ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                         last_completion = last_completion.max(done);
                     } else {
+                        tracker.on_sync_fail(idx, pc, a, "writeef", issue_at);
+                        if let Some(err) = tracker.deadlock(memory) {
+                            return Err(err);
+                        }
                         next_pc = pc;
-                        next_ready = issue_at + retry;
+                        next_ready = issue_at + retry + memory.fault_wake_delay(a);
                     }
                 }
                 READFF => {
                     let a = (rr.v(u.a) + u.imm) as usize;
                     match memory.readff(a) {
                         Some(v) => {
+                            tracker.on_sync_success(idx);
                             let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
-                            let done = service + latency;
+                            let done = service + latency + memory.fault_extra_latency(a);
                             rr.set(u.dst, v, done);
                             ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                             last_completion = last_completion.max(done);
                         }
                         None => {
+                            tracker.on_sync_fail(idx, pc, a, "readff", issue_at);
+                            if let Some(err) = tracker.deadlock(memory) {
+                                return Err(err);
+                            }
                             next_pc = pc;
-                            next_ready = issue_at + retry;
+                            next_ready = issue_at + retry + memory.fault_wake_delay(a);
                         }
                     }
                 }
@@ -709,7 +759,7 @@ pub(crate) fn run_region(
                     let slot = word_free.slot(a);
                     let service = (*slot).max(issue_at);
                     *slot = service + 3;
-                    let done = service + latency;
+                    let done = service + latency + memory.fault_extra_latency(a);
                     rr.set(u.dst, old, done);
                     ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                     last_completion = last_completion.max(done);
@@ -721,6 +771,10 @@ pub(crate) fn run_region(
         pcs[idx] = next_pc as u32;
         if next_pc >= n {
             streams[idx].halted = true;
+            tracker.on_halt(idx);
+            if let Some(err) = tracker.deadlock(memory) {
+                return Err(err);
+            }
             continue;
         }
         let nx = &uops[next_pc];
@@ -740,11 +794,11 @@ pub(crate) fn run_region(
         }
     }
 
-    RegionOut {
+    Ok(RegionOut {
         issued,
         issued_thirds,
         op_mix,
         last_completion,
         stats,
-    }
+    })
 }

@@ -1,0 +1,409 @@
+//! Deterministic fault injection and deadlock bookkeeping.
+//!
+//! # Fault injection below the engine layer
+//!
+//! A [`FaultPlan`] perturbs a run in ways that exercise the guardrails —
+//! latency spikes on memory operations, stuck full/empty bits, delayed
+//! sync-retry wakeups — while staying **deterministic and engine-invariant**:
+//! every decision is a pure function of the *memory address* and the plan's
+//! seed, never of host time, host thread, or the order in which an engine
+//! happens to visit operations. That is what lets the same plan perturb
+//! SingleStep, Trace, Compiled and Partitioned bit-identically: the
+//! partitioned engine's workers compute an address's extra latency locally,
+//! in parallel, and arrive at exactly the numbers the serial engines do.
+//!
+//! The plan lives *below* the engines, attached to the shared [`Memory`]
+//! image (stuck bits are applied inside `readfe`/`writeef`/`readff`
+//! themselves); engines only consult the pure per-address helpers when
+//! computing completion and wakeup times.
+//!
+//! Plans come from `ARCHGRAPH_FAULTS=<spec>:<seed>`, where `<spec>` is a
+//! comma-separated list of:
+//!
+//! | item | effect |
+//! |---|---|
+//! | `mem-latency=<thirds>` | affected addresses' memory ops complete `<thirds>` later |
+//! | `stuck-full` | affected words' full/empty bit is stuck full |
+//! | `stuck-empty` | affected words' full/empty bit is stuck empty |
+//! | `wake-delay=<thirds>` | failed sync ops on affected addresses retry `<thirds>` later |
+//! | `rate=<log2>` | one address in `2^log2` is affected (default 4) |
+//!
+//! e.g. `ARCHGRAPH_FAULTS=mem-latency=30:7` or
+//! `ARCHGRAPH_FAULTS=stuck-empty,rate=0:1` (`rate=0` hits every address).
+//!
+//! # Deadlock bookkeeping
+//!
+//! [`BlockTracker`] is the shared per-stream state behind
+//! `SimError::Deadlock`. Tags mutate **only** when a synchronizing
+//! operation succeeds (ordinary stores never touch the full/empty bit), and
+//! a stream that fails a sync op retries the *same* pc forever until it
+//! succeeds. So once every unhalted stream is parked on a failing sync op,
+//! no tag can ever change again and the machine is permanently stuck. The
+//! tracker records each stream's current blocked spell and, when the
+//! parked + halted count covers every stream, probes the memory image to
+//! confirm no parked operation could succeed (the probe is belt and
+//! braces for the batched engines, whose halted flags can run a few events
+//! ahead of the single-step schedule). All reported quantities — the
+//! blocked set, pcs, addresses, tag states, and the detection cycle (the
+//! issue time of the last stream's first failing attempt) — are
+//! schedule-invariant, so all four engines return the identical error.
+
+use archgraph_core::error::{BlockedStream, SimError};
+
+use crate::memory::Memory;
+
+/// Environment variable holding the fault plan, `<spec>:<seed>`.
+pub const FAULTS_ENV: &str = "ARCHGRAPH_FAULTS";
+
+/// A deterministic, seeded fault-injection plan. See the module docs for
+/// the spec grammar and the determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Extra completion latency (thirds of a cycle) on affected addresses.
+    mem_latency: u64,
+    /// Extra retry delay (thirds) for failed sync ops on affected addresses.
+    wake_delay: u64,
+    /// Affected words read as permanently full.
+    stuck_full: bool,
+    /// Affected words read as permanently empty.
+    stuck_empty: bool,
+    /// One address in `2^rate_log2` is affected.
+    rate_log2: u32,
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash so "one address in 2^k"
+/// picks an arbitrary-looking but fully deterministic subset.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// Parse a `<spec>:<seed>` string. Errors name the offending item.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let (spec, seed) = s
+            .rsplit_once(':')
+            .ok_or_else(|| format!("fault plan {s:?} is missing the `:<seed>` suffix"))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("fault-plan seed {seed:?} is not an unsigned integer"))?;
+        let mut plan = FaultPlan {
+            seed,
+            mem_latency: 0,
+            wake_delay: 0,
+            stuck_full: false,
+            stuck_empty: false,
+            rate_log2: 4,
+        };
+        for item in spec.split(',') {
+            let (key, val) = match item.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (item, None),
+            };
+            let num = |what: &str| -> Result<u64, String> {
+                val.ok_or_else(|| format!("fault item `{item}` needs `={what}`"))?
+                    .parse()
+                    .map_err(|_| format!("fault item `{item}`: value is not an unsigned integer"))
+            };
+            match key {
+                "mem-latency" => plan.mem_latency = num("thirds")?,
+                "wake-delay" => plan.wake_delay = num("thirds")?,
+                "rate" => {
+                    let r = num("log2")?;
+                    if r > 63 {
+                        return Err(format!("fault item `{item}`: rate must be <= 63"));
+                    }
+                    plan.rate_log2 = r as u32;
+                }
+                "stuck-full" if val.is_none() => plan.stuck_full = true,
+                "stuck-empty" if val.is_none() => plan.stuck_empty = true,
+                _ => return Err(format!("unrecognized fault item `{item}`")),
+            }
+        }
+        if plan.stuck_full && plan.stuck_empty {
+            return Err("a word cannot be stuck both full and empty".into());
+        }
+        Ok(plan)
+    }
+
+    /// The plan configured via [`FAULTS_ENV`], if any. Parsed once and
+    /// cached; a malformed spec panics with the parse error (a bad plan
+    /// must not silently run a clean experiment).
+    pub fn from_env() -> Option<&'static FaultPlan> {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<Option<FaultPlan>> = OnceLock::new();
+        CACHE
+            .get_or_init(|| {
+                std::env::var(FAULTS_ENV)
+                    .ok()
+                    .map(|s| FaultPlan::parse(&s).unwrap_or_else(|e| panic!("{FAULTS_ENV}: {e}")))
+            })
+            .as_ref()
+    }
+
+    /// Is `addr` in the affected subset? Pure function of `(addr, seed)`.
+    #[inline]
+    pub fn affects(&self, addr: usize) -> bool {
+        let mask = (1u64 << self.rate_log2) - 1;
+        mix(addr as u64 ^ self.seed) & mask == 0
+    }
+
+    /// Extra completion latency (thirds) for a memory op on `addr`.
+    #[inline]
+    pub fn extra_latency(&self, addr: usize) -> u64 {
+        if self.mem_latency != 0 && self.affects(addr) {
+            self.mem_latency
+        } else {
+            0
+        }
+    }
+
+    /// Extra retry delay (thirds) for a failed sync op on `addr`.
+    #[inline]
+    pub fn extra_wake_delay(&self, addr: usize) -> u64 {
+        if self.wake_delay != 0 && self.affects(addr) {
+            self.wake_delay
+        } else {
+            0
+        }
+    }
+
+    /// The tag state forced on `addr`, if any (`Some(true)` = stuck full).
+    #[inline]
+    pub fn stuck_tag(&self, addr: usize) -> Option<bool> {
+        if (self.stuck_full || self.stuck_empty) && self.affects(addr) {
+            Some(self.stuck_full)
+        } else {
+            None
+        }
+    }
+}
+
+/// One stream's current blocked spell: it has failed the sync op at `pc`
+/// on `addr` at least once, most recently unresolved.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    pc: usize,
+    addr: usize,
+    op: &'static str,
+    /// Issue time (thirds) of the *first* failing attempt of this spell —
+    /// schedule-invariant, unlike the retry times.
+    since: u64,
+}
+
+/// Per-stream blocked/halted bookkeeping for deadlock detection; one
+/// instance per issue loop (interpreter and compiled engines — the
+/// partitioned engine routes all synchronizing programs through the
+/// interpreter, and a program without sync ops cannot deadlock).
+#[derive(Debug)]
+pub(crate) struct BlockTracker {
+    blocked: Vec<Option<Block>>,
+    n_blocked: usize,
+    n_halted: usize,
+}
+
+impl BlockTracker {
+    /// Tracker for `total` streams, none blocked or halted.
+    pub(crate) fn new(total: usize) -> Self {
+        BlockTracker {
+            blocked: vec![None; total],
+            n_blocked: 0,
+            n_halted: 0,
+        }
+    }
+
+    /// Stream `id` failed the sync op `op` at `pc` on `addr`, issued at
+    /// `issue_at` thirds. Retries of an ongoing spell keep the original
+    /// `since` (the diagnostics and detection cycle must not depend on
+    /// engine-specific retry timing).
+    #[inline]
+    pub(crate) fn on_sync_fail(
+        &mut self,
+        id: usize,
+        pc: usize,
+        addr: usize,
+        op: &'static str,
+        issue_at: u64,
+    ) {
+        if self.blocked[id].is_none() {
+            self.blocked[id] = Some(Block {
+                pc,
+                addr,
+                op,
+                since: issue_at,
+            });
+            self.n_blocked += 1;
+        }
+    }
+
+    /// Stream `id`'s sync op succeeded: its blocked spell (if any) ends.
+    #[inline]
+    pub(crate) fn on_sync_success(&mut self, id: usize) {
+        if self.blocked[id].take().is_some() {
+            self.n_blocked -= 1;
+        }
+    }
+
+    /// Stream `id` executed Halt.
+    #[inline]
+    pub(crate) fn on_halt(&mut self, id: usize) {
+        // A blocked stream retries its sync op forever; it can only reach
+        // Halt after a success cleared its spell.
+        debug_assert!(self.blocked[id].is_none(), "a blocked stream halted");
+        self.n_halted += 1;
+    }
+
+    /// Check for deadlock: every stream parked or halted, and no parked
+    /// operation could succeed against the current (frozen) tag state.
+    /// Call after any sync failure or halt — the only transitions that can
+    /// complete the condition. Costs two integer compares when the machine
+    /// is live.
+    pub(crate) fn deadlock(&self, mem: &Memory) -> Option<SimError> {
+        if self.n_blocked == 0 || self.n_blocked + self.n_halted < self.blocked.len() {
+            return None;
+        }
+        let mut diags = Vec::with_capacity(self.n_blocked);
+        let mut stuck_since = 0u64;
+        for (id, b) in self.blocked.iter().enumerate() {
+            let Some(b) = b else { continue };
+            // readfe/readff proceed on a full word, writeef on an empty one.
+            let needs_full = b.op != "writeef";
+            let full = mem.effective_full(b.addr);
+            if full == needs_full {
+                return None; // that stream's next retry will succeed
+            }
+            stuck_since = stuck_since.max(b.since);
+            diags.push(BlockedStream {
+                stream: id,
+                pc: b.pc,
+                op: b.op,
+                addr: b.addr,
+                full,
+            });
+        }
+        Some(SimError::Deadlock {
+            cycle: stuck_since.div_ceil(3),
+            blocked: diags,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let p = FaultPlan::parse("mem-latency=30,wake-delay=9,rate=3:42").unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.mem_latency, 30);
+        assert_eq!(p.wake_delay, 9);
+        assert_eq!(p.rate_log2, 3);
+        assert!(!p.stuck_full && !p.stuck_empty);
+        let p = FaultPlan::parse("stuck-empty:1").unwrap();
+        assert!(p.stuck_empty);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "mem-latency=30", // no seed
+            "mem-latency:x",  // bad seed
+            "mem-latency:7",  // missing value
+            "bogus:7",        // unknown item
+            "stuck-full=1:7", // flag with value
+            "rate=64:7",      // rate too large
+            "stuck-full,stuck-empty:7",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn affects_is_seeded_and_rate_limited() {
+        let p = FaultPlan::parse("mem-latency=10,rate=2:7").unwrap();
+        let hit: Vec<usize> = (0..4096).filter(|&a| p.affects(a)).collect();
+        // 1-in-4 rate: binomial(4096, 1/4) stays comfortably in this band.
+        assert!(hit.len() > 512 && hit.len() < 1536, "{}", hit.len());
+        let p2 = FaultPlan::parse("mem-latency=10,rate=2:8").unwrap();
+        let hit2: Vec<usize> = (0..4096).filter(|&a| p2.affects(a)).collect();
+        assert_ne!(hit, hit2, "different seeds pick different subsets");
+        // rate=0 hits everything.
+        let all = FaultPlan::parse("mem-latency=10,rate=0:7").unwrap();
+        assert!((0..4096).all(|a| all.affects(a)));
+    }
+
+    #[test]
+    fn helpers_respect_the_affected_subset() {
+        let p = FaultPlan::parse("mem-latency=30,wake-delay=9,stuck-empty,rate=1:3").unwrap();
+        for a in 0..256 {
+            if p.affects(a) {
+                assert_eq!(p.extra_latency(a), 30);
+                assert_eq!(p.extra_wake_delay(a), 9);
+                assert_eq!(p.stuck_tag(a), Some(false));
+            } else {
+                assert_eq!(p.extra_latency(a), 0);
+                assert_eq!(p.extra_wake_delay(a), 0);
+                assert_eq!(p.stuck_tag(a), None);
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_detects_only_when_everyone_is_stuck() {
+        let mut mem = Memory::new(8);
+        mem.set_empty(0);
+        let mut t = BlockTracker::new(2);
+        t.on_sync_fail(0, 4, 0, "readfe", 30);
+        assert!(t.deadlock(&mem).is_none(), "stream 1 is still live");
+        t.on_halt(1);
+        let err = t.deadlock(&mem).expect("all streams parked or halted");
+        match err {
+            SimError::Deadlock { cycle, blocked } => {
+                assert_eq!(cycle, 10);
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].stream, 0);
+                assert_eq!(blocked[0].pc, 4);
+                assert_eq!(blocked[0].addr, 0);
+                assert!(!blocked[0].full);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tracker_probe_vetoes_satisfiable_blocks() {
+        // Stream 0 parked on readfe of a word that is now full: its next
+        // retry succeeds, so this is not a deadlock even though every
+        // stream is parked or halted.
+        let mut t = BlockTracker::new(2);
+        let mem = Memory::new(8); // words start full
+        t.on_sync_fail(0, 1, 3, "readfe", 9);
+        t.on_halt(1);
+        assert!(t.deadlock(&mem).is_none());
+        // writeef on a full word, though, is truly parked.
+        let mut t = BlockTracker::new(2);
+        t.on_sync_fail(0, 1, 3, "writeef", 9);
+        t.on_halt(1);
+        assert!(t.deadlock(&mem).is_some());
+    }
+
+    #[test]
+    fn tracker_success_clears_the_spell() {
+        let mut t = BlockTracker::new(1);
+        let mut mem = Memory::new(4);
+        mem.set_empty(0);
+        t.on_sync_fail(0, 0, 0, "readfe", 3);
+        t.on_sync_fail(0, 0, 0, "readfe", 12); // retry keeps since = 3
+        t.on_sync_success(0);
+        assert!(t.deadlock(&mem).is_none(), "no blocked stream remains");
+        t.on_sync_fail(0, 0, 0, "readfe", 21);
+        match t.deadlock(&mem) {
+            Some(SimError::Deadlock { cycle, .. }) => assert_eq!(cycle, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod asm;
 pub(crate) mod compiled;
+pub mod fault;
 pub mod isa;
 pub mod machine;
 pub mod memory;
@@ -69,6 +70,8 @@ pub mod runtime;
 pub(crate) mod wheel;
 pub mod word;
 
+pub use archgraph_core::error::{BlockedStream, SimError};
+pub use fault::FaultPlan;
 pub use machine::{with_engine, with_workers, MtaEngine, MtaMachine};
 pub use memory::Memory;
 pub use report::{EngineStats, RunReport};

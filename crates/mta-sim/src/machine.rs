@@ -63,8 +63,10 @@
 use std::cell::Cell;
 use std::sync::OnceLock;
 
+use archgraph_core::error::{configured_max_cycles, SimError};
 use archgraph_core::MtaParams;
 
+use crate::fault::BlockTracker;
 use crate::isa::{Instr, OpClass, Program, NREGS, N_OP_CLASSES};
 use crate::memory::Memory;
 use crate::report::{EngineStats, RunReport};
@@ -574,6 +576,9 @@ pub struct MtaMachine {
     workers: usize,
     engine_stats: EngineStats,
     reports: Vec<RunReport>,
+    /// Watchdog budget in simulated cycles; a region that would pop an
+    /// event past this returns [`SimError::CycleBudgetExceeded`].
+    max_cycles: u64,
     /// Reusable scratch (the register arena) for the compiled engine —
     /// carrying it across [`Self::run`] calls avoids an allocation per
     /// region.
@@ -599,8 +604,23 @@ impl MtaMachine {
             workers: configured_workers(),
             engine_stats: EngineStats::default(),
             reports: Vec::new(),
+            max_cycles: configured_max_cycles(),
             compiled_scratch: None,
         }
+    }
+
+    /// The watchdog cycle budget (default: `ARCHGRAPH_MAX_CYCLES`, else
+    /// [`archgraph_core::error::DEFAULT_MAX_CYCLES`]).
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Override the watchdog cycle budget for subsequent runs. The budget
+    /// bounds each region, not the machine lifetime; a region whose event
+    /// clock passes it returns [`SimError::CycleBudgetExceeded`] from
+    /// [`Self::try_run`] (and panics from [`Self::run`]). Clamped to ≥ 1.
+    pub fn set_max_cycles(&mut self, cycles: u64) {
+        self.max_cycles = cycles.max(1);
     }
 
     /// The issue-loop engine this machine runs with.
@@ -681,12 +701,33 @@ impl MtaMachine {
     /// per processor. Every stream starts at instruction 0 with `r0 = 0`
     /// and `r1 = global stream index`; `init` may set further registers.
     /// Returns the region report (also appended to [`Self::reports`]).
+    ///
+    /// Panics with the [`SimError`] display text if the region deadlocks
+    /// or exhausts the watchdog budget; use [`Self::try_run`] to handle
+    /// those failures structurally.
     pub fn run<F: FnMut(usize, &mut [i64; NREGS])>(
         &mut self,
         prog: &Program,
         streams_per_proc: usize,
-        mut init: F,
+        init: F,
     ) -> RunReport {
+        self.try_run(prog, streams_per_proc, init)
+            .unwrap_or_else(|e| panic!("mta region failed: {e}"))
+    }
+
+    /// [`Self::run`], but a deadlocked region returns
+    /// [`SimError::Deadlock`] (with per-stream diagnostics that are
+    /// bit-identical whichever engine detected it) and a region that
+    /// outlives [`Self::max_cycles`] returns
+    /// [`SimError::CycleBudgetExceeded`], instead of hanging forever or
+    /// panicking. On error the machine's memory image reflects the
+    /// operations issued up to the failure; no report is appended.
+    pub fn try_run<F: FnMut(usize, &mut [i64; NREGS])>(
+        &mut self,
+        prog: &Program,
+        streams_per_proc: usize,
+        mut init: F,
+    ) -> Result<RunReport, SimError> {
         let host_t0 = std::time::Instant::now();
         assert!(streams_per_proc >= 1, "need at least one stream");
         assert!(
@@ -711,6 +752,11 @@ impl MtaMachine {
         );
         let retry = self.params.sync_retry_cycles.max(1) * 3;
         let instrs = prog.instrs();
+        // Watchdog budget in thirds. Every engine executes exactly the
+        // events at times ≤ the boundary (batch horizons are capped at
+        // boundary + 1) and fails on the first event past it, so the
+        // error — like everything else — is engine-invariant.
+        let budget_thirds = self.max_cycles.saturating_mul(3);
 
         let mem0 = self.memory.counters;
         let mut proc_clock = vec![0u64; self.p];
@@ -725,7 +771,7 @@ impl MtaMachine {
             // reads the build-time micro-op lowering and drives its own
             // bitmap ready queue (identical pop order). The shared
             // epilogue below consumes its accumulators unchanged.
-            let out = crate::compiled::run_region(
+            let out = match crate::compiled::run_region(
                 prog.compiled(),
                 &mut self.memory,
                 &mut streams,
@@ -735,7 +781,14 @@ impl MtaMachine {
                 latency,
                 lookahead,
                 retry,
-            );
+                self.max_cycles,
+            ) {
+                Ok(out) => out,
+                Err(e) => {
+                    self.host_seconds += host_t0.elapsed().as_secs_f64();
+                    return Err(e);
+                }
+            };
             issued = out.issued;
             issued_thirds = out.issued_thirds;
             op_mix = out.op_mix;
@@ -751,7 +804,7 @@ impl MtaMachine {
             // retry outcomes depend on globally ordered tag state that a
             // conservative window cannot resolve in parallel (see
             // crate::partition docs) — so results stay exact either way.
-            let out = crate::partition::run_region(
+            let out = match crate::partition::run_region(
                 prog,
                 &mut self.memory,
                 &mut streams,
@@ -760,7 +813,14 @@ impl MtaMachine {
                 latency,
                 lookahead,
                 self.workers,
-            );
+                self.max_cycles,
+            ) {
+                Ok(out) => out,
+                Err(e) => {
+                    self.host_seconds += host_t0.elapsed().as_secs_f64();
+                    return Err(e);
+                }
+            };
             issued = out.issued;
             issued_thirds = out.issued_thirds;
             op_mix = out.op_mix;
@@ -786,8 +846,20 @@ impl MtaMachine {
             // so the fallback is too.
             let batching = matches!(self.engine, MtaEngine::Trace | MtaEngine::Partitioned);
             let decoded = decode(prog, batching);
+            // Blocked/halted bookkeeping behind deadlock detection. Sync
+            // and halt events are schedule-invariant (sync ops are never
+            // batched), so every engine observes the same transitions.
+            let mut tracker = BlockTracker::new(total);
 
             while let Some((t, id)) = wheel.pop() {
+                if t > budget_thirds {
+                    self.host_seconds += host_t0.elapsed().as_secs_f64();
+                    return Err(SimError::CycleBudgetExceeded {
+                        budget: self.max_cycles,
+                        spent: t.div_ceil(3),
+                        what: "mta cycles",
+                    });
+                }
                 stats.events += 1;
                 'ev: {
                     let proc = id as usize / streams_per_proc;
@@ -795,6 +867,11 @@ impl MtaMachine {
                     debug_assert!(!s.halted);
                     if s.pc >= instrs.len() {
                         // Falling off the end halts the stream.
+                        tracker.on_halt(id as usize);
+                        if let Some(err) = tracker.deadlock(&self.memory) {
+                            self.host_seconds += host_t0.elapsed().as_secs_f64();
+                            return Err(err);
+                        }
                         break 'ev;
                     }
                     let instr = instrs[s.pc];
@@ -814,7 +891,11 @@ impl MtaMachine {
                         }
                     }
                     if d.is_memory && s.out_len as usize >= lookahead {
-                        let c = s.out_front().unwrap();
+                        // The window is at its limit, so the ring holds
+                        // `lookahead ≥ 1` entries and the front exists.
+                        let c = s
+                            .out_front()
+                            .expect("outstanding ring at the lookahead limit is non-empty");
                         e = e.max(c);
                         s.out_pop();
                     }
@@ -848,7 +929,8 @@ impl MtaMachine {
                     // into further private runs (a loop of `add; bne` iterations
                     // can retire in a single visit).
                     if d.batchable {
-                        let limit = batch_limit(&mut wheel, id);
+                        let limit =
+                            batch_limit(&mut wheel, id).min(budget_thirds.saturating_add(1));
                         if let Some(done) =
                             try_batch(limit, s, instrs, &decoded, d, issue_at, &mut op_mix)
                         {
@@ -861,6 +943,11 @@ impl MtaMachine {
                             }
                             if done.halted {
                                 s.halted = true;
+                                tracker.on_halt(id as usize);
+                                if let Some(err) = tracker.deadlock(&self.memory) {
+                                    self.host_seconds += host_t0.elapsed().as_secs_f64();
+                                    return Err(err);
+                                }
                                 break 'ev;
                             }
                             let dn = decoded[s.pc];
@@ -917,7 +1004,7 @@ impl MtaMachine {
                         Instr::Load { dst, addr, off } => {
                             let a = (s.regs[addr.0 as usize] + off) as usize;
                             let v = self.memory.load(a);
-                            let done = issue_at + latency;
+                            let done = issue_at + latency + self.memory.fault_extra_latency(a);
                             wreg!(dst, v, done);
                             s.out_push(done);
                             last_completion = last_completion.max(done);
@@ -925,7 +1012,7 @@ impl MtaMachine {
                         Instr::Store { src, addr, off } => {
                             let a = (s.regs[addr.0 as usize] + off) as usize;
                             self.memory.store(a, s.regs[src.0 as usize]);
-                            let done = issue_at + latency;
+                            let done = issue_at + latency + self.memory.fault_extra_latency(a);
                             s.out_push(done);
                             last_completion = last_completion.max(done);
                         }
@@ -933,49 +1020,69 @@ impl MtaMachine {
                             let a = (s.regs[addr.0 as usize] + off) as usize;
                             match self.memory.readfe(a) {
                                 Some(v) => {
+                                    tracker.on_sync_success(id as usize);
                                     let slot = word_free.slot(a);
                                     let service = (*slot).max(issue_at);
                                     *slot = service + 3;
-                                    let done = service + latency;
+                                    let done =
+                                        service + latency + self.memory.fault_extra_latency(a);
                                     wreg!(dst, v, done);
                                     s.out_push(done);
                                     last_completion = last_completion.max(done);
                                 }
                                 None => {
+                                    tracker.on_sync_fail(id as usize, s.pc, a, "readfe", issue_at);
+                                    if let Some(err) = tracker.deadlock(&self.memory) {
+                                        self.host_seconds += host_t0.elapsed().as_secs_f64();
+                                        return Err(err);
+                                    }
                                     next_pc = s.pc; // retry the same op
-                                    next_ready = issue_at + retry;
+                                    next_ready = issue_at + retry + self.memory.fault_wake_delay(a);
                                 }
                             }
                         }
                         Instr::WriteEF { src, addr, off } => {
                             let a = (s.regs[addr.0 as usize] + off) as usize;
                             if self.memory.writeef(a, s.regs[src.0 as usize]) {
+                                tracker.on_sync_success(id as usize);
                                 let slot = word_free.slot(a);
                                 let service = (*slot).max(issue_at);
                                 *slot = service + 3;
-                                let done = service + latency;
+                                let done = service + latency + self.memory.fault_extra_latency(a);
                                 s.out_push(done);
                                 last_completion = last_completion.max(done);
                             } else {
+                                tracker.on_sync_fail(id as usize, s.pc, a, "writeef", issue_at);
+                                if let Some(err) = tracker.deadlock(&self.memory) {
+                                    self.host_seconds += host_t0.elapsed().as_secs_f64();
+                                    return Err(err);
+                                }
                                 next_pc = s.pc;
-                                next_ready = issue_at + retry;
+                                next_ready = issue_at + retry + self.memory.fault_wake_delay(a);
                             }
                         }
                         Instr::ReadFF { dst, addr, off } => {
                             let a = (s.regs[addr.0 as usize] + off) as usize;
                             match self.memory.readff(a) {
                                 Some(v) => {
+                                    tracker.on_sync_success(id as usize);
                                     let slot = word_free.slot(a);
                                     let service = (*slot).max(issue_at);
                                     *slot = service + 3;
-                                    let done = service + latency;
+                                    let done =
+                                        service + latency + self.memory.fault_extra_latency(a);
                                     wreg!(dst, v, done);
                                     s.out_push(done);
                                     last_completion = last_completion.max(done);
                                 }
                                 None => {
+                                    tracker.on_sync_fail(id as usize, s.pc, a, "readff", issue_at);
+                                    if let Some(err) = tracker.deadlock(&self.memory) {
+                                        self.host_seconds += host_t0.elapsed().as_secs_f64();
+                                        return Err(err);
+                                    }
                                     next_pc = s.pc;
-                                    next_ready = issue_at + retry;
+                                    next_ready = issue_at + retry + self.memory.fault_wake_delay(a);
                                 }
                             }
                         }
@@ -991,7 +1098,7 @@ impl MtaMachine {
                             let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
-                            let done = service + latency;
+                            let done = service + latency + self.memory.fault_extra_latency(a);
                             wreg!(dst, old, done);
                             s.out_push(done);
                             last_completion = last_completion.max(done);
@@ -1019,6 +1126,11 @@ impl MtaMachine {
                         Instr::Jmp { target } => next_pc = target,
                         Instr::Halt => {
                             s.halted = true;
+                            tracker.on_halt(id as usize);
+                            if let Some(err) = tracker.deadlock(&self.memory) {
+                                self.host_seconds += host_t0.elapsed().as_secs_f64();
+                                return Err(err);
+                            }
                             break 'ev;
                         }
                     }
@@ -1026,6 +1138,11 @@ impl MtaMachine {
                     s.pc = next_pc;
                     if s.pc >= instrs.len() {
                         s.halted = true;
+                        tracker.on_halt(id as usize);
+                        if let Some(err) = tracker.deadlock(&self.memory) {
+                            self.host_seconds += host_t0.elapsed().as_secs_f64();
+                            return Err(err);
+                        }
                         break 'ev;
                     }
                     // Wake the stream when its next instruction's sources are
@@ -1080,7 +1197,7 @@ impl MtaMachine {
         self.engine_stats.batches += stats.batches;
         self.engine_stats.batched_instrs += stats.batched_instrs;
         self.reports.push(report.clone());
-        report
+        Ok(report)
     }
 }
 

@@ -8,6 +8,7 @@
 //! with no banks, hashing has no observable effect and is omitted — which
 //! is precisely the paper's point that layout is irrelevant on the MTA.
 
+use crate::fault::FaultPlan;
 use crate::word::Word;
 
 /// Counters of memory traffic by operation class.
@@ -40,16 +41,69 @@ pub struct Memory {
     next_free: usize,
     /// Traffic counters.
     pub counters: MemCounters,
+    /// Active fault-injection plan, if any. Lives below the engine layer
+    /// so that stuck full/empty bits perturb every engine identically; the
+    /// engines consult the pure per-address latency/wakeup helpers.
+    fault: Option<FaultPlan>,
 }
 
 impl Memory {
-    /// A memory of `capacity` words, all full-of-zero.
+    /// A memory of `capacity` words, all full-of-zero. Picks up the
+    /// ambient fault plan (`ARCHGRAPH_FAULTS`), if one is configured.
     pub fn new(capacity: usize) -> Self {
         Memory {
             words: vec![Word::default(); capacity],
             next_free: 0,
             counters: MemCounters::default(),
+            fault: FaultPlan::from_env().cloned(),
         }
+    }
+
+    /// Install (or clear) a fault plan, overriding the ambient env plan.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Extra completion latency (thirds) a memory op on `addr` suffers
+    /// under the active fault plan. Zero without a plan.
+    #[inline]
+    pub fn fault_extra_latency(&self, addr: usize) -> u64 {
+        match &self.fault {
+            None => 0,
+            Some(p) => p.extra_latency(addr),
+        }
+    }
+
+    /// Extra retry delay (thirds) a failed sync op on `addr` suffers
+    /// under the active fault plan. Zero without a plan.
+    #[inline]
+    pub fn fault_wake_delay(&self, addr: usize) -> u64 {
+        match &self.fault {
+            None => 0,
+            Some(p) => p.extra_wake_delay(addr),
+        }
+    }
+
+    /// The tag state forced on `addr` by a stuck-bit fault, if any.
+    #[inline]
+    fn stuck_tag(&self, addr: usize) -> Option<bool> {
+        match &self.fault {
+            None => None,
+            Some(p) => p.stuck_tag(addr),
+        }
+    }
+
+    /// The full/empty state a synchronizing op would observe at `addr`,
+    /// including stuck-bit faults. Host-side (no counters) — this is what
+    /// the deadlock detector probes.
+    #[inline]
+    pub fn effective_full(&self, addr: usize) -> bool {
+        self.stuck_tag(addr).unwrap_or(self.words[addr].full)
     }
 
     /// Capacity in words.
@@ -137,11 +191,15 @@ impl Memory {
     }
 
     /// Synchronous read-and-empty: succeeds only on a full word, leaving
-    /// it empty. `None` means the issuing stream must retry.
+    /// it empty. `None` means the issuing stream must retry. A stuck tag
+    /// fault pins the observed state (and the bit cannot be cleared).
     pub fn readfe(&mut self, addr: usize) -> Option<i64> {
+        let stuck = self.stuck_tag(addr);
         let w = &mut self.words[addr];
-        if w.full {
-            w.full = false;
+        if stuck.unwrap_or(w.full) {
+            if stuck.is_none() {
+                w.full = false;
+            }
             self.counters.sync_ops += 1;
             Some(w.value)
         } else {
@@ -151,11 +209,15 @@ impl Memory {
     }
 
     /// Synchronous write-and-fill: succeeds only on an empty word, leaving
-    /// it full. `false` means retry.
+    /// it full. `false` means retry. A stuck-empty fault lets the write
+    /// through but the bit stays empty; a stuck-full fault blocks forever.
     pub fn writeef(&mut self, addr: usize, value: i64) -> bool {
+        let stuck = self.stuck_tag(addr);
         let w = &mut self.words[addr];
-        if !w.full {
-            w.full = true;
+        if !stuck.unwrap_or(w.full) {
+            if stuck.is_none() {
+                w.full = true;
+            }
             w.value = value;
             self.counters.sync_ops += 1;
             true
@@ -167,8 +229,9 @@ impl Memory {
 
     /// Synchronous read-when-full (does not empty). `None` means retry.
     pub fn readff(&mut self, addr: usize) -> Option<i64> {
+        let stuck = self.stuck_tag(addr);
         let w = &mut self.words[addr];
-        if w.full {
+        if stuck.unwrap_or(w.full) {
             self.counters.sync_ops += 1;
             Some(w.value)
         } else {
@@ -286,6 +349,30 @@ mod tests {
         m.poke(0, i64::MAX);
         assert_eq!(m.int_fetch_add(0, 1), i64::MAX);
         assert_eq!(m.peek(0), i64::MIN);
+    }
+
+    #[test]
+    fn stuck_bits_pin_the_observed_tag() {
+        // rate=0 affects every address.
+        let plan = FaultPlan::parse("stuck-empty,rate=0:1").unwrap();
+        let mut m = Memory::new(4);
+        m.set_fault_plan(Some(plan));
+        assert_eq!(m.readfe(0), None, "stuck empty: consumers starve");
+        assert!(!m.effective_full(0));
+        assert!(m.writeef(0, 7), "stuck empty: writes pass through");
+        assert!(!m.effective_full(0), "but the observed tag never fills");
+        assert_eq!(m.readfe(0), None, "so a consumer still starves");
+        assert_eq!(m.peek(0), 7);
+
+        let plan = FaultPlan::parse("stuck-full,rate=0:1").unwrap();
+        let mut m = Memory::new(4);
+        m.set_fault_plan(Some(plan));
+        m.poke(0, 9);
+        assert_eq!(m.readfe(0), Some(9));
+        assert!(m.is_full(0), "stuck full: readfe cannot empty the word");
+        assert_eq!(m.readfe(0), Some(9), "so it keeps succeeding");
+        assert!(!m.writeef(0, 1), "stuck full: producers starve");
+        assert!(m.effective_full(0));
     }
 
     #[test]

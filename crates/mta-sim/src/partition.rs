@@ -73,7 +73,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use archgraph_core::error::SimError;
+
 use crate::compiled::RegionOut;
+use crate::fault::FaultPlan;
 use crate::isa::{Instr, Program, NREGS, N_OP_CLASSES};
 use crate::machine::{batch_limit, decode, try_batch, Decoded, Stream, WordFree};
 use crate::memory::Memory;
@@ -90,6 +93,22 @@ struct Env<'a> {
     streams_per_proc: usize,
     latency: u64,
     lookahead: usize,
+    /// Watchdog boundary in thirds: no partition pops or batches an issue
+    /// slot past it, so every engine simulates exactly the same prefix
+    /// before [`SimError::CycleBudgetExceeded`] fires at the merge.
+    budget_thirds: u64,
+    /// Copy of the memory image's fault plan. Workers never touch
+    /// [`Memory`], yet completion times must carry injected latency;
+    /// every fault decision is a pure function of `(addr, seed)`, so a
+    /// worker-local copy perturbs identically to the merge's own image.
+    fault: Option<FaultPlan>,
+}
+
+impl Env<'_> {
+    #[inline]
+    fn extra_latency(&self, addr: usize) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.extra_latency(addr))
+    }
 }
 
 /// A shared-memory operation logged in-window, applied at the merge.
@@ -295,7 +314,11 @@ impl Partition<'_> {
             }
             if d.is_memory && s.out_len as usize >= env.lookahead {
                 debug_assert_eq!(self.prov[li], 0, "fixes must precede replay");
-                let c = s.out_front().unwrap();
+                // The window is at its limit, so the ring holds
+                // `lookahead ≥ 1` entries and the front exists.
+                let c = s
+                    .out_front()
+                    .expect("outstanding ring at the lookahead limit is non-empty");
                 e = e.max(c);
                 s.out_pop();
             }
@@ -322,7 +345,12 @@ impl Partition<'_> {
     /// effects are logged for the merge and visits that would touch
     /// non-final state are suspended.
     fn run_window(&mut self, we: u64, env: &Env) {
-        while let Some((t, id)) = self.wheel.pop_before(we) {
+        // Clamp the pop range (not the window bookkeeping: suspension and
+        // finality reason about the true `we`) so no event past the
+        // watchdog boundary executes; the merge then reports the budget
+        // error off the untouched pending-event times.
+        let pop_we = we.min(env.budget_thirds.saturating_add(1));
+        while let Some((t, id)) = self.wheel.pop_before(pop_we) {
             self.stats.events += 1;
             let li = id as usize - self.stream_lo;
             let proc = id as usize / env.streams_per_proc;
@@ -361,7 +389,11 @@ impl Partition<'_> {
                     self.side.push((t, id));
                     continue;
                 }
-                let c = s.out_front().unwrap();
+                // The window is at its limit, so the ring holds
+                // `lookahead ≥ 1` entries and the front exists.
+                let c = s
+                    .out_front()
+                    .expect("outstanding ring at the lookahead limit is non-empty");
                 e = e.max(c);
                 s.out_pop();
             }
@@ -377,7 +409,9 @@ impl Partition<'_> {
                 // slots where readiness implies finality. Batching is
                 // skipped while a register fix is pending so no batched
                 // write can bury one unnoticed.
-                let limit = batch_limit(&mut self.wheel, id).min(we);
+                let limit = batch_limit(&mut self.wheel, id)
+                    .min(we)
+                    .min(env.budget_thirds.saturating_add(1));
                 if let Some(done) = try_batch(
                     limit,
                     s,
@@ -456,7 +490,7 @@ impl Partition<'_> {
                 }
                 Instr::Load { dst, addr, off } => {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
-                    let done = issue_at + env.latency;
+                    let done = issue_at + env.latency + env.extra_latency(a);
                     let fid = self.fix_seq;
                     self.fix_seq += 1;
                     let di = dst.0 as usize;
@@ -492,7 +526,7 @@ impl Partition<'_> {
                             val: s.regs[src.0 as usize],
                         },
                     });
-                    s.out_push(issue_at + env.latency);
+                    s.out_push(issue_at + env.latency + env.extra_latency(a));
                 }
                 Instr::FetchAdd {
                     dst,
@@ -503,8 +537,9 @@ impl Partition<'_> {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
                     // Lower bound on the completion; the merge serializes
                     // the word hotspot and rewrites ready/ring with the
-                    // true `service + latency`.
-                    let done_lb = issue_at + env.latency;
+                    // true `service + latency` (injected latency only
+                    // adds, so the bound survives fault plans too).
+                    let done_lb = issue_at + env.latency + env.extra_latency(a);
                     let slot = s.out_next_slot();
                     let fid = self.fix_seq;
                     self.fix_seq += 1;
@@ -634,7 +669,7 @@ fn merge_apply(
         match op.kind {
             MemKind::Load { dst } => {
                 let v = memory.load(op.addr);
-                let done = op.issue_at + latency;
+                let done = op.issue_at + latency + memory.fault_extra_latency(op.addr);
                 *last_completion = (*last_completion).max(done);
                 if dst != 0 {
                     fixes[k].push(Fix::LoadVal {
@@ -647,14 +682,15 @@ fn merge_apply(
             }
             MemKind::Store { val } => {
                 memory.store(op.addr, val);
-                *last_completion = (*last_completion).max(op.issue_at + latency);
+                let done = op.issue_at + latency + memory.fault_extra_latency(op.addr);
+                *last_completion = (*last_completion).max(done);
             }
             MemKind::FetchAdd { delta, dst, slot } => {
                 let old = memory.int_fetch_add(op.addr, delta);
                 let wf = word_free.slot(op.addr);
                 let service = (*wf).max(op.issue_at);
                 *wf = service + 3;
-                let done = service + latency;
+                let done = service + latency + memory.fault_extra_latency(op.addr);
                 *last_completion = (*last_completion).max(done);
                 fixes[k].push(Fix::FetchAdd {
                     local,
@@ -673,6 +709,15 @@ fn merge_apply(
 /// other engines' region runners: every simulated quantity (issue order,
 /// clocks, counters, memory image) is bit-identical to the single-step
 /// oracle for any `workers`, including 1.
+///
+/// Guardrails: only the cycle watchdog can fire here — sync programs
+/// (the only ones that can deadlock) never reach this engine. Workers
+/// stop popping at the budget boundary, and the merge converts "every
+/// pending event lies past the budget" into
+/// [`SimError::CycleBudgetExceeded`]. (`spent` reads the merged
+/// next-event time, which for a pending provisional completion is its
+/// lower bound — always past the budget, though it may name an earlier
+/// cycle than the single-wheel engines report for the same runaway.)
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_region(
     prog: &Program,
@@ -683,7 +728,9 @@ pub(crate) fn run_region(
     latency: u64,
     lookahead: usize,
     workers: usize,
-) -> RegionOut {
+    max_cycles: u64,
+) -> Result<RegionOut, SimError> {
+    let budget_thirds = max_cycles.saturating_mul(3);
     let total = streams.len();
     let p = proc_clock.len();
     let w_eff = workers.clamp(1, p);
@@ -700,6 +747,8 @@ pub(crate) fn run_region(
         streams_per_proc,
         latency,
         lookahead,
+        budget_thirds,
+        fault: memory.fault_plan().cloned(),
     };
 
     // Carve contiguous whole-processor partitions.
@@ -751,6 +800,7 @@ pub(crate) fn run_region(
     };
 
     let mut last_completion = 0u64;
+    let mut err: Option<SimError> = None;
     {
         let (head, rest) = parts.split_at_mut(1);
         let p0 = &mut head[0];
@@ -811,6 +861,17 @@ pub(crate) fn run_region(
                 }
                 if t_next == u64::MAX {
                     shared.done.store(true, Ordering::Release);
+                } else if t_next > budget_thirds {
+                    // Every pending event everywhere lies past the
+                    // watchdog boundary; the region can only burn budget
+                    // from here. Tear down through the normal done
+                    // handshake so the workers exit cleanly.
+                    err = Some(SimError::CycleBudgetExceeded {
+                        budget: max_cycles,
+                        spent: t_next.div_ceil(3),
+                        what: "mta cycles",
+                    });
+                    shared.done.store(true, Ordering::Release);
                 } else {
                     shared
                         .window_end
@@ -818,6 +879,10 @@ pub(crate) fn run_region(
                 }
             }
         });
+    }
+
+    if let Some(e) = err {
+        return Err(e);
     }
 
     let mut out = RegionOut {
@@ -837,5 +902,5 @@ pub(crate) fn run_region(
         out.stats.batches += part.stats.batches;
         out.stats.batched_instrs += part.stats.batched_instrs;
     }
-    out
+    Ok(out)
 }

@@ -1,0 +1,491 @@
+//! Guardrail differential suite: the failure paths must be as
+//! engine-invariant as the happy paths.
+//!
+//! * A kernel that deadlocks (unmatched full/empty traffic) returns the
+//!   **identical** [`SimError::Deadlock`] — same detection cycle, same
+//!   per-stream diagnostics — from SingleStep, Trace, Compiled and
+//!   Partitioned at every worker count, and never hangs.
+//! * A kernel that outlives the cycle budget returns
+//!   [`SimError::CycleBudgetExceeded`] from every engine.
+//! * A deterministic [`FaultPlan`] perturbs every engine identically:
+//!   latency spikes leave the issued-instruction count unchanged and only
+//!   ever lengthen the run; stuck tag bits drive the deadlock detector.
+//! * Property test: random full/empty kernels — balanced and deliberately
+//!   unbalanced — either halt with identical reports or deadlock with
+//!   identical errors across all four engines and `W ∈ {1, 2, 4, 8}`.
+
+use proptest::prelude::*;
+
+use archgraph_core::MtaParams;
+use archgraph_mta_sim::isa::{Program, ProgramBuilder, Reg};
+use archgraph_mta_sim::machine::{with_workers, MtaEngine, MtaMachine};
+use archgraph_mta_sim::report::RunReport;
+use archgraph_mta_sim::{FaultPlan, SimError};
+
+const MEM_WORDS: usize = 32;
+
+const ALL_ENGINES: [MtaEngine; 4] = [
+    MtaEngine::SingleStep,
+    MtaEngine::Trace,
+    MtaEngine::Compiled,
+    MtaEngine::Partitioned,
+];
+
+/// Run `prog` under one engine with optional empty words, fault plan and
+/// cycle budget; return the outcome and the final memory image.
+fn try_engine(
+    prog: &Program,
+    engine: MtaEngine,
+    p: usize,
+    streams: usize,
+    empties: &[usize],
+    plan: Option<&FaultPlan>,
+    max_cycles: Option<u64>,
+) -> (Result<RunReport, SimError>, Vec<i64>) {
+    let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), p, 1 << 12);
+    m.memory_mut().alloc(MEM_WORDS);
+    for &a in empties {
+        m.memory_mut().set_empty(a);
+    }
+    m.memory_mut().set_fault_plan(plan.cloned());
+    if let Some(b) = max_cycles {
+        m.set_max_cycles(b);
+    }
+    m.set_engine(engine);
+    let out = m.try_run(prog, streams, |_, _| {});
+    (out, m.memory().peek_slice(0, MEM_WORDS))
+}
+
+/// Producer/consumer handshake over `mem[1]` with a deliberate imbalance:
+/// the lower half of the streams each produce one value via `writeef`,
+/// the upper half each consume **two** via `readfe`. Half the demanded
+/// values never arrive, so once the producers halt, at least one consumer
+/// is parked on an empty word forever — a guaranteed deadlock.
+fn unbalanced_handshake(total: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (v, half, t) = (Reg(2), Reg(3), Reg(5));
+    b.li(half, total / 2);
+    b.mul(v, Reg(1), Reg(1));
+    let consumer = b.bge_fwd(Reg(1), half);
+    b.writeef(v, Reg(0), 1);
+    b.halt();
+    b.bind(consumer);
+    b.readfe(v, Reg(0), 1);
+    b.fetch_add_imm(t, 4, v);
+    b.readfe(v, Reg(0), 1); // over-consume: this read can never be matched
+    b.fetch_add_imm(t, 4, v);
+    b.halt();
+    b.build()
+}
+
+/// The balanced variant (same shape as `pinned_sync_handshake` in the
+/// trace differential suite): halts cleanly unless a fault plan wedges it.
+fn balanced_handshake(total: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (v, half, t) = (Reg(2), Reg(3), Reg(5));
+    b.li(half, total / 2);
+    b.mul(v, Reg(1), Reg(1));
+    let consumer = b.bge_fwd(Reg(1), half);
+    b.writeef(v, Reg(0), 1);
+    b.halt();
+    b.bind(consumer);
+    b.readfe(v, Reg(0), 1);
+    b.fetch_add_imm(t, 4, v);
+    b.halt();
+    b.build()
+}
+
+/// Fig. 1-shaped list walk (memory-heavy, sync-free) plus its memory
+/// image — the workhorse for fault-latency and watchdog checks that must
+/// exercise the partitioned engine's parallel path.
+fn walk_kernel() -> (Program, Vec<i64>) {
+    let n = 24i64;
+    let mut mem = vec![0i64; MEM_WORDS];
+    for i in 0..n {
+        let succ = (i + 1) % n;
+        mem[(2 + i) as usize] = if succ % 4 == 0 { 0 } else { 2 + succ };
+    }
+    let mut b = ProgramBuilder::new();
+    let (i, one, lim, j, c) = (Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(one, 1).li(lim, n);
+    let claim = b.here();
+    b.fetch_add_imm(i, 0, one);
+    let done = b.bge_fwd(i, lim);
+    b.addi(j, i, 2);
+    let walk = b.here();
+    b.load(j, j, 0);
+    b.beq(j, Reg(0), claim);
+    b.fetch_add_imm(c, 1, one);
+    b.jmp(walk);
+    b.bind(done);
+    b.halt();
+    (b.build(), mem)
+}
+
+fn poke_all(m: &mut MtaMachine, mem: &[i64]) {
+    for (a, &v) in mem.iter().enumerate() {
+        m.memory_mut().poke(a, v);
+    }
+}
+
+/// An unmatched `readfe` kernel must return the byte-identical
+/// `SimError::Deadlock` from all four engines at every worker count —
+/// and, critically, return at all.
+#[test]
+fn deadlock_is_bit_identical_across_engines_and_worker_counts() {
+    for &(p, streams) in &[(1usize, 2usize), (2, 4), (2, 8)] {
+        let prog = unbalanced_handshake((p * streams) as i64);
+        let (oracle, mem_oracle) =
+            try_engine(&prog, MtaEngine::SingleStep, p, streams, &[1], None, None);
+        let err = oracle
+            .clone()
+            .expect_err("over-consuming kernel must deadlock");
+        match &err {
+            SimError::Deadlock { cycle, blocked } => {
+                assert!(*cycle > 0);
+                assert!(!blocked.is_empty());
+                for bs in blocked {
+                    assert_eq!(bs.op, "readfe", "only consumers can be parked");
+                    assert_eq!(bs.addr, 1);
+                    assert!(!bs.full, "parked consumers see an empty word");
+                    assert!(bs.stream >= p * streams / 2, "producers all halt");
+                }
+            }
+            other => panic!("expected a deadlock, got {other}"),
+        }
+        for engine in [
+            MtaEngine::Trace,
+            MtaEngine::Compiled,
+            MtaEngine::Partitioned,
+        ] {
+            for w in [1usize, 2, 4, 8] {
+                let (out, mem_out) = with_workers(w, || {
+                    try_engine(&prog, engine, p, streams, &[1], None, None)
+                });
+                assert_eq!(
+                    out, oracle,
+                    "{engine:?} W={w} deadlock diverged at p={p} streams={streams}"
+                );
+                assert_eq!(
+                    mem_out, mem_oracle,
+                    "{engine:?} W={w} memory diverged at p={p} streams={streams}"
+                );
+            }
+        }
+    }
+}
+
+/// The deadlock error's Display text names every parked stream.
+#[test]
+fn deadlock_diagnostics_are_human_readable() {
+    let prog = unbalanced_handshake(2);
+    let (out, _) = try_engine(&prog, MtaEngine::Trace, 1, 2, &[1], None, None);
+    let msg = out.expect_err("must deadlock").to_string();
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("readfe"), "{msg}");
+    assert!(msg.contains("mem[1]"), "{msg}");
+}
+
+/// A non-terminating (sync-free) kernel trips the watchdog on every
+/// engine with the same budget, and `run` surfaces it as a panic rather
+/// than a hang.
+#[test]
+fn watchdog_fires_identically_on_runaway_kernels() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg(2), 0);
+    let top = b.here();
+    b.addi(Reg(2), Reg(2), 1);
+    b.store_abs(Reg(2), 0);
+    b.jmp(top);
+    b.halt();
+    let prog = b.build();
+
+    let budget = 500u64;
+    let (oracle, _) = try_engine(&prog, MtaEngine::SingleStep, 2, 4, &[], None, Some(budget));
+    match oracle
+        .as_ref()
+        .expect_err("runaway kernel must trip the watchdog")
+    {
+        SimError::CycleBudgetExceeded {
+            budget: b,
+            spent,
+            what,
+        } => {
+            assert_eq!(*b, budget);
+            assert!(*spent > budget, "spent {spent} must exceed the budget");
+            assert_eq!(*what, "mta cycles");
+        }
+        other => panic!("expected a budget error, got {other}"),
+    }
+    for engine in [MtaEngine::Trace, MtaEngine::Compiled] {
+        let (out, _) = try_engine(&prog, engine, 2, 4, &[], None, Some(budget));
+        assert_eq!(out, oracle, "{engine:?} watchdog diverged");
+    }
+    // The partitioned engine detects the overrun at a window merge, so its
+    // `spent` may name a different (still over-budget) cycle.
+    for w in [1usize, 2, 4] {
+        let (out, _) = with_workers(w, || {
+            try_engine(&prog, MtaEngine::Partitioned, 2, 4, &[], None, Some(budget))
+        });
+        match out.expect_err("partitioned watchdog must fire") {
+            SimError::CycleBudgetExceeded {
+                budget: b,
+                spent,
+                what,
+            } => {
+                assert_eq!(b, budget);
+                assert!(spent > budget);
+                assert_eq!(what, "mta cycles");
+            }
+            other => panic!("expected a budget error, got {other}"),
+        }
+    }
+}
+
+/// A kernel that finishes inside the budget is untouched by the watchdog:
+/// same report with and without a (tight but sufficient) budget.
+#[test]
+fn watchdog_is_invisible_inside_the_budget() {
+    let (prog, mem) = walk_kernel();
+    let run = |budget: Option<u64>| {
+        let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), 2, 1 << 12);
+        m.memory_mut().alloc(MEM_WORDS);
+        poke_all(&mut m, &mem);
+        if let Some(b) = budget {
+            m.set_max_cycles(b);
+        }
+        m.try_run(&prog, 4, |_, _| {}).expect("walk kernel halts")
+    };
+    let free = run(None);
+    let fenced = run(Some(free.cycles + 1));
+    assert_eq!(free, fenced, "an unexercised watchdog must cost nothing");
+}
+
+/// Injected memory latency perturbs every engine identically, never
+/// changes *what* executes (issued instructions, op mix, memory traffic),
+/// and can only lengthen the schedule.
+#[test]
+fn fault_latency_is_engine_invariant_and_monotone() {
+    let (prog, mem_init) = walk_kernel();
+    let plan = FaultPlan::parse("mem-latency=30,rate=1:9").expect("plan parses");
+    let run = |engine: MtaEngine, plan: Option<&FaultPlan>| {
+        let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), 2, 1 << 12);
+        m.memory_mut().alloc(MEM_WORDS);
+        poke_all(&mut m, &mem_init);
+        m.memory_mut().set_fault_plan(plan.cloned());
+        m.set_engine(engine);
+        let rep = m.try_run(&prog, 4, |_, _| {}).expect("kernel still halts");
+        (rep, m.memory().peek_slice(0, MEM_WORDS))
+    };
+    let (clean, _) = run(MtaEngine::SingleStep, None);
+    let (faulted, mem_faulted) = run(MtaEngine::SingleStep, Some(&plan));
+    assert_eq!(
+        faulted.issued, clean.issued,
+        "latency must not change the work"
+    );
+    assert_eq!(faulted.op_mix, clean.op_mix);
+    assert_eq!(faulted.mem, clean.mem);
+    assert!(
+        faulted.cycles >= clean.cycles,
+        "extra latency can only lengthen the run ({} < {})",
+        faulted.cycles,
+        clean.cycles
+    );
+    for engine in [
+        MtaEngine::Trace,
+        MtaEngine::Compiled,
+        MtaEngine::Partitioned,
+    ] {
+        for w in [1usize, 2, 4, 8] {
+            let (rep, mem_out) = with_workers(w, || run(engine, Some(&plan)));
+            assert_eq!(
+                rep, faulted,
+                "{engine:?} W={w} diverged under the fault plan"
+            );
+            assert_eq!(mem_out, mem_faulted, "{engine:?} W={w} memory diverged");
+        }
+    }
+}
+
+/// Delayed sync-retry wakeups likewise perturb all engines identically
+/// on a kernel that leans on retries, and leave the final memory intact.
+#[test]
+fn fault_wake_delay_is_engine_invariant() {
+    let plan = FaultPlan::parse("wake-delay=9,rate=0:3").expect("plan parses");
+    for &(p, streams) in &[(1usize, 2usize), (2, 4)] {
+        let prog = balanced_handshake((p * streams) as i64);
+        let (oracle, mem_oracle) = try_engine(
+            &prog,
+            MtaEngine::SingleStep,
+            p,
+            streams,
+            &[1],
+            Some(&plan),
+            None,
+        );
+        let rep = oracle.as_ref().expect("balanced handshake halts");
+        assert!(rep.mem.sync_ops > 0, "handshake must use sync ops");
+        for engine in [
+            MtaEngine::Trace,
+            MtaEngine::Compiled,
+            MtaEngine::Partitioned,
+        ] {
+            let (out, mem_out) = try_engine(&prog, engine, p, streams, &[1], Some(&plan), None);
+            assert_eq!(out, oracle, "{engine:?} diverged under wake delay");
+            assert_eq!(mem_out, mem_oracle);
+        }
+    }
+}
+
+/// A stuck-empty tag starves consumers: `readfe` can never observe a full
+/// word, so the balanced handshake — which halts cleanly without the
+/// fault — deadlocks, identically, on every engine.
+#[test]
+fn stuck_tag_fault_drives_the_deadlock_detector() {
+    let plan = FaultPlan::parse("stuck-empty,rate=0:5").expect("plan parses");
+    for &(p, streams) in &[(1usize, 2usize), (2, 4)] {
+        let prog = balanced_handshake((p * streams) as i64);
+        // Sanity: clean machine halts.
+        let (clean, _) = try_engine(&prog, MtaEngine::SingleStep, p, streams, &[1], None, None);
+        assert!(clean.is_ok(), "balanced handshake halts without the fault");
+        let (oracle, mem_oracle) = try_engine(
+            &prog,
+            MtaEngine::SingleStep,
+            p,
+            streams,
+            &[1],
+            Some(&plan),
+            None,
+        );
+        match oracle
+            .as_ref()
+            .expect_err("stuck-empty must starve the consumers")
+        {
+            SimError::Deadlock { blocked, .. } => {
+                assert!(!blocked.is_empty());
+                for bs in blocked {
+                    assert_eq!(bs.op, "readfe");
+                    assert!(!bs.full, "the observed tag is pinned empty");
+                }
+            }
+            other => panic!("expected a deadlock, got {other}"),
+        }
+        for engine in [
+            MtaEngine::Trace,
+            MtaEngine::Compiled,
+            MtaEngine::Partitioned,
+        ] {
+            let (out, mem_out) = try_engine(&prog, engine, p, streams, &[1], Some(&plan), None);
+            assert_eq!(out, oracle, "{engine:?} diverged under stuck-empty");
+            assert_eq!(mem_out, mem_oracle);
+        }
+    }
+}
+
+/// Build a full/empty kernel where the lower half of the streams each
+/// perform `prod_reps` `writeef`s and the upper half `cons_reps`
+/// `readfe`s against the same word. Balanced counts halt; unbalanced
+/// counts deadlock. Either way, every engine must agree bit-for-bit.
+fn repeated_handshake(total: i64, prod_reps: u8, cons_reps: u8) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (v, half, t, k) = (Reg(2), Reg(3), Reg(5), Reg(6));
+    b.li(half, total / 2);
+    b.mul(v, Reg(1), Reg(1));
+    let consumer = b.bge_fwd(Reg(1), half);
+    if prod_reps > 0 {
+        b.li(k, prod_reps as i64);
+        let top = b.here();
+        b.writeef(v, Reg(0), 1);
+        b.addi(v, v, 1);
+        b.addi(k, k, -1);
+        b.bne(k, Reg(0), top);
+    }
+    b.halt();
+    b.bind(consumer);
+    if cons_reps > 0 {
+        b.li(k, cons_reps as i64);
+        let top = b.here();
+        b.readfe(v, Reg(0), 1);
+        b.fetch_add_imm(t, 4, v);
+        b.addi(k, k, -1);
+        b.bne(k, Reg(0), top);
+    }
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated full/empty kernel — matched or deliberately
+    /// unmatched — either halts with identical reports or deadlocks with
+    /// identical diagnostics on all four engines and every worker count.
+    #[test]
+    fn kernels_halt_or_deadlock_identically(
+        prod_reps in 0u8..3,
+        cons_reps in 0u8..3,
+        shape_idx in 0usize..2,
+    ) {
+        let (p, streams) = [(1usize, 2usize), (2, 4)][shape_idx];
+        let prog = repeated_handshake((p * streams) as i64, prod_reps, cons_reps);
+        let (oracle, mem_oracle) =
+            try_engine(&prog, MtaEngine::SingleStep, p, streams, &[1], None, None);
+        // The outcome is decided by the aggregate writeef/readfe counts.
+        if prod_reps == cons_reps {
+            prop_assert!(oracle.is_ok(), "balanced kernel must halt: {:?}", oracle);
+        } else {
+            prop_assert!(
+                matches!(oracle, Err(SimError::Deadlock { .. })),
+                "unbalanced kernel must deadlock: {:?}",
+                oracle
+            );
+        }
+        for engine in [MtaEngine::Trace, MtaEngine::Compiled, MtaEngine::Partitioned] {
+            for w in [1usize, 2, 4, 8] {
+                let (out, mem_out) = with_workers(w, || {
+                    try_engine(&prog, engine, p, streams, &[1], None, None)
+                });
+                prop_assert_eq!(
+                    &out, &oracle,
+                    "{:?} W={} outcome diverged (prod={}, cons={})",
+                    engine, w, prod_reps, cons_reps
+                );
+                prop_assert_eq!(
+                    &mem_out, &mem_oracle,
+                    "{:?} W={} memory diverged", engine, w
+                );
+            }
+        }
+    }
+}
+
+/// `run` (the panicking wrapper) converts a deadlock into a panic that
+/// carries the structured message — it must never hang.
+#[test]
+#[should_panic(expected = "mta region failed: deadlock")]
+fn run_panics_with_the_structured_message() {
+    let prog = unbalanced_handshake(2);
+    let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), 1, 1 << 12);
+    m.memory_mut().alloc(MEM_WORDS);
+    m.memory_mut().set_empty(1);
+    m.set_engine(MtaEngine::Trace);
+    let _ = m.run(&prog, 2, |_, _| {});
+}
+
+/// All engines must agree with each other even when both guardrails are
+/// armed at once: the deadlock detector wins when the deadlock completes
+/// before the budget boundary.
+#[test]
+fn deadlock_beats_a_generous_watchdog() {
+    let prog = unbalanced_handshake(4);
+    let mut outs = Vec::new();
+    for engine in ALL_ENGINES {
+        let (out, _) = try_engine(&prog, engine, 2, 2, &[1], None, Some(1 << 20));
+        assert!(
+            matches!(out, Err(SimError::Deadlock { .. })),
+            "{engine:?}: expected deadlock, got {out:?}"
+        );
+        outs.push(out);
+    }
+    assert!(outs.windows(2).all(|w| w[0] == w[1]), "engines disagreed");
+}

@@ -51,5 +51,6 @@ pub mod prefetch;
 pub mod stats;
 pub mod tlb;
 
+pub use archgraph_core::SimError;
 pub use machine::{ArrayAddr, ProcCtx, SmpMachine};
 pub use stats::RunStats;

@@ -13,7 +13,8 @@ use crate::cache::Cache;
 use crate::prefetch::Prefetcher;
 use crate::stats::RunStats;
 use crate::tlb::Tlb;
-use archgraph_core::SmpParams;
+use archgraph_core::error::configured_max_cycles;
+use archgraph_core::{SimError, SmpParams};
 
 /// Base address and element size of a simulated array allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,6 +187,9 @@ pub struct SmpMachine {
     host_seconds: f64,
     phases: Vec<PhaseRecord>,
     next_addr: u64,
+    /// Watchdog budget in simulated cycles: a phase that pushes the
+    /// machine clock past it returns [`SimError::CycleBudgetExceeded`].
+    max_cycles: u64,
 }
 
 impl SmpMachine {
@@ -207,7 +211,22 @@ impl SmpMachine {
             host_seconds: 0.0,
             phases: Vec::new(),
             next_addr: 0x1000,
+            max_cycles: configured_max_cycles(),
         }
+    }
+
+    /// The watchdog cycle budget (default: `ARCHGRAPH_MAX_CYCLES`, else
+    /// [`archgraph_core::error::DEFAULT_MAX_CYCLES`]).
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Override the watchdog cycle budget. The budget bounds the whole
+    /// machine clock: the first phase that pushes [`Self::cycles`] past
+    /// it fails with [`SimError::CycleBudgetExceeded`] (structured from
+    /// [`Self::try_phase`], a panic from [`Self::phase`]). Clamped to ≥ 1.
+    pub fn set_max_cycles(&mut self, cycles: u64) {
+        self.max_cycles = cycles.max(1);
     }
 
     /// Number of processors.
@@ -239,9 +258,14 @@ impl SmpMachine {
     }
 
     /// Run one SPMD phase followed by a software barrier: `f(proc, ctx)`
-    /// is invoked once per processor. Returns the phase record.
+    /// is invoked once per processor. Returns the phase record. Panics
+    /// with the [`SimError`] display text if the machine clock passes
+    /// the watchdog budget; use [`Self::try_phase`] to handle it.
     pub fn phase<F: FnMut(usize, &mut ProcCtx)>(&mut self, name: &str, f: F) -> &PhaseRecord {
-        self.phase_inner(name, f, true)
+        match self.phase_inner(name, f, true) {
+            Ok(()) => self.last_phase(),
+            Err(e) => panic!("smp phase failed: {e}"),
+        }
     }
 
     /// Run a phase without a trailing barrier (e.g. the final phase of an
@@ -251,7 +275,40 @@ impl SmpMachine {
         name: &str,
         f: F,
     ) -> &PhaseRecord {
-        self.phase_inner(name, f, false)
+        match self.phase_inner(name, f, false) {
+            Ok(()) => self.last_phase(),
+            Err(e) => panic!("smp phase failed: {e}"),
+        }
+    }
+
+    /// [`Self::phase`], but a phase that pushes the machine clock past
+    /// [`Self::max_cycles`] returns [`SimError::CycleBudgetExceeded`]
+    /// instead of panicking. The offending phase's time and stats stay
+    /// recorded (the simulation stopped *after* it, as close to the
+    /// budget as phase granularity allows).
+    pub fn try_phase<F: FnMut(usize, &mut ProcCtx)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> Result<&PhaseRecord, SimError> {
+        self.phase_inner(name, f, true)?;
+        Ok(self.last_phase())
+    }
+
+    /// [`Self::try_phase`] without the trailing barrier.
+    pub fn try_phase_no_barrier<F: FnMut(usize, &mut ProcCtx)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> Result<&PhaseRecord, SimError> {
+        self.phase_inner(name, f, false)?;
+        Ok(self.last_phase())
+    }
+
+    fn last_phase(&self) -> &PhaseRecord {
+        self.phases
+            .last()
+            .expect("phase_inner pushed a record before returning")
     }
 
     fn phase_inner<F: FnMut(usize, &mut ProcCtx)>(
@@ -259,7 +316,7 @@ impl SmpMachine {
         name: &str,
         mut f: F,
         barrier: bool,
-    ) -> &PhaseRecord {
+    ) -> Result<(), SimError> {
         let host_t0 = std::time::Instant::now();
         let mut max_elapsed = 0.0f64;
         let mut lines = 0u64;
@@ -287,7 +344,18 @@ impl SmpMachine {
             max_proc_cycles: max_elapsed,
             bus_lines: lines,
         });
-        self.phases.last().unwrap()
+        // Phases are closure-driven, so the finest watchdog granularity
+        // is one phase: charge it, then fail if the clock ran past the
+        // budget — a runaway iteration loop dies on its first over-budget
+        // phase instead of spinning forever.
+        if self.time_cycles > self.max_cycles as f64 {
+            return Err(SimError::CycleBudgetExceeded {
+                budget: self.max_cycles,
+                spent: self.time_cycles.ceil() as u64,
+                what: "smp cycles",
+            });
+        }
+        Ok(())
     }
 
     /// Charge one standalone software barrier.
@@ -532,6 +600,42 @@ mod tests {
         // Busy cycles never exceed machine time x processors (barriers and
         // bus stretching only add).
         assert!(s.busy_cycles() <= s.cycles * 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn watchdog_converts_runaway_phase_to_structured_error() {
+        let mut m = tiny(1);
+        m.set_max_cycles(100);
+        assert_eq!(m.max_cycles(), 100);
+        let err = m
+            .try_phase("runaway", |_, ctx| ctx.compute(1_000_000))
+            .unwrap_err();
+        match err {
+            SimError::CycleBudgetExceeded {
+                budget,
+                spent,
+                what,
+            } => {
+                assert_eq!(budget, 100);
+                assert!(spent > 100);
+                assert_eq!(what, "smp cycles");
+            }
+            other => panic!("expected a budget error, got {other}"),
+        }
+        // The over-budget phase itself stays recorded.
+        assert_eq!(m.phase_log().len(), 1);
+
+        let mut ok = tiny(1);
+        ok.set_max_cycles(1 << 30);
+        assert!(ok.try_phase("fits", |_, ctx| ctx.compute(10)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "smp phase failed")]
+    fn panicking_phase_wrapper_reports_budget_error() {
+        let mut m = tiny(1);
+        m.set_max_cycles(1);
+        m.phase("runaway", |_, ctx| ctx.compute(1_000_000));
     }
 
     #[test]

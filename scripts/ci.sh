@@ -40,6 +40,29 @@ for engine in single-step trace compiled partitioned; do
         cargo test -q --offline -p archgraph-mta-sim -p archgraph-listrank -p archgraph-concomp
 done
 
+echo "== guardrails: deadlock + fault injection under every engine =="
+# The guardrails suite already cross-checks all four engines internally,
+# but this leg additionally sets a global fault plan so *every* mta-sim
+# test (differential suites included) runs on a perturbed memory system:
+# schedules shift, results and deadlock diagnostics must not.
+for engine in single-step trace compiled partitioned; do
+    echo "-- ARCHGRAPH_MTA_ENGINE=$engine + ARCHGRAPH_FAULTS"
+    ARCHGRAPH_MTA_ENGINE="$engine" \
+    ARCHGRAPH_FAULTS="mem-latency=30,rate=1:9" \
+        cargo test -q --offline -p archgraph-mta-sim --test guardrails
+done
+
+echo "== sweep isolation: a panicking cell must not kill the driver =="
+# Inject a deliberate panic into one fig1 cell; the binary must finish
+# the rest of the grid, report the failure, and exit nonzero.
+if ARCHGRAPH_BENCH_PANIC_CELL="fig1/smp/Random/p1/n4096" \
+    cargo run --release --offline -p archgraph-bench --bin fig1 -- smoke --arch smp \
+    > /dev/null 2>&1; then
+    echo "ci: FAIL — fig1 exited zero despite an injected cell panic" >&2
+    exit 1
+fi
+echo "-- injected panic isolated and reported (nonzero exit), as required"
+
 echo "== partitioned engine: worker-count identity =="
 # The partitioned engine's determinism contract: simulation fingerprints
 # must be byte-identical for every worker count. Run the bench cells
