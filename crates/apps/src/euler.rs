@@ -37,77 +37,109 @@ pub struct EulerTour {
     pub rank: Vec<Node>,
 }
 
+/// The unranked structure of a rooted Euler tour: the arc endpoints and
+/// the successor linked list any list-ranking engine can rank (including
+/// the simulated machines in [`crate::sim`]). `list` is `None` for a
+/// singleton tree (empty tour).
+#[derive(Debug, Clone)]
+pub struct TourStructure {
+    /// Arc sources: `from[a]` for arc `a` (`2i` = edge i forward).
+    pub from: Vec<Node>,
+    /// Arc targets: `to[a]`.
+    pub to: Vec<Node>,
+    /// The tour as a linked list over arcs, cut before the root's first
+    /// out-arc, so its ranks are tour positions.
+    pub list: Option<LinkedList>,
+}
+
+/// Build the unranked tour structure of `tree` rooted at `root`.
+pub fn tour_structure(tree: &Tree, root: Node) -> TourStructure {
+    let n = tree.n();
+    assert!((root as usize) < n, "root out of range");
+    let m = n - 1;
+    let na = 2 * m;
+
+    // Arc endpoints.
+    let mut from = vec![0 as Node; na];
+    let mut to = vec![0 as Node; na];
+    for (i, e) in tree.edges().edges.iter().enumerate() {
+        from[2 * i] = e.u;
+        to[2 * i] = e.v;
+        from[2 * i + 1] = e.v;
+        to[2 * i + 1] = e.u;
+    }
+
+    if na == 0 {
+        return TourStructure {
+            from,
+            to,
+            list: None,
+        };
+    }
+
+    // Rotation: out-arcs grouped by source (counting sort), plus each
+    // arc's position within its source's rotation.
+    let mut deg = vec![0usize; n + 1];
+    for &f in &from {
+        deg[f as usize + 1] += 1;
+    }
+    for v in 0..n {
+        deg[v + 1] += deg[v];
+    }
+    let offsets = deg.clone();
+    let mut cursor = deg;
+    let mut out = vec![0u32; na]; // arc ids grouped by source
+    let mut pos = vec![0u32; na]; // index of arc within its rotation
+    for a in 0..na {
+        let v = from[a] as usize;
+        out[cursor[v]] = a as u32;
+        pos[a] = (cursor[v] - offsets[v]) as u32;
+        cursor[v] += 1;
+    }
+
+    // Tour successor: succ(a) = next arc after twin(a) in to[a]'s
+    // rotation, cyclically; the cycle is cut before the root's first
+    // out-arc.
+    let first_arc = out[offsets[root as usize]];
+    let mut next = vec![0 as Node; na];
+    for a in 0..na {
+        let twin = a ^ 1;
+        let v = to[a] as usize;
+        let dv = offsets[v + 1] - offsets[v];
+        let succ = out[offsets[v] + ((pos[twin] as usize + 1) % dv)];
+        next[a] = if succ == first_arc {
+            na as Node
+        } else {
+            succ as Node
+        };
+    }
+
+    let list = LinkedList {
+        next,
+        head: first_arc as Node,
+    };
+    debug_assert!(list.validate().is_ok(), "Euler tour must form one chain");
+    TourStructure {
+        from,
+        to,
+        list: Some(list),
+    }
+}
+
 impl EulerTour {
     /// Build the tour of `tree` rooted at `root` and rank it.
     ///
     /// For a singleton tree the tour is empty.
     pub fn new(tree: &Tree, root: Node, ranker: Ranker) -> EulerTour {
-        let n = tree.n();
-        assert!((root as usize) < n, "root out of range");
-        let m = n - 1;
-        let na = 2 * m;
-
-        // Arc endpoints.
-        let mut from = vec![0 as Node; na];
-        let mut to = vec![0 as Node; na];
-        for (i, e) in tree.edges().edges.iter().enumerate() {
-            from[2 * i] = e.u;
-            to[2 * i] = e.v;
-            from[2 * i + 1] = e.v;
-            to[2 * i + 1] = e.u;
-        }
-
-        if na == 0 {
+        let TourStructure { from, to, list } = tour_structure(tree, root);
+        let Some(list) = list else {
             return EulerTour {
                 root,
                 from,
                 to,
                 rank: Vec::new(),
             };
-        }
-
-        // Rotation: out-arcs grouped by source (counting sort), plus each
-        // arc's position within its source's rotation.
-        let mut deg = vec![0usize; n + 1];
-        for &f in &from {
-            deg[f as usize + 1] += 1;
-        }
-        for v in 0..n {
-            deg[v + 1] += deg[v];
-        }
-        let offsets = deg.clone();
-        let mut cursor = deg;
-        let mut out = vec![0u32; na]; // arc ids grouped by source
-        let mut pos = vec![0u32; na]; // index of arc within its rotation
-        for a in 0..na {
-            let v = from[a] as usize;
-            out[cursor[v]] = a as u32;
-            pos[a] = (cursor[v] - offsets[v]) as u32;
-            cursor[v] += 1;
-        }
-
-        // Tour successor: succ(a) = next arc after twin(a) in to[a]'s
-        // rotation, cyclically; the cycle is cut before the root's first
-        // out-arc.
-        let first_arc = out[offsets[root as usize]];
-        let mut next = vec![0 as Node; na];
-        for a in 0..na {
-            let twin = a ^ 1;
-            let v = to[a] as usize;
-            let dv = offsets[v + 1] - offsets[v];
-            let succ = out[offsets[v] + ((pos[twin] as usize + 1) % dv)];
-            next[a] = if succ == first_arc {
-                na as Node
-            } else {
-                succ as Node
-            };
-        }
-
-        let list = LinkedList {
-            next,
-            head: first_arc as Node,
         };
-        debug_assert!(list.validate().is_ok(), "Euler tour must form one chain");
 
         let rank = match ranker {
             Ranker::Sequential => sequential_rank(&list),

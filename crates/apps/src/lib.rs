@@ -20,6 +20,9 @@
 //!   contraction over Euler-tour leaf numbering (paper reference \[3\]).
 //! * [`msf`] — Borůvka-over-SV minimum spanning forest, composing the
 //!   connectivity machinery with weighted edge selection.
+//! * [`sim`] — simulated-machine drivers: the Euler tour ranked in MTA
+//!   and SMP simulated memory, with `try_` entry points surfacing
+//!   structured `SimError` diagnostics.
 //! * [`biconn`] — Tarjan–Vishkin biconnected components: the auxiliary-
 //!   graph reduction whose connectivity step runs on the parallel SV
 //!   kernel (the substrate of the cited ear-decomposition work \[2\]).
@@ -32,6 +35,7 @@ pub mod centroid;
 pub mod euler;
 pub mod expr;
 pub mod msf;
+pub mod sim;
 pub mod tree;
 
 pub use analytics::RootedAnalysis;

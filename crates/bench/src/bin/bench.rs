@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use archgraph_bench::sweep;
 use archgraph_bench::workloads::ListKind;
-use archgraph_bench::{fig1, fig2, table1};
+use archgraph_bench::{fig1, fig2, kernels, table1};
 use archgraph_mta_sim::machine::{with_engine, MtaEngine};
 
 /// Schema version written into the JSON; bump on any layout change.
@@ -112,6 +112,7 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
     const N_LIST: usize = 1 << 15;
     const N_GRAPH: usize = 1 << 11;
     const M_GRAPH: usize = 5 << 11;
+    const N_TREE: usize = 1 << 13;
     // MTA cells are pinned to an explicit engine so a change to the
     // session default cannot silently re-time (or re-fingerprint) a
     // baseline recorded under another engine. The `mta-compiled` cells
@@ -208,6 +209,90 @@ fn run_cells(reps: usize) -> Vec<CellResult> {
             with_engine(MtaEngine::Trace, || {
                 table1_fingerprint(&table1::bench_cc_cell(8, N_GRAPH, M_GRAPH))
             })
+        }),
+        // --- kernel ladder: coloring, BFS, promoted applications. The
+        // MTA cells pin `rounds`/`levels` alongside cycles+issued; the
+        // engine-variant cells must fingerprint byte-identically to the
+        // trace cells, exactly as for fig1/fig2.
+        time_cell("color/mta/p8", reps, || {
+            with_engine(MtaEngine::Trace, || {
+                let r = kernels::color_mta_cell(8, N_GRAPH, M_GRAPH);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("rounds", r.rounds as u64));
+                fp
+            })
+        }),
+        time_cell("color/mta-compiled/p8", reps, || {
+            with_engine(MtaEngine::Compiled, || {
+                let r = kernels::color_mta_cell(8, N_GRAPH, M_GRAPH);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("rounds", r.rounds as u64));
+                fp
+            })
+        }),
+        time_cell("color/mta-partitioned/p8", reps, || {
+            with_engine(MtaEngine::Partitioned, || {
+                let r = kernels::color_mta_cell(8, N_GRAPH, M_GRAPH);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("rounds", r.rounds as u64));
+                fp
+            })
+        }),
+        time_cell("color/smp/p8", reps, || {
+            let r = kernels::color_smp_cell(8, N_GRAPH, M_GRAPH);
+            let mut fp = smp_fingerprint(&r.stats);
+            fp.push(("rounds", r.rounds as u64));
+            fp
+        }),
+        time_cell("bfs/mta/p8", reps, || {
+            with_engine(MtaEngine::Trace, || {
+                let r = kernels::bfs_mta_cell(8, N_GRAPH, M_GRAPH);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("levels", r.level_count as u64));
+                fp
+            })
+        }),
+        time_cell("bfs/mta-compiled/p8", reps, || {
+            with_engine(MtaEngine::Compiled, || {
+                let r = kernels::bfs_mta_cell(8, N_GRAPH, M_GRAPH);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("levels", r.level_count as u64));
+                fp
+            })
+        }),
+        time_cell("bfs/mta-partitioned/p8", reps, || {
+            with_engine(MtaEngine::Partitioned, || {
+                let r = kernels::bfs_mta_cell(8, N_GRAPH, M_GRAPH);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("levels", r.level_count as u64));
+                fp
+            })
+        }),
+        time_cell("bfs/smp/p8", reps, || {
+            let r = kernels::bfs_smp_cell(8, N_GRAPH, M_GRAPH);
+            let mut fp = smp_fingerprint(&r.stats);
+            fp.push(("levels", r.level_count as u64));
+            fp
+        }),
+        time_cell("euler/mta/p8", reps, || {
+            with_engine(MtaEngine::Trace, || {
+                mta_fingerprint(&kernels::euler_mta_cell(8, N_TREE).report)
+            })
+        }),
+        time_cell("euler/smp/p8", reps, || {
+            smp_fingerprint(&kernels::euler_smp_cell(8, N_TREE).stats)
+        }),
+        time_cell("msf/native", reps, || {
+            let r = kernels::msf_native_cell(N_GRAPH, M_GRAPH);
+            vec![("weight", r.weight), ("tree_edges", r.tree_edges)]
+        }),
+        time_cell("biconn/native", reps, || {
+            let r = kernels::biconn_native_cell(N_GRAPH, M_GRAPH);
+            vec![
+                ("blocks", r.blocks),
+                ("bridges", r.bridges),
+                ("cut_vertices", r.cut_vertices),
+            ]
         }),
     ]
 }

@@ -1,0 +1,201 @@
+//! Kernel-ladder cells: speculative graph coloring, frontier BFS, and
+//! the promoted application kernels (Euler-tour ranking, minimum
+//! spanning forest, biconnected components).
+//!
+//! These follow the `fig1`/`fig2` cell conventions — a deterministically
+//! seeded workload, the paper's machine parameters, and a `debug_assert`
+//! oracle check inside every cell — and feed the `bench` regression
+//! driver, which pins their exact simulated fingerprints per engine in
+//! `BENCH_archgraph.json`. The MTA cells must fingerprint identically on
+//! every engine (SingleStep, Trace, Compiled, Partitioned) and at every
+//! worker count; the differential test suite proves it, the bench
+//! baseline enforces it in CI.
+
+use archgraph_apps::biconn::{biconnected_components, biconnected_oracle};
+use archgraph_apps::euler::Ranker;
+use archgraph_apps::msf::{kruskal_weight, minimum_spanning_forest};
+use archgraph_apps::sim::{simulate_euler_mta, simulate_euler_smp, EulerMtaSim, EulerSmpSim};
+use archgraph_apps::tree::Tree;
+use archgraph_apps::EulerTour;
+use archgraph_bfs::sim_mta::{simulate_bfs_mta, BfsMtaSimResult};
+use archgraph_bfs::sim_smp::{simulate_bfs_smp, BfsSmpSimResult};
+use archgraph_coloring::seq::validate_coloring;
+use archgraph_coloring::sim_mta::{simulate_coloring_mta, ColorMtaSimResult};
+use archgraph_coloring::sim_smp::{simulate_coloring_smp, ColorSmpSimResult};
+use archgraph_core::machine::{MtaParams, SmpParams};
+use archgraph_graph::bfs::bfs_levels;
+use archgraph_graph::csr::Csr;
+use archgraph_graph::rng::Rng;
+use archgraph_graph::unionfind::same_partition;
+
+use crate::workloads::make_graph;
+
+/// Streams per processor for the kernel-ladder MTA cells (the paper's
+/// `use 100 streams` convention, shared with fig1/fig2).
+pub const MTA_STREAMS: usize = 100;
+
+/// Seed for the cells' random graphs.
+pub const GRAPH_SEED: u64 = 0xC010;
+
+/// Seed for the Euler-tour tree and the MSF edge weights.
+pub const APP_SEED: u64 = 0xA995;
+
+/// BFS source vertex (fixed; the graphs are seeded, so levels are too).
+pub const BFS_SRC: u32 = 0;
+
+/// Simulate one speculative-coloring MTA cell.
+pub fn color_mta_cell(p: usize, n: usize, m: usize) -> ColorMtaSimResult {
+    let params = MtaParams::mta2();
+    let g = make_graph(n, m, GRAPH_SEED);
+    let r = simulate_coloring_mta(&g, &params, p, MTA_STREAMS);
+    debug_assert!(validate_coloring(&Csr::from_edge_list(&g), &r.colors).is_ok());
+    r
+}
+
+/// Simulate one speculative-coloring SMP cell.
+pub fn color_smp_cell(p: usize, n: usize, m: usize) -> ColorSmpSimResult {
+    let params = SmpParams::sun_e4500();
+    let g = make_graph(n, m, GRAPH_SEED);
+    let r = simulate_coloring_smp(&g, &params, p);
+    debug_assert!(validate_coloring(&Csr::from_edge_list(&g), &r.colors).is_ok());
+    r
+}
+
+/// Simulate one frontier-BFS MTA cell.
+pub fn bfs_mta_cell(p: usize, n: usize, m: usize) -> BfsMtaSimResult {
+    let params = MtaParams::mta2();
+    let g = make_graph(n, m, GRAPH_SEED);
+    let r = simulate_bfs_mta(&g, BFS_SRC, &params, p, MTA_STREAMS);
+    debug_assert_eq!(r.levels, bfs_levels(&Csr::from_edge_list(&g), BFS_SRC));
+    r
+}
+
+/// Simulate one frontier-BFS SMP cell.
+pub fn bfs_smp_cell(p: usize, n: usize, m: usize) -> BfsSmpSimResult {
+    let params = SmpParams::sun_e4500();
+    let g = make_graph(n, m, GRAPH_SEED);
+    let r = simulate_bfs_smp(&g, BFS_SRC, &params, p);
+    debug_assert_eq!(r.levels, bfs_levels(&Csr::from_edge_list(&g), BFS_SRC));
+    r
+}
+
+/// The tree every Euler cell ranks (deterministic per seed).
+fn euler_tree(n: usize) -> Tree {
+    Tree::random_attachment(n, APP_SEED)
+}
+
+/// Rank the Euler tour of an `n`-vertex random tree on the simulated
+/// MTA. Walk heads follow fig1's ~10-nodes-per-walk convention over the
+/// tour's `2(n−1)` arcs.
+pub fn euler_mta_cell(p: usize, n: usize) -> EulerMtaSim {
+    let params = MtaParams::mta2();
+    let t = euler_tree(n);
+    let walks = (2 * (n - 1) / 10).max(1);
+    let r = simulate_euler_mta(&t, 0, &params, p, MTA_STREAMS, walks);
+    debug_assert_eq!(r.tour.rank, EulerTour::new(&t, 0, Ranker::Sequential).rank);
+    r
+}
+
+/// Rank the Euler tour of an `n`-vertex random tree on the simulated SMP
+/// (Helman–JáJá with fig1's 8 sublists per processor).
+pub fn euler_smp_cell(p: usize, n: usize) -> EulerSmpSim {
+    let params = SmpParams::sun_e4500();
+    let t = euler_tree(n);
+    let r = simulate_euler_smp(&t, 0, &params, p, 8);
+    debug_assert_eq!(r.tour.rank, EulerTour::new(&t, 0, Ranker::Sequential).rank);
+    r
+}
+
+/// Deterministic integers fingerprinting the native MSF cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsfNative {
+    /// Total weight of the forest (equals the Kruskal oracle's weight).
+    pub weight: u64,
+    /// Number of forest edges selected.
+    pub tree_edges: u64,
+}
+
+/// Run Borůvka-over-SV MSF natively on a seeded weighted graph; the
+/// fingerprint is the forest weight (checked against the Kruskal oracle)
+/// plus the forest edge count.
+pub fn msf_native_cell(n: usize, m: usize) -> MsfNative {
+    let g = make_graph(n, m, GRAPH_SEED);
+    let mut rng = Rng::new(APP_SEED);
+    let weights: Vec<u32> = (0..g.m()).map(|_| rng.below(1 << 20) as u32).collect();
+    let forest = minimum_spanning_forest(&g, &weights);
+    let weight: u64 = forest.iter().map(|&e| weights[e] as u64).sum();
+    debug_assert_eq!(weight, kruskal_weight(&g, &weights));
+    MsfNative {
+        weight,
+        tree_edges: forest.len() as u64,
+    }
+}
+
+/// Deterministic integers fingerprinting the native biconnectivity cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiconnNative {
+    /// Number of biconnected blocks.
+    pub blocks: u64,
+    /// Number of bridge edges.
+    pub bridges: u64,
+    /// Number of articulation (cut) vertices.
+    pub cut_vertices: u64,
+}
+
+/// Run Tarjan–Vishkin biconnectivity natively on a seeded graph; the
+/// block partition is checked against the sequential oracle and the
+/// fingerprint is the block/bridge/cut-vertex counts.
+pub fn biconn_native_cell(n: usize, m: usize) -> BiconnNative {
+    let g = make_graph(n, m, GRAPH_SEED);
+    let b = biconnected_components(&g);
+    debug_assert!(same_partition(&b.block_of_edge, &biconnected_oracle(&g)));
+    BiconnNative {
+        blocks: b.n_blocks as u64,
+        bridges: b.bridges.len() as u64,
+        cut_vertices: b.articulation.iter().filter(|&&a| a).count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_mta_sim::machine::{with_engine, MtaEngine};
+
+    #[test]
+    fn coloring_cells_are_proper_and_engine_invariant() {
+        let trace = with_engine(MtaEngine::Trace, || color_mta_cell(2, 128, 384));
+        let part = with_engine(MtaEngine::Partitioned, || color_mta_cell(2, 128, 384));
+        assert_eq!(trace.colors, part.colors);
+        assert_eq!(trace.report.cycles, part.report.cycles);
+        assert_eq!(trace.report.issued, part.report.issued);
+        let smp = color_smp_cell(4, 128, 384);
+        let csr = Csr::from_edge_list(&make_graph(128, 384, GRAPH_SEED));
+        validate_coloring(&csr, &smp.colors).expect("SMP cell colors proper");
+    }
+
+    #[test]
+    fn bfs_cells_match_the_oracle_and_each_other() {
+        let mta = with_engine(MtaEngine::Trace, || bfs_mta_cell(2, 128, 384));
+        let smp = bfs_smp_cell(4, 128, 384);
+        assert_eq!(mta.levels, smp.levels);
+        assert_eq!(mta.level_count, smp.level_count);
+    }
+
+    #[test]
+    fn euler_cells_agree_on_ranks() {
+        let mta = with_engine(MtaEngine::Trace, || euler_mta_cell(2, 128));
+        let smp = euler_smp_cell(2, 128);
+        assert_eq!(mta.tour.rank, smp.tour.rank);
+    }
+
+    #[test]
+    fn native_cells_are_deterministic() {
+        let a = msf_native_cell(128, 384);
+        assert_eq!(a, msf_native_cell(128, 384));
+        assert!(a.weight > 0);
+        assert!(a.tree_edges > 0);
+        let b = biconn_native_cell(128, 384);
+        assert_eq!(b, biconn_native_cell(128, 384));
+        assert!(b.blocks > 0);
+    }
+}

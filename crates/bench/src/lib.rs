@@ -13,6 +13,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod grid;
 pub mod guard;
+pub mod kernels;
 pub mod scale;
 pub mod sweep;
 pub mod table1;

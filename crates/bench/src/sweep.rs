@@ -43,6 +43,28 @@ pub const DEFAULT_CHECKPOINT_DIR: &str = ".archgraph-checkpoints";
 /// Environment variable naming one cell that must panic deliberately.
 pub const PANIC_CELL_ENV: &str = "ARCHGRAPH_BENCH_PANIC_CELL";
 
+/// Name of the per-directory spec sentinel file. Cell checkpoint files
+/// can never collide with it: every real cell name contains a `/`, which
+/// [`Checkpoint::path`] sanitizes to `_`.
+const SPEC_FILE: &str = ".spec";
+
+/// The ambient configuration fingerprint stamped into every checkpoint
+/// directory. Checkpoints are only resumable under the configuration
+/// that produced them: a sweep re-run under a different MTA engine,
+/// worker count, fault plan, or cycle budget would silently splice
+/// incompatible cells into one panel if stale checkpoints were honoured.
+/// Scale is excluded — it is already part of the directory name.
+pub fn ambient_spec() -> String {
+    let env = |k: &str| std::env::var(k).unwrap_or_default();
+    format!(
+        "v1 engine={} workers={} faults={} max-cycles={}",
+        env("ARCHGRAPH_MTA_ENGINE"),
+        env("ARCHGRAPH_MTA_WORKERS"),
+        env("ARCHGRAPH_FAULTS"),
+        env("ARCHGRAPH_MAX_CYCLES"),
+    )
+}
+
 /// One sweep cell that panicked instead of completing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellFailure {
@@ -125,11 +147,66 @@ impl Checkpoint {
         }
     }
 
-    /// A store rooted at an explicit directory (tests; resume tooling).
+    /// A store rooted at an explicit directory (tests; resume tooling),
+    /// stamped with the [`ambient_spec`] of the current run.
     pub fn at(dir: PathBuf) -> Checkpoint {
+        Checkpoint::at_spec(dir, &ambient_spec())
+    }
+
+    /// [`Checkpoint::at`] with an explicit spec fingerprint. Opening a
+    /// directory whose recorded spec differs discards every checkpoint in
+    /// it — resuming cells simulated under another configuration would
+    /// corrupt the sweep — and re-stamps it with the current spec.
+    pub fn at_spec(dir: PathBuf, spec: &str) -> Checkpoint {
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!(
                 "warning: cannot create checkpoint dir {}: {e}; checkpointing disabled",
+                dir.display()
+            );
+            return Checkpoint::disabled();
+        }
+        let spec_path = dir.join(SPEC_FILE);
+        match std::fs::read_to_string(&spec_path) {
+            Ok(recorded) if recorded == spec => {}
+            Ok(recorded) => {
+                eprintln!(
+                    "note: checkpoints in {} were recorded under a different \
+                     configuration ({recorded:?} vs {spec:?}); discarding them",
+                    dir.display()
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!(
+                        "warning: cannot recreate checkpoint dir {}: {e}; \
+                         checkpointing disabled",
+                        dir.display()
+                    );
+                    return Checkpoint::disabled();
+                }
+            }
+            Err(_) => {
+                // Fresh (or pre-spec) directory. A pre-spec directory with
+                // existing cells cannot be trusted either: without a stamp
+                // there is no way to tell what produced them.
+                let stale = std::fs::read_dir(&dir)
+                    .map(|mut d| d.next().is_some())
+                    .unwrap_or(false);
+                if stale {
+                    eprintln!(
+                        "note: checkpoints in {} carry no configuration stamp; \
+                         discarding them",
+                        dir.display()
+                    );
+                    let _ = std::fs::remove_dir_all(&dir);
+                    if std::fs::create_dir_all(&dir).is_err() {
+                        return Checkpoint::disabled();
+                    }
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&spec_path, spec) {
+            eprintln!(
+                "warning: cannot stamp checkpoint dir {}: {e}; checkpointing disabled",
                 dir.display()
             );
             return Checkpoint::disabled();
@@ -366,6 +443,87 @@ mod tests {
         let out = point_cell(&ck, "bad", || panic!("nope"));
         assert!(out.is_err());
         assert!(ck.lookup("bad").is_none(), "failures must rerun on resume");
+        ck.clear();
+    }
+
+    #[test]
+    fn matching_spec_resumes_and_mismatched_spec_discards() {
+        let dir =
+            std::env::temp_dir().join(format!("archgraph-sweep-test-{}-spec", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let ck = Checkpoint::at_spec(dir.clone(), "v1 engine=trace");
+        ck.record("fig/x/p1", "1 2 3|ok");
+        drop(ck);
+
+        // Same spec: the checkpoint survives a reopen.
+        let same = Checkpoint::at_spec(dir.clone(), "v1 engine=trace");
+        assert_eq!(same.lookup("fig/x/p1"), Some("1 2 3|ok".to_string()));
+        drop(same);
+
+        // Different spec: reopening discards every recorded cell and
+        // re-stamps the directory for the new configuration.
+        let other = Checkpoint::at_spec(dir.clone(), "v1 engine=compiled");
+        assert_eq!(
+            other.lookup("fig/x/p1"),
+            None,
+            "cells from another configuration must not resume"
+        );
+        other.record("fig/x/p1", "4 5 6|new");
+        drop(other);
+
+        // And the new stamp holds: the re-recorded cell resumes under the
+        // new spec but not under the old one.
+        let reopened = Checkpoint::at_spec(dir.clone(), "v1 engine=compiled");
+        assert_eq!(reopened.lookup("fig/x/p1"), Some("4 5 6|new".to_string()));
+        drop(reopened);
+        let old_again = Checkpoint::at_spec(dir.clone(), "v1 engine=trace");
+        assert_eq!(old_again.lookup("fig/x/p1"), None);
+        old_again.clear();
+    }
+
+    #[test]
+    fn unstamped_directories_are_not_trusted() {
+        // Pre-spec checkpoint dirs have cells but no stamp; they must be
+        // discarded, not resumed blind.
+        let dir = std::env::temp_dir().join(format!(
+            "archgraph-sweep-test-{}-unstamped",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("fig_x_p1"), "1 2 3|legacy").unwrap();
+
+        let ck = Checkpoint::at_spec(dir, "v1 engine=trace");
+        assert_eq!(ck.lookup("fig/x/p1"), None, "unstamped cells discarded");
+        ck.clear();
+    }
+
+    #[test]
+    fn point_cell_ignores_checkpoints_from_other_specs() {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraph-sweep-test-{}-pointspec",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let make_pt = |s: f64| CellPoint {
+            x: 1,
+            p: 1,
+            seconds: s,
+            log: String::new(),
+        };
+
+        let ck = Checkpoint::at_spec(dir.clone(), "spec-a");
+        let first = point_cell(&ck, "cell", || make_pt(1.0)).unwrap();
+        assert_eq!(first.seconds, 1.0);
+        drop(ck);
+
+        let ck = Checkpoint::at_spec(dir, "spec-b");
+        let second = point_cell(&ck, "cell", || make_pt(2.0)).unwrap();
+        assert_eq!(
+            second.seconds, 2.0,
+            "must re-run, not restore spec-a's point"
+        );
         ck.clear();
     }
 

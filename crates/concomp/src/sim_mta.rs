@@ -11,10 +11,22 @@
 //! The host orchestrates iterations by reading the `graft` flag between
 //! regions — on the real machine that is the serial loop-head test of
 //! Alg. 3's `while (graft)`.
+//!
+//! Failure paths: [`try_simulate_sv_mta`] surfaces [`SimError`] (deadlock
+//! diagnostics, cycle-budget trips) to the caller instead of panicking;
+//! [`simulate_sv_mta`] stays the thin panicking wrapper the figure
+//! harnesses use. [`SvMtaConfig::guarded`] swaps the root-check loads for
+//! `readff` — semantically identical on a clean machine (every word
+//! starts full and ordinary stores never change tags), but the reads then
+//! participate in full/empty synchronization, so a stuck-empty fault plan
+//! parks the streams and the deadlock detector reports per-stream
+//! diagnostics rather than the run hanging or panicking.
 
+use archgraph_core::error::SimError;
 use archgraph_core::MtaParams;
 use archgraph_graph::edgelist::EdgeList;
 use archgraph_graph::Node;
+use archgraph_mta_sim::fault::FaultPlan;
 use archgraph_mta_sim::isa::{ProgramBuilder, Reg};
 use archgraph_mta_sim::machine::MtaMachine;
 use archgraph_mta_sim::parloop::{dynamic_loop_grained, LoopRegs};
@@ -36,17 +48,64 @@ pub struct CcMtaSimResult {
 /// Grain for the flat parallel loops.
 const GRAIN: i64 = 16;
 
-/// Simulate Alg. 3 on `p` processors × `streams_per_proc` streams.
+/// Options for [`try_simulate_sv_mta_cfg`].
+#[derive(Debug, Clone, Default)]
+pub struct SvMtaConfig {
+    /// Use `readff` (read-when-full) for the root-check reads. On clean
+    /// memory this is behaviour-identical to a plain load; under tag
+    /// faults it makes the kernel deadlock *detectably*.
+    pub guarded: bool,
+    /// Install this fault plan on the machine's memory. `None` keeps the
+    /// ambient `ARCHGRAPH_FAULTS` plan (if any).
+    pub fault_plan: Option<FaultPlan>,
+    /// Override the cycle-budget watchdog. `None` keeps the configured
+    /// `ARCHGRAPH_MAX_CYCLES` budget.
+    pub max_cycles: Option<u64>,
+}
+
+/// Simulate Alg. 3 on `p` processors × `streams_per_proc` streams,
+/// panicking on simulation failure (legacy entry point).
 pub fn simulate_sv_mta(
     g: &EdgeList,
     params: &MtaParams,
     p: usize,
     streams_per_proc: usize,
 ) -> CcMtaSimResult {
+    try_simulate_sv_mta(g, params, p, streams_per_proc)
+        .unwrap_or_else(|e| panic!("simulate_sv_mta: {e}"))
+}
+
+/// [`simulate_sv_mta`] returning structured failures: a deadlocked or
+/// over-budget simulation surfaces [`SimError`] with per-stream
+/// diagnostics instead of panicking.
+pub fn try_simulate_sv_mta(
+    g: &EdgeList,
+    params: &MtaParams,
+    p: usize,
+    streams_per_proc: usize,
+) -> Result<CcMtaSimResult, SimError> {
+    try_simulate_sv_mta_cfg(g, params, p, streams_per_proc, &SvMtaConfig::default())
+}
+
+/// [`try_simulate_sv_mta`] with explicit [`SvMtaConfig`] (tag-guarded
+/// loads, an injected fault plan, a tightened cycle budget).
+pub fn try_simulate_sv_mta_cfg(
+    g: &EdgeList,
+    params: &MtaParams,
+    p: usize,
+    streams_per_proc: usize,
+    cfg: &SvMtaConfig,
+) -> Result<CcMtaSimResult, SimError> {
     let n = g.n;
     let na = 2 * g.m();
     let words = 2 * na + n + 16;
     let mut m = MtaMachine::with_memory_words(params.clone(), p, words);
+    if let Some(plan) = &cfg.fault_plan {
+        m.memory_mut().set_fault_plan(Some(plan.clone()));
+    }
+    if let Some(budget) = cfg.max_cycles {
+        m.set_max_cycles(budget);
+    }
 
     // Interleaved arc array: E[i] = (arcs[2i], arcs[2i+1]).
     let arcs_base = {
@@ -83,7 +142,11 @@ pub fn simulate_sv_mta(
             b.load(du, u, d_base as i64);
             b.load(dv, v, d_base as i64);
             let skip = b.bge_fwd(du, dv); // need D[u] < D[v]
-            b.load(ddv, dv, d_base as i64);
+            if cfg.guarded {
+                b.readff(ddv, dv, d_base as i64);
+            } else {
+                b.load(ddv, dv, d_base as i64);
+            }
             let skip2 = b.bne_fwd(ddv, dv); // need D[v] == D[D[v]]
             b.store(du, dv, d_base as i64); // D[D[v]] = D[u] (dv is root)
             b.store_abs(one, flag_addr); // graft = 1
@@ -101,7 +164,11 @@ pub fn simulate_sv_mta(
         dynamic_loop_grained(&mut b, short_counter, n as i64, GRAIN, regs, |b| {
             let top = b.here();
             b.load(dcur, regs.idx, d_base as i64);
-            b.load(dd, dcur, d_base as i64);
+            if cfg.guarded {
+                b.readff(dd, dcur, d_base as i64);
+            } else {
+                b.load(dd, dcur, d_base as i64);
+            }
             let done = b.beq_fwd(dcur, dd);
             b.store(dd, regs.idx, d_base as i64);
             b.jmp(top);
@@ -116,12 +183,12 @@ pub fn simulate_sv_mta(
         iterations += 1;
         m.memory_mut().poke(flag_addr, 0);
         m.memory_mut().poke(graft_counter, 0);
-        m.run(&graft_prog, streams_per_proc, |_, _| {});
+        m.try_run(&graft_prog, streams_per_proc, |_, _| {})?;
         if m.memory().peek(flag_addr) == 0 {
             break;
         }
         m.memory_mut().poke(short_counter, 0);
-        m.run(&shortcut_prog, streams_per_proc, |_, _| {});
+        m.try_run(&shortcut_prog, streams_per_proc, |_, _| {})?;
     }
 
     let labels: Vec<Node> = m
@@ -131,12 +198,12 @@ pub fn simulate_sv_mta(
         .map(|x| x as Node)
         .collect();
     let report = combine(m.reports());
-    CcMtaSimResult {
+    Ok(CcMtaSimResult {
         labels,
         seconds: m.total_seconds(),
         report,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -213,5 +280,54 @@ mod tests {
         let r = simulate_sv_mta(&g, &tiny(), 2, 8);
         assert!(r.report.utilization > 0.0 && r.report.utilization <= 1.0);
         assert!(r.report.issued > 0);
+    }
+
+    #[test]
+    fn guarded_reads_are_behaviour_identical_on_clean_memory() {
+        // Every word starts full and plain stores never change tags, so
+        // readff always succeeds on first attempt: labels and iteration
+        // counts must match the plain-load program exactly.
+        let g = gen::random_gnm(300, 900, 11);
+        let plain = try_simulate_sv_mta(&g, &tiny(), 2, 8).expect("clean run");
+        let guarded = try_simulate_sv_mta_cfg(
+            &g,
+            &tiny(),
+            2,
+            8,
+            &SvMtaConfig {
+                guarded: true,
+                ..SvMtaConfig::default()
+            },
+        )
+        .expect("guarded run on clean memory must succeed");
+        assert_eq!(plain.labels, guarded.labels);
+        assert_eq!(plain.iterations, guarded.iterations);
+    }
+
+    #[test]
+    fn stuck_empty_fault_surfaces_deadlock_not_panic() {
+        // The PR 5 carry-over regression: a stuck-empty fault plan under
+        // SV-on-MTA must reach the kernel caller as SimError::Deadlock
+        // with per-stream diagnostics — not a panic, not a hang.
+        let g = gen::random_gnm(60, 120, 12);
+        let plan = FaultPlan::parse("stuck-empty,rate=0:5").expect("valid plan");
+        let cfg = SvMtaConfig {
+            guarded: true,
+            fault_plan: Some(plan),
+            max_cycles: Some(1 << 22),
+        };
+        let err = try_simulate_sv_mta_cfg(&g, &tiny(), 1, 8, &cfg)
+            .expect_err("every readff parks forever under stuck-empty");
+        match err {
+            SimError::Deadlock { cycle, blocked } => {
+                assert!(!blocked.is_empty(), "diagnostics must name the streams");
+                assert!(cycle > 0);
+                for b in &blocked {
+                    assert_eq!(b.op, "readff");
+                    assert!(!b.full, "parked on a word the fault holds empty");
+                }
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
     }
 }

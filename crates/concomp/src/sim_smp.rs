@@ -6,6 +6,7 @@
 //! array with data-dependent extra hops. Barriers separate the phases —
 //! the `4 log n` barrier term of the paper's SV analysis.
 
+use archgraph_core::error::SimError;
 use archgraph_core::machine::SmpParams;
 use archgraph_graph::edgelist::EdgeList;
 use archgraph_graph::Node;
@@ -28,8 +29,19 @@ pub struct CcSmpSimResult {
 const GRAFT_INSTRS: u64 = 8;
 const SHORTCUT_INSTRS: u64 = 4;
 
-/// Simulate SV (graft + full shortcut) on `p` processors.
+/// Simulate SV (graft + full shortcut) on `p` processors, panicking on
+/// simulation failure (legacy entry point).
 pub fn simulate_sv(g: &EdgeList, params: &SmpParams, p: usize) -> CcSmpSimResult {
+    try_simulate_sv(g, params, p).unwrap_or_else(|e| panic!("simulate_sv: {e}"))
+}
+
+/// [`simulate_sv`] returning structured failures: a cycle-budget trip
+/// inside a phase surfaces as [`SimError`] instead of panicking.
+pub fn try_simulate_sv(
+    g: &EdgeList,
+    params: &SmpParams,
+    p: usize,
+) -> Result<CcSmpSimResult, SimError> {
     let n = g.n;
     let mut m = SmpMachine::new(params.clone(), p);
     let arcs: Vec<(Node, Node)> = g
@@ -52,7 +64,7 @@ pub fn simulate_sv(g: &EdgeList, params: &SmpParams, p: usize) -> CcSmpSimResult
             let d_ref = &mut d;
             let grafted_ref = &mut grafted;
             let arcs = &arcs;
-            m.phase("graft", move |proc, ctx| {
+            m.try_phase("graft", move |proc, ctx| {
                 let chunk = na.div_ceil(p);
                 let (lo, hi) = (proc * chunk, ((proc + 1) * chunk).min(na));
                 for (k, &(u, v)) in arcs[lo..hi].iter().enumerate() {
@@ -75,7 +87,7 @@ pub fn simulate_sv(g: &EdgeList, params: &SmpParams, p: usize) -> CcSmpSimResult
                         }
                     }
                 }
-            });
+            })?;
         }
 
         if !grafted {
@@ -84,7 +96,7 @@ pub fn simulate_sv(g: &EdgeList, params: &SmpParams, p: usize) -> CcSmpSimResult
 
         {
             let d_ref = &mut d;
-            m.phase("shortcut", move |proc, ctx| {
+            m.try_phase("shortcut", move |proc, ctx| {
                 let chunk = n.div_ceil(p);
                 let (lo, hi) = (proc * chunk, ((proc + 1) * chunk).min(n));
                 for i in lo..hi {
@@ -97,22 +109,30 @@ pub fn simulate_sv(g: &EdgeList, params: &SmpParams, p: usize) -> CcSmpSimResult
                         d_ref[i] = d_ref[d_ref[i] as usize];
                     }
                 }
-            });
+            })?;
         }
     }
 
-    CcSmpSimResult {
+    Ok(CcSmpSimResult {
         labels: d,
         seconds: m.seconds(),
         stats: m.stats(),
         iterations,
-    }
+    })
 }
 
 /// Simulate the best sequential comparator (union-find over the edge
 /// array) on one processor: contiguous edge streaming plus non-contiguous
-/// find chains.
+/// find chains. Panics on simulation failure (legacy entry point).
 pub fn simulate_seq_unionfind(g: &EdgeList, params: &SmpParams) -> CcSmpSimResult {
+    try_simulate_seq_unionfind(g, params).unwrap_or_else(|e| panic!("simulate_seq_unionfind: {e}"))
+}
+
+/// [`simulate_seq_unionfind`] returning structured failures.
+pub fn try_simulate_seq_unionfind(
+    g: &EdgeList,
+    params: &SmpParams,
+) -> Result<CcSmpSimResult, SimError> {
     let n = g.n;
     let mut m = SmpMachine::new(params.clone(), 1);
     let edges_a = m.alloc_elems::<u32>(2 * g.m());
@@ -122,7 +142,7 @@ pub fn simulate_seq_unionfind(g: &EdgeList, params: &SmpParams) -> CcSmpSimResul
     {
         let uf_ref = &mut uf;
         let edges = &g.edges;
-        m.phase_no_barrier("unionfind", move |_, ctx| {
+        m.try_phase_no_barrier("unionfind", move |_, ctx| {
             for (i, e) in edges.iter().enumerate() {
                 ctx.read_elem(edges_a, 2 * i);
                 ctx.read_elem(edges_a, 2 * i + 1);
@@ -134,14 +154,14 @@ pub fn simulate_seq_unionfind(g: &EdgeList, params: &SmpParams) -> CcSmpSimResul
                     ctx.write_elem(parent_a, e.u.max(e.v) as usize);
                 }
             }
-        });
+        })?;
     }
-    CcSmpSimResult {
+    Ok(CcSmpSimResult {
         labels: uf.canonical_labels(),
         seconds: m.seconds(),
         stats: m.stats(),
         iterations: 1,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -191,6 +211,17 @@ mod tests {
         let t1 = simulate_sv(&g, &tiny(), 1).seconds;
         let t4 = simulate_sv(&g, &tiny(), 4).seconds;
         assert!(t1 / t4 > 1.8, "speedup {}", t1 / t4);
+    }
+
+    #[test]
+    fn try_variants_match_the_panicking_wrappers() {
+        let g = gen::random_gnm(150, 300, 13);
+        let a = try_simulate_sv(&g, &tiny(), 2).expect("clean run");
+        let b = simulate_sv(&g, &tiny(), 2);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+        let c = try_simulate_seq_unionfind(&g, &tiny()).expect("clean run");
+        assert!(same_partition(&c.labels, &connected_components(&g)));
     }
 
     #[test]

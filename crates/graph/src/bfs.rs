@@ -1,0 +1,113 @@
+//! Sequential breadth-first level oracle.
+//!
+//! The frontier-based BFS kernels (native, simulated SMP, simulated MTA)
+//! are validated against this queue-based traversal: whatever order a
+//! parallel frontier expands in, the *level* of every vertex — the length
+//! of a shortest edge path from the source — is unique, so `levels` is
+//! the canonical answer all of them must reproduce exactly.
+
+use std::collections::VecDeque;
+
+use crate::csr::Csr;
+use crate::{Node, NIL};
+
+/// Breadth-first levels from `src`: `levels[v]` is the shortest-path edge
+/// distance from `src` to `v`, or [`NIL`] if `v` is unreachable.
+pub fn bfs_levels(g: &Csr, src: Node) -> Vec<Node> {
+    let n = g.n();
+    assert!((src as usize) < n, "source out of range");
+    let mut levels = vec![NIL; n];
+    levels[src as usize] = 0;
+    let mut queue = VecDeque::with_capacity(n.min(1024));
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v as usize] + 1;
+        for &w in g.neighbors(v) {
+            if levels[w as usize] == NIL {
+                levels[w as usize] = next;
+                queue.push_back(w);
+            }
+        }
+    }
+    levels
+}
+
+/// The number of non-empty BFS levels from `src` (0 levels only for an
+/// empty graph is impossible — the source itself is level 0, so this is
+/// `1 + eccentricity(src)` restricted to the reachable component).
+pub fn level_count(levels: &[Node]) -> usize {
+    levels
+        .iter()
+        .filter(|&&l| l != NIL)
+        .map(|&l| l as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_levels_are_positions() {
+        let g = Csr::from_edge_list(&gen::path(10));
+        let l = bfs_levels(&g, 0);
+        let expect: Vec<Node> = (0..10).collect();
+        assert_eq!(l, expect);
+        assert_eq!(level_count(&l), 10);
+    }
+
+    #[test]
+    fn star_has_two_levels_from_center() {
+        let g = Csr::from_edge_list(&gen::star(50));
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[0], 0);
+        assert!(l[1..].iter().all(|&x| x == 1));
+        assert_eq!(level_count(&l), 2);
+        // From a leaf: center is 1, other leaves are 2.
+        let l = bfs_levels(&g, 7);
+        assert_eq!(l[7], 0);
+        assert_eq!(l[0], 1);
+        assert_eq!(l[13], 2);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_nil() {
+        let g = Csr::from_edge_list(&gen::with_isolated(&gen::path(5), 3));
+        let l = bfs_levels(&g, 0);
+        assert_eq!(&l[..5], &[0, 1, 2, 3, 4]);
+        assert!(l[5..].iter().all(|&x| x == NIL));
+    }
+
+    #[test]
+    fn levels_satisfy_edge_relaxation() {
+        // Every edge's endpoints differ by at most one level, and every
+        // non-source vertex has a neighbor exactly one level below.
+        let el = gen::random_gnm(300, 700, 21);
+        let g = Csr::from_edge_list(&el);
+        let l = bfs_levels(&g, 3);
+        for v in 0..300u32 {
+            if l[v as usize] == NIL || v == 3 {
+                continue;
+            }
+            let lv = l[v as usize];
+            let mut has_parent = false;
+            for &w in g.neighbors(v) {
+                assert!(l[w as usize] != NIL);
+                assert!(l[w as usize] + 1 >= lv);
+                has_parent |= l[w as usize] + 1 == lv;
+            }
+            assert!(has_parent, "vertex {v} has no parent level");
+        }
+    }
+
+    #[test]
+    fn torus_is_symmetric() {
+        let g = Csr::from_edge_list(&gen::torus2d(6, 6));
+        let l = bfs_levels(&g, 0);
+        // Opposite corner of a 6x6 torus is 3+3 hops away.
+        assert_eq!(l[3 * 6 + 3], 6);
+        assert_eq!(level_count(&l), 7);
+    }
+}

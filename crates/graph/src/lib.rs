@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bfs;
 pub mod csr;
 pub mod edgelist;
 pub mod gen;

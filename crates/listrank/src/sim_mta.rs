@@ -17,6 +17,7 @@
 //!
 //! Ranks are head-anchored ascending (see the crate-level fidelity note).
 
+use archgraph_core::error::SimError;
 use archgraph_core::MtaParams;
 use archgraph_graph::{LinkedList, Node};
 use archgraph_mta_sim::isa::{ProgramBuilder, Reg};
@@ -72,7 +73,8 @@ pub fn simulate_walk_ranking(
 }
 
 /// [`simulate_walk_ranking`] with an explicit walk-to-stream schedule
-/// (the ABL-DYN ablation at algorithm level).
+/// (the ABL-DYN ablation at algorithm level). Panics on simulation
+/// failure (legacy entry point).
 pub fn simulate_walk_ranking_scheduled(
     list: &LinkedList,
     params: &MtaParams,
@@ -81,6 +83,39 @@ pub fn simulate_walk_ranking_scheduled(
     walks: usize,
     schedule: WalkSchedule,
 ) -> MtaSimResult {
+    try_simulate_walk_ranking_scheduled(list, params, p, streams_per_proc, walks, schedule)
+        .unwrap_or_else(|e| panic!("simulate_walk_ranking: {e}"))
+}
+
+/// [`simulate_walk_ranking`] returning structured failures (deadlock
+/// diagnostics, cycle-budget trips) instead of panicking.
+pub fn try_simulate_walk_ranking(
+    list: &LinkedList,
+    params: &MtaParams,
+    p: usize,
+    streams_per_proc: usize,
+    walks: usize,
+) -> Result<MtaSimResult, SimError> {
+    try_simulate_walk_ranking_scheduled(
+        list,
+        params,
+        p,
+        streams_per_proc,
+        walks,
+        WalkSchedule::Dynamic,
+    )
+}
+
+/// [`simulate_walk_ranking_scheduled`] returning `Result` — the form the
+/// `apps` simulated drivers build on.
+pub fn try_simulate_walk_ranking_scheduled(
+    list: &LinkedList,
+    params: &MtaParams,
+    p: usize,
+    streams_per_proc: usize,
+    walks: usize,
+    schedule: WalkSchedule,
+) -> Result<MtaSimResult, SimError> {
     let n = list.len();
     assert!(n >= 1, "simulate_walk_ranking needs a non-empty list");
 
@@ -149,7 +184,7 @@ pub fn simulate_walk_ranking_scheduled(
         b.fetch_add_imm(Reg(8), sum_addr as i64, acc);
         b.halt();
         let prog = b.build();
-        m.run(&prog, streams_per_proc, |_, _| {});
+        m.try_run(&prog, streams_per_proc, |_, _| {})?;
         let total = m.memory().peek(sum_addr);
         // head = n(n+1)/2 - (sum - n) since next[tail] = n contributes n
         // but is excluded from the 0..n loop -- we summed exactly
@@ -176,7 +211,7 @@ pub fn simulate_walk_ranking_scheduled(
         );
         b.halt();
         let prog = b.build();
-        m.run(&prog, streams_per_proc, |_, _| {});
+        m.try_run(&prog, streams_per_proc, |_, _| {})?;
     }
     // The sentinel slot marks "end of list": any walk reaching it sees a
     // mark (value w = the virtual final walk id).
@@ -192,7 +227,7 @@ pub fn simulate_walk_ranking_scheduled(
         });
         b.halt();
         let prog = b.build();
-        m.run(&prog, streams_per_proc, |_, _| {});
+        m.try_run(&prog, streams_per_proc, |_, _| {})?;
     }
 
     // ---- region 4: measure walks (the Alg. 1 traversal loop) ----
@@ -226,7 +261,7 @@ pub fn simulate_walk_ranking_scheduled(
         }
         b.halt();
         let prog = b.build();
-        m.run(&prog, streams_per_proc, |_, regs_arr| regs_arr[10] = -1);
+        m.try_run(&prog, streams_per_proc, |_, regs_arr| regs_arr[10] = -1)?;
     }
 
     // ---- region 5: copy len/succ into the doubling buffers ----
@@ -241,7 +276,7 @@ pub fn simulate_walk_ranking_scheduled(
         });
         b.halt();
         let prog = b.build();
-        m.run(&prog, streams_per_proc, |_, _| {});
+        m.try_run(&prog, streams_per_proc, |_, _| {})?;
     }
 
     // ---- doubling rounds (Alg. 1's lnth/next propagation) ----
@@ -291,10 +326,10 @@ pub fn simulate_walk_ranking_scheduled(
         }
         m.memory_mut().poke(counters + 5, 0);
         m.memory_mut().poke(counters + 6, 0);
-        m.run(&prog_a, streams_per_proc, |_, regs_arr| {
+        m.try_run(&prog_a, streams_per_proc, |_, regs_arr| {
             regs_arr[9] = w as i64
-        });
-        m.run(&prog_b, streams_per_proc, |_, _| {});
+        })?;
+        m.try_run(&prog_b, streams_per_proc, |_, _| {})?;
     }
 
     // ---- final region: writeback (re-traversal with ascending ranks) ----
@@ -327,9 +362,9 @@ pub fn simulate_walk_ranking_scheduled(
         }
         b.halt();
         let prog = b.build();
-        m.run(&prog, streams_per_proc, |_, regs_arr| {
+        m.try_run(&prog, streams_per_proc, |_, regs_arr| {
             regs_arr[10] = n as i64
-        });
+        })?;
     }
 
     let rank: Vec<Node> = m
@@ -339,11 +374,11 @@ pub fn simulate_walk_ranking_scheduled(
         .map(|x| x as Node)
         .collect();
     let report = combine(m.reports());
-    MtaSimResult {
+    Ok(MtaSimResult {
         rank,
         seconds: m.total_seconds(),
         report,
-    }
+    })
 }
 
 #[cfg(test)]

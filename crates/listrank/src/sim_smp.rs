@@ -13,6 +13,7 @@
 //! touches exactly three arrays per node: `next` (read), `rank` (write),
 //! `sublist_of` (write).
 
+use archgraph_core::error::SimError;
 use archgraph_core::machine::SmpParams;
 use archgraph_graph::{LinkedList, Node, NIL};
 use archgraph_smp_sim::machine::SmpMachine;
@@ -46,7 +47,8 @@ const WALK_INSTRS: u64 = 110;
 const SCAN_INSTRS: u64 = 30;
 const COMBINE_INSTRS: u64 = 60;
 
-/// Simulate the five-step Helman–JáJá algorithm on `p` processors.
+/// Simulate the five-step Helman–JáJá algorithm on `p` processors,
+/// panicking on simulation failure (legacy entry point).
 pub fn simulate_hj(
     list: &LinkedList,
     params: &SmpParams,
@@ -54,14 +56,27 @@ pub fn simulate_hj(
     sublists_per_proc: usize,
     seed: u64,
 ) -> SmpSimResult {
+    try_simulate_hj(list, params, p, sublists_per_proc, seed)
+        .unwrap_or_else(|e| panic!("simulate_hj: {e}"))
+}
+
+/// [`simulate_hj`] returning structured failures — the form the `apps`
+/// simulated drivers build on.
+pub fn try_simulate_hj(
+    list: &LinkedList,
+    params: &SmpParams,
+    p: usize,
+    sublists_per_proc: usize,
+    seed: u64,
+) -> Result<SmpSimResult, SimError> {
     let n = list.len();
     let mut m = SmpMachine::new(params.clone(), p);
     if n == 0 {
-        return SmpSimResult {
+        return Ok(SmpSimResult {
             rank: Vec::new(),
             seconds: 0.0,
             stats: m.stats(),
-        };
+        });
     }
     let next_a = m.alloc_elems::<u32>(n);
     let rank_a = m.alloc_elems::<u32>(n);
@@ -80,17 +95,17 @@ pub fn simulate_hj(
     }
 
     // --- Step 1: find the head (contiguous parallel reduction). ---
-    m.phase("find-head", |proc, ctx| {
+    m.try_phase("find-head", |proc, ctx| {
         let chunk = n.div_ceil(p);
         let (lo, hi) = (proc * chunk, ((proc + 1) * chunk).min(n));
         for i in lo..hi {
             ctx.read_elem(next_a, i);
             ctx.compute(SCAN_INSTRS);
         }
-    });
+    })?;
 
     // --- Step 2: mark sublist heads (tag bit in the successor array). ---
-    m.phase("mark", |proc, ctx| {
+    m.try_phase("mark", |proc, ctx| {
         let mut i = proc;
         while i < s {
             let h = heads[i] as usize;
@@ -99,7 +114,7 @@ pub fn simulate_hj(
             ctx.compute(20);
             i += p;
         }
-    });
+    })?;
 
     // --- Step 3: walk sublists, computing local ranks. ---
     let mut rank = vec![0 as Node; n];
@@ -113,7 +128,7 @@ pub fn simulate_hj(
         let succ_ref = &mut sub_succ;
         let marker = &marker;
         let heads = &heads;
-        m.phase("walk", move |proc, ctx| {
+        m.try_phase("walk", move |proc, ctx| {
             let mut i = proc;
             while i < s {
                 let mut j = heads[i];
@@ -142,7 +157,7 @@ pub fn simulate_hj(
                 }
                 i += p;
             }
-        });
+        })?;
     }
 
     // --- Step 4: prefix over the sublist records (processor 0). ---
@@ -151,7 +166,7 @@ pub fn simulate_hj(
         let sub_off_ref = &mut sub_off;
         let sub_len = &sub_len;
         let sub_succ = &sub_succ;
-        m.phase("sublist-prefix", move |proc, ctx| {
+        m.try_phase("sublist-prefix", move |proc, ctx| {
             if proc != 0 {
                 return;
             }
@@ -169,7 +184,7 @@ pub fn simulate_hj(
                 }
                 cur = nxt as usize;
             }
-        });
+        })?;
     }
 
     // --- Step 5: contiguous final combine. ---
@@ -177,7 +192,7 @@ pub fn simulate_hj(
         let rank_ref = &mut rank;
         let sub_of = &sub_of;
         let sub_off = &sub_off;
-        m.phase_no_barrier("combine", move |proc, ctx| {
+        m.try_phase_no_barrier("combine", move |proc, ctx| {
             let chunk = n.div_ceil(p);
             let (lo, hi) = (proc * chunk, ((proc + 1) * chunk).min(n));
             for slot in lo..hi {
@@ -188,27 +203,33 @@ pub fn simulate_hj(
                 ctx.write_elem(rank_a, slot);
                 ctx.compute(COMBINE_INSTRS);
             }
-        });
+        })?;
     }
 
-    SmpSimResult {
+    Ok(SmpSimResult {
         rank,
         seconds: m.seconds(),
         stats: m.stats(),
-    }
+    })
 }
 
 /// Simulate the *sequential* pointer-chasing baseline on one processor
-/// (the comparator for SMP speedup figures).
+/// (the comparator for SMP speedup figures). Panics on simulation
+/// failure (legacy entry point).
 pub fn simulate_seq(list: &LinkedList, params: &SmpParams) -> SmpSimResult {
+    try_simulate_seq(list, params).unwrap_or_else(|e| panic!("simulate_seq: {e}"))
+}
+
+/// [`simulate_seq`] returning structured failures.
+pub fn try_simulate_seq(list: &LinkedList, params: &SmpParams) -> Result<SmpSimResult, SimError> {
     let n = list.len();
     let mut m = SmpMachine::new(params.clone(), 1);
     if n == 0 {
-        return SmpSimResult {
+        return Ok(SmpSimResult {
             rank: Vec::new(),
             seconds: 0.0,
             stats: m.stats(),
-        };
+        });
     }
     let next_a = m.alloc_elems::<u32>(n);
     let rank_a = m.alloc_elems::<u32>(n);
@@ -216,7 +237,7 @@ pub fn simulate_seq(list: &LinkedList, params: &SmpParams) -> SmpSimResult {
     let mut rank = vec![0 as Node; n];
     {
         let rank_ref = &mut rank;
-        m.phase_no_barrier("seq-rank", move |_, ctx| {
+        m.try_phase_no_barrier("seq-rank", move |_, ctx| {
             let mut j = list.head;
             let mut r: Node = 0;
             while (j as usize) < n {
@@ -227,13 +248,13 @@ pub fn simulate_seq(list: &LinkedList, params: &SmpParams) -> SmpSimResult {
                 r += 1;
                 j = next[j as usize];
             }
-        });
+        })?;
     }
-    SmpSimResult {
+    Ok(SmpSimResult {
         rank,
         seconds: m.seconds(),
         stats: m.stats(),
-    }
+    })
 }
 
 #[cfg(test)]

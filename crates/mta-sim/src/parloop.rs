@@ -111,6 +111,39 @@ pub fn dynamic_loop_grained(
     b.bind(done);
 }
 
+/// [`dynamic_loop_grained`] with the loop limit read from the memory word
+/// at `limit_addr` when the program starts instead of baked in as an
+/// immediate. Worklist kernels (speculative coloring rounds, BFS frontier
+/// levels) need this: the same compiled program runs every round, with
+/// the host poking the current worklist size between regions.
+pub fn dynamic_loop_grained_mem(
+    b: &mut ProgramBuilder,
+    counter_addr: usize,
+    limit_addr: usize,
+    grain: i64,
+    regs: LoopRegs,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    assert!(grain >= 1, "grain must be positive");
+    regs.assert_distinct();
+    let (idx, g, lim, end) = (regs.idx, regs.s1, regs.s2, regs.s3);
+    b.li(g, grain).load_abs(lim, limit_addr);
+    let top = b.here();
+    b.fetch_add_imm(idx, counter_addr as i64, g);
+    let done = b.bge_fwd(idx, lim);
+    // end = min(idx + grain, limit)
+    b.add(end, idx, g);
+    let no_clamp = b.blt_fwd(end, lim);
+    b.mov(end, lim);
+    b.bind(no_clamp);
+    let inner = b.here();
+    body(b);
+    b.addi(idx, idx, 1);
+    b.blt(idx, end, inner);
+    b.jmp(top);
+    b.bind(done);
+}
+
 /// Emit a statically block-scheduled loop: stream `id` covers
 /// `[id * chunk, min((id+1) * chunk, n))`. With skewed per-iteration work
 /// this load-imbalances — the ablation contrast to [`dynamic_loop`].
@@ -198,6 +231,69 @@ mod tests {
                 m.run(&prog, 8, |_, _| {});
             });
         }
+    }
+
+    #[test]
+    fn grained_mem_loop_covers_exactly_once_per_poked_limit() {
+        // The same program, run twice with different limits poked into the
+        // limit word — the worklist-round usage pattern.
+        let n = 91usize;
+        let mut m = tiny(2);
+        let base = m.memory_mut().alloc(n);
+        let counter = m.memory_mut().alloc(1);
+        let limit = m.memory_mut().alloc(1);
+        let mut b = ProgramBuilder::new();
+        let regs = LoopRegs::standard();
+        b.li(Reg(7), 1);
+        dynamic_loop_grained_mem(&mut b, counter, limit, 5, regs, |b| {
+            b.fetch_add(Reg(6), regs.idx, base as i64, Reg(7));
+        });
+        b.halt();
+        let prog = b.build();
+        for lim in [n as i64, 17] {
+            m.memory_mut().poke(counter, 0);
+            m.memory_mut().poke(limit, lim);
+            m.run(&prog, 8, |_, _| {});
+        }
+        for i in 0..n {
+            let expect = if i < 17 { 2 } else { 1 };
+            assert_eq!(m.memory().peek(base + i), expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn grained_mem_matches_immediate_limit_cycles() {
+        // With the same limit, the memory-limit form does one extra
+        // load_abs per stream but claims identically; coverage and claim
+        // order must match the immediate form.
+        let n = 64usize;
+        let run = |mem_limit: bool| {
+            let mut m = tiny(1);
+            let base = m.memory_mut().alloc(n);
+            let counter = m.memory_mut().alloc(1);
+            let limit = m.memory_mut().alloc(1);
+            m.memory_mut().poke(limit, n as i64);
+            let mut b = ProgramBuilder::new();
+            let regs = LoopRegs::standard();
+            b.li(Reg(7), 1);
+            if mem_limit {
+                dynamic_loop_grained_mem(&mut b, counter, limit, 4, regs, |b| {
+                    b.fetch_add(Reg(6), regs.idx, base as i64, Reg(7));
+                });
+            } else {
+                dynamic_loop_grained(&mut b, counter, n as i64, 4, regs, |b| {
+                    b.fetch_add(Reg(6), regs.idx, base as i64, Reg(7));
+                });
+            }
+            b.halt();
+            let prog = b.build();
+            m.run(&prog, 8, |_, _| {});
+            (0..n)
+                .map(|i| m.memory().peek(base + i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+        assert!(run(true).iter().all(|&v| v == 1));
     }
 
     #[test]

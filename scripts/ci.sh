@@ -37,7 +37,8 @@ echo "== engine differential smoke =="
 for engine in single-step trace compiled partitioned; do
     echo "-- ARCHGRAPH_MTA_ENGINE=$engine"
     ARCHGRAPH_MTA_ENGINE="$engine" \
-        cargo test -q --offline -p archgraph-mta-sim -p archgraph-listrank -p archgraph-concomp
+        cargo test -q --offline -p archgraph-mta-sim -p archgraph-listrank \
+        -p archgraph-concomp -p archgraph-coloring -p archgraph-bfs
 done
 
 echo "== guardrails: deadlock + fault injection under every engine =="

@@ -25,6 +25,8 @@
 //! * [`mta`](archgraph_mta_sim) — the Cray MTA-2 simulator.
 //! * [`listrank`] — list-ranking algorithms.
 //! * [`concomp`] — connected-components algorithms.
+//! * [`coloring`] — speculative greedy graph coloring.
+//! * [`bfs`] — frontier-based breadth-first search.
 //! * [`apps`] — applications built on the primitives:
 //!   Euler tours, rooted-tree analytics, minimum spanning forests.
 //!
@@ -46,6 +48,8 @@
 //! ```
 
 pub use archgraph_apps as apps;
+pub use archgraph_bfs as bfs;
+pub use archgraph_coloring as coloring;
 pub use archgraph_concomp as concomp;
 pub use archgraph_core as core;
 pub use archgraph_graph as graph;
