@@ -1,0 +1,187 @@
+//! Content-addressed result cache for completed cells.
+//!
+//! Keys are [`CellSpec::cache_key`] fingerprints — FNV-1a over the
+//! result-determining fields only (kernel, machine, p, n, m, fault
+//! plan). The workspace's determinism contract makes that sound: every
+//! MTA engine at every worker count produces bit-identical simulated
+//! fingerprints, so those fields are deliberately *not* part of the key
+//! and a result computed under one engine serves requests pinned to
+//! another.
+//!
+//! Storage reuses the sweep [`Checkpoint`] store (one small file per
+//! cell, atomic temp-file-plus-rename writes), so the cache has the
+//! same crash-safety story as sweep resume: a daemon killed mid-write
+//! leaves either the old entry or the complete new one, never a torn
+//! file, and a restarted daemon picks the cache up from disk. The
+//! directory is stamped with [`CACHE_SPEC`]; bumping it (on any payload
+//! or key-schema change) makes old daemons' caches discard themselves
+//! instead of serving misdecoded entries.
+//!
+//! Only *successful* runs are cached. Failures (watchdog trips,
+//! deadlocks, injected panics) always re-run — a failure is a property
+//! of the run, not of the spec.
+
+use std::path::PathBuf;
+
+use archgraph_bench::sweep::Checkpoint;
+use archgraph_bench::CellSpec;
+
+/// Configuration stamp for the cache directory. Reusing the checkpoint
+/// store's spec-sentinel machinery: a directory stamped with a different
+/// string (older daemon, different payload schema) is discarded on open.
+pub const CACHE_SPEC: &str = "archgraphd-cache-v1";
+
+/// Simulated fingerprint as stored and served: owned label/value pairs
+/// in render order.
+pub type Sim = Vec<(String, u64)>;
+
+/// The daemon's on-disk result cache (or a disabled stand-in).
+#[derive(Debug)]
+pub struct Cache {
+    store: Checkpoint,
+}
+
+impl Cache {
+    /// Open (or create) the cache rooted at `dir`.
+    pub fn open(dir: PathBuf) -> Cache {
+        Cache {
+            store: Checkpoint::at_spec(dir, CACHE_SPEC),
+        }
+    }
+
+    /// A cache that stores nothing and never hits.
+    pub fn disabled() -> Cache {
+        Cache {
+            store: Checkpoint::disabled(),
+        }
+    }
+
+    /// Is the cache actually persisting entries?
+    pub fn enabled(&self) -> bool {
+        self.store.enabled()
+    }
+
+    /// The cached fingerprint for `spec`, if an equivalent cell (same
+    /// content address) completed before. Undecodable entries read as
+    /// misses — the cell simply re-runs and overwrites them.
+    pub fn lookup(&self, spec: &CellSpec) -> Option<Sim> {
+        decode(&self.store.lookup(&spec.cache_key())?)
+    }
+
+    /// Record a successful run of `spec`. Best-effort, like checkpoint
+    /// writes: a full disk degrades to a cacheless daemon, not a dead one.
+    pub fn record(&self, spec: &CellSpec, sim: &[(String, u64)]) {
+        self.store.record(&spec.cache_key(), &encode(sim));
+    }
+}
+
+/// Payload layout: `v1 ok <label>=<value> ...` on one line, labels in
+/// render order (order matters — it is part of the bench JSON identity).
+fn encode(sim: &[(String, u64)]) -> String {
+    let mut out = String::from("v1 ok");
+    for (k, v) in sim {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+fn decode(payload: &str) -> Option<Sim> {
+    let mut it = payload.split_whitespace();
+    if it.next() != Some("v1") || it.next() != Some("ok") {
+        return None;
+    }
+    let mut sim = Vec::new();
+    for pair in it {
+        let (k, v) = pair.split_once('=')?;
+        sim.push((k.to_string(), v.parse().ok()?));
+    }
+    Some(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_bench::cells::find;
+
+    fn temp_cache(name: &str) -> (Cache, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraphd-cache-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Cache::open(dir.clone()), dir)
+    }
+
+    #[test]
+    fn round_trips_a_fingerprint() {
+        let (cache, dir) = temp_cache("roundtrip");
+        let spec = find("fig2/mta/p8").unwrap();
+        assert_eq!(cache.lookup(&spec), None, "cold cache misses");
+        let sim = vec![
+            ("cycles".to_string(), 12345u64),
+            ("issued".to_string(), 678),
+        ];
+        cache.record(&spec, &sim);
+        assert_eq!(cache.lookup(&spec), Some(sim));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn engine_variants_share_one_entry() {
+        let (cache, dir) = temp_cache("engines");
+        let trace = find("fig2/mta/p8").unwrap();
+        let compiled = find("fig2/mta-compiled/p8").unwrap();
+        let sim = vec![("cycles".to_string(), 9u64), ("issued".to_string(), 8)];
+        cache.record(&trace, &sim);
+        assert_eq!(
+            cache.lookup(&compiled),
+            Some(sim),
+            "determinism contract: one result serves every engine pin"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn survives_a_reopen_like_a_daemon_restart() {
+        let (cache, dir) = temp_cache("reopen");
+        let spec = find("bfs/smp/p8").unwrap();
+        let sim = vec![
+            ("instructions".to_string(), 1u64),
+            ("accesses".to_string(), 2),
+        ];
+        cache.record(&spec, &sim);
+        drop(cache);
+        let reopened = Cache::open(dir.clone());
+        assert_eq!(reopened.lookup(&spec), Some(sim));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn undecodable_entries_read_as_misses() {
+        assert_eq!(
+            decode("v1 ok cycles=1 issued=2").as_deref(),
+            Some(&[("cycles".to_string(), 1u64), ("issued".to_string(), 2u64)][..])
+        );
+        for bad in [
+            "",
+            "v0 ok cycles=1",
+            "v1 err",
+            "v1 ok cycles",
+            "v1 ok cycles=abc",
+        ] {
+            assert_eq!(decode(bad), None, "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = Cache::disabled();
+        assert!(!cache.enabled());
+        let spec = find("msf/native").unwrap();
+        cache.record(&spec, &[("weight".to_string(), 1)]);
+        assert_eq!(cache.lookup(&spec), None);
+    }
+}

@@ -1,0 +1,438 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Malformed input produces a structured
+//! `{"type":"error",...}` response and *keeps the connection open* —
+//! a typo must not cost a client its stream.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! {"op":"cancel","job":"j1"}
+//! {"op":"submit","cells":[ <spec>, ... ]}
+//! ```
+//!
+//! A cell `<spec>` is either a bench-suite reference
+//! `{"cell":"fig2/mta/p8"}` or a structured spec
+//! `{"kernel":"color","machine":"mta","p":8,"n":2048,"m":10240}`.
+//! Both forms accept the optional overrides `engine`, `workers`, `p`,
+//! `n`, `m`, `max_cycles`, and `faults`. Unknown keys are rejected —
+//! a misspelled override must not silently run the wrong experiment.
+//!
+//! # Responses
+//!
+//! `submit` answers `{"type":"accepted","job":"j1","cells":N}`, then
+//! streams one `{"type":"cell",...}` line per cell in completion order
+//! (carrying the spec's content-address `key`, a `cached` flag, and the
+//! `sim` fingerprint rendered byte-identically to bench JSON — or an
+//! `error` / `"cancelled":true` marker), and terminates with one
+//! `{"type":"done",...}` summary line. The other ops answer with a
+//! single line (`pong`, `status`, `bye`, `cancelled`).
+
+use archgraph_bench::cells::{self, CellSpec, Kernel, MachineKind};
+
+use crate::json::{escape, render_sim, Json};
+use crate::queue::{CellEvent, CellStatus, JobSummary, Snapshot};
+
+/// A parsed, validated client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Scheduler counters.
+    Status,
+    /// Graceful daemon shutdown.
+    Shutdown,
+    /// Cancel a job by id.
+    Cancel {
+        /// The job id from the `accepted` response.
+        job: String,
+    },
+    /// Run a batch of cells.
+    Submit {
+        /// Validated cell specs, in submit order.
+        cells: Vec<CellSpec>,
+    },
+}
+
+/// Parse and validate one request line. The error string is ready to be
+/// wrapped in an [`error`] response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let obj = v.as_obj().ok_or("request must be a JSON object")?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string \"op\" field")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        "cancel" => {
+            let job = v
+                .get("job")
+                .and_then(Json::as_str)
+                .ok_or("cancel needs a string \"job\" field")?;
+            Ok(Request::Cancel {
+                job: job.to_string(),
+            })
+        }
+        "submit" => {
+            let cells_json = v
+                .get("cells")
+                .and_then(Json::as_arr)
+                .ok_or("submit needs a \"cells\" array")?;
+            if cells_json.is_empty() {
+                return Err("submit needs at least one cell".into());
+            }
+            if obj.keys().any(|k| k != "op" && k != "cells") {
+                return Err("submit accepts only \"op\" and \"cells\"".into());
+            }
+            let mut specs = Vec::with_capacity(cells_json.len());
+            for (i, cj) in cells_json.iter().enumerate() {
+                specs.push(parse_spec(cj).map_err(|e| format!("cells[{i}]: {e}"))?);
+            }
+            Ok(Request::Submit { cells: specs })
+        }
+        other => Err(format!(
+            "unknown op {other:?} (expected ping, status, shutdown, cancel, submit)"
+        )),
+    }
+}
+
+/// Every key a cell spec may carry; anything else is a rejected typo.
+const SPEC_KEYS: [&str; 10] = [
+    "cell",
+    "kernel",
+    "machine",
+    "engine",
+    "workers",
+    "p",
+    "n",
+    "m",
+    "max_cycles",
+    "faults",
+];
+
+fn get_usize(v: &Json, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .and_then(|u| usize::try_from(u).ok())
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// Parse one cell spec (bench-suite reference or structured form),
+/// apply overrides, and validate the result.
+pub fn parse_spec(v: &Json) -> Result<CellSpec, String> {
+    let obj = v.as_obj().ok_or("cell spec must be a JSON object")?;
+    if let Some(k) = obj.keys().find(|k| !SPEC_KEYS.contains(&k.as_str())) {
+        return Err(format!("unknown spec key {k:?}"));
+    }
+
+    let mut spec = if let Some(cell) = v.get("cell") {
+        let name = cell.as_str().ok_or("\"cell\" must be a string")?;
+        if obj.contains_key("kernel") || obj.contains_key("machine") {
+            return Err("give either \"cell\" or \"kernel\"/\"machine\", not both".into());
+        }
+        cells::find(name).ok_or_else(|| format!("unknown bench cell {name:?}"))?
+    } else {
+        let kernel_name = v
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or("spec needs \"cell\" or \"kernel\"")?;
+        let kernel =
+            Kernel::parse(kernel_name).ok_or_else(|| format!("unknown kernel {kernel_name:?}"))?;
+        let machine_name = v.get("machine").and_then(Json::as_str).unwrap_or("mta");
+        let machine = MachineKind::parse(machine_name)
+            .ok_or_else(|| format!("unknown machine {machine_name:?}"))?;
+        let default_p = if machine == MachineKind::Native { 0 } else { 8 };
+        CellSpec::new(kernel, machine, default_p)
+    };
+
+    if let Some(p) = get_usize(v, "p")? {
+        spec.p = p;
+    }
+    if let Some(n) = get_usize(v, "n")? {
+        spec.n = n;
+    }
+    if let Some(m) = get_usize(v, "m")? {
+        spec.m = m;
+    }
+    if let Some(w) = get_usize(v, "workers")? {
+        spec.workers = Some(w);
+    }
+    if let Some(b) = v.get("max_cycles") {
+        spec.max_cycles = Some(b.as_u64().ok_or("\"max_cycles\" must be an integer")?);
+    }
+    if let Some(e) = v.get("engine") {
+        let name = e.as_str().ok_or("\"engine\" must be a string")?;
+        spec.engine =
+            Some(cells::parse_engine(name).ok_or_else(|| format!("unknown engine {name:?}"))?);
+    }
+    if let Some(f) = v.get("faults") {
+        spec.faults = Some(
+            f.as_str()
+                .ok_or("\"faults\" must be a string (\"<spec>:<seed>\")")?
+                .to_string(),
+        );
+    }
+
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// `{"type":"pong"}`
+pub fn pong() -> String {
+    r#"{"type":"pong"}"#.to_string()
+}
+
+/// `{"type":"bye"}` — acknowledged shutdown.
+pub fn bye() -> String {
+    r#"{"type":"bye"}"#.to_string()
+}
+
+/// `{"type":"error","message":...}`
+pub fn error(message: &str) -> String {
+    format!(r#"{{"type":"error","message":"{}"}}"#, escape(message))
+}
+
+/// `{"type":"accepted","job":...,"cells":N}`
+pub fn accepted(job: &str, cells: usize) -> String {
+    format!(
+        r#"{{"type":"accepted","job":"{}","cells":{cells}}}"#,
+        escape(job)
+    )
+}
+
+/// `{"type":"cancelled","job":...}`
+pub fn cancelled(job: &str) -> String {
+    format!(r#"{{"type":"cancelled","job":"{}"}}"#, escape(job))
+}
+
+/// `{"type":"status",...}` — scheduler counters.
+pub fn status(snap: &Snapshot) -> String {
+    format!(
+        concat!(
+            r#"{{"type":"status","workers":{},"queued":{},"inflight":{},"#,
+            r#""active_jobs":{},"jobs":{},"cells_run":{},"cache_hits":{},"failures":{}}}"#
+        ),
+        snap.workers,
+        snap.queued,
+        snap.inflight,
+        snap.active_jobs,
+        snap.stats.jobs,
+        snap.stats.cells_run,
+        snap.stats.cache_hits,
+        snap.stats.failures,
+    )
+}
+
+/// One streamed cell-result line. The `sim` sub-object is rendered
+/// byte-identically to the bench driver's JSON (`{ "k": v, ... }`) so
+/// CI can diff daemon output against `--bin bench` output directly.
+pub fn cell_line(job: &str, ev: &CellEvent) -> String {
+    let head = format!(
+        r#"{{"type":"cell","job":"{}","index":{},"name":"{}","key":"{}""#,
+        escape(job),
+        ev.index,
+        escape(&ev.name),
+        escape(&ev.key),
+    );
+    match &ev.status {
+        CellStatus::Done { sim, cached } => {
+            format!("{head},\"cached\":{cached},\"sim\":{}}}", render_sim(sim))
+        }
+        CellStatus::Failed { error } => format!("{head},\"error\":\"{}\"}}", escape(error)),
+        CellStatus::Cancelled => format!("{head},\"cancelled\":true}}"),
+    }
+}
+
+/// The terminal job-summary line.
+pub fn done_line(job: &str, s: &JobSummary) -> String {
+    format!(
+        r#"{{"type":"done","job":"{}","cells":{},"ok":{},"failed":{},"cached":{},"cancelled":{}}}"#,
+        escape(job),
+        s.cells,
+        s.ok,
+        s.failed,
+        s.cached,
+        s.cancelled,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_bench::cells::find;
+    use archgraph_mta_sim::machine::MtaEngine;
+
+    #[test]
+    fn parses_the_simple_ops() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(parse_request(r#"{"op":"status"}"#), Ok(Request::Status));
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        assert_eq!(
+            parse_request(r#"{"op":"cancel","job":"j7"}"#),
+            Ok(Request::Cancel { job: "j7".into() })
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_a_structured_reject() {
+        for bad in [
+            "not json at all",
+            "{\"op\":",
+            "[1,2,3]",
+            r#"{"noop":"ping"}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"cancel"}"#,
+            r#"{"op":"submit"}"#,
+            r#"{"op":"submit","cells":[]}"#,
+            r#"{"op":"submit","cells":[{"cell":"no/such/cell"}]}"#,
+            r#"{"op":"submit","cells":[{"kernel":"msf","machine":"mta"}]}"#,
+            r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8","typo_key":1}]}"#,
+            r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8","faults":"bogus"}]}"#,
+            r#"{"op":"submit","extra":true,"cells":[{"cell":"fig2/mta/p8"}]}"#,
+        ] {
+            let err = parse_request(bad).expect_err(bad);
+            // The error doubles as the protocol reply; it must render.
+            let line = error(&err);
+            let parsed = Json::parse(&line).expect("error response is valid JSON");
+            assert_eq!(parsed.get("type").and_then(Json::as_str), Some("error"));
+        }
+    }
+
+    #[test]
+    fn bench_cell_references_resolve_to_suite_specs() {
+        let req = parse_request(
+            r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8"},{"cell":"msf/native"}]}"#,
+        )
+        .unwrap();
+        let Request::Submit { cells } = req else {
+            panic!("not a submit")
+        };
+        assert_eq!(cells[0], find("fig2/mta/p8").unwrap());
+        assert_eq!(cells[1], find("msf/native").unwrap());
+    }
+
+    #[test]
+    fn structured_specs_parse_with_overrides() {
+        let req = parse_request(
+            r#"{"op":"submit","cells":[{"kernel":"color","machine":"mta","engine":"compiled","workers":4,"p":2,"n":128,"m":384,"max_cycles":1000000,"faults":"mem-latency=30,rate=1:9"}]}"#,
+        )
+        .unwrap();
+        let Request::Submit { cells } = req else {
+            panic!("not a submit")
+        };
+        let s = &cells[0];
+        assert_eq!(s.kernel.name(), "color");
+        assert_eq!(s.machine, MachineKind::Mta);
+        assert_eq!(s.engine, Some(MtaEngine::Compiled));
+        assert_eq!(s.workers, Some(4));
+        assert_eq!((s.p, s.n, s.m), (2, 128, 384));
+        assert_eq!(s.max_cycles, Some(1_000_000));
+        assert_eq!(s.faults.as_deref(), Some("mem-latency=30,rate=1:9"));
+    }
+
+    #[test]
+    fn cell_references_accept_overrides_too() {
+        let req = parse_request(
+            r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8","engine":"partitioned","workers":4}]}"#,
+        )
+        .unwrap();
+        let Request::Submit { cells } = req else {
+            panic!("not a submit")
+        };
+        assert_eq!(cells[0].engine, Some(MtaEngine::Partitioned));
+        assert_eq!(cells[0].workers, Some(4));
+        // Overrides never change the content address.
+        assert_eq!(
+            cells[0].cache_key(),
+            find("fig2/mta/p8").unwrap().cache_key()
+        );
+    }
+
+    #[test]
+    fn response_lines_are_valid_single_line_json() {
+        let ev = CellEvent {
+            index: 3,
+            name: "fig2/mta/p8".into(),
+            key: "0123456789abcdef".into(),
+            status: CellStatus::Done {
+                sim: vec![("cycles".to_string(), 10), ("issued".to_string(), 20)],
+                cached: true,
+            },
+        };
+        let failed = CellEvent {
+            status: CellStatus::Failed {
+                error: "boom\n\"quoted\"".into(),
+            },
+            ..ev.clone()
+        };
+        let cancelled = CellEvent {
+            status: CellStatus::Cancelled,
+            ..ev.clone()
+        };
+        let sum = JobSummary {
+            cells: 4,
+            ok: 2,
+            failed: 1,
+            cached: 1,
+            cancelled: 1,
+        };
+        let snap = Snapshot {
+            stats: crate::queue::Stats {
+                jobs: 1,
+                cells_run: 2,
+                cache_hits: 3,
+                failures: 4,
+            },
+            queued: 5,
+            inflight: 1,
+            active_jobs: 1,
+            workers: 2,
+        };
+        for line in [
+            pong(),
+            bye(),
+            error("oh \"no\"\nnewline"),
+            accepted("j1", 4),
+            cancelled_resp(),
+            status(&snap),
+            cell_line("j1", &ev),
+            cell_line("j1", &failed),
+            cell_line("j1", &cancelled),
+            done_line("j1", &sum),
+        ] {
+            assert!(!line.contains('\n'), "one line only: {line}");
+            Json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let parsed = Json::parse(&cell_line("j1", &ev)).unwrap();
+        assert_eq!(parsed.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            parsed
+                .get("sim")
+                .and_then(|s| s.get("cycles"))
+                .and_then(Json::as_u64),
+            Some(10)
+        );
+        // The sim sub-object is rendered in bench-JSON style, verbatim.
+        assert!(
+            cell_line("j1", &ev).contains(r#""sim":{ "cycles": 10, "issued": 20 }"#),
+            "bench-identical sim rendering"
+        );
+        let parsed = Json::parse(&done_line("j1", &sum)).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_u64), Some(2));
+    }
+
+    fn cancelled_resp() -> String {
+        cancelled("j1")
+    }
+}

@@ -1,0 +1,647 @@
+//! Job queue, admission control, and the worker pool.
+//!
+//! Submitted jobs are split into per-cell tasks on one FIFO queue; a
+//! fixed pool of worker threads (the in-flight bound — one simulated
+//! cell per worker, never more) drains it. Admission control caps the
+//! *queued* backlog: a submit that would push the queue past the bound
+//! is rejected with a structured error instead of letting one tenant
+//! buffer unbounded work ahead of everyone else.
+//!
+//! Results stream back per job over an [`mpsc`] channel the submitter
+//! provides: one [`Event::Cell`] per cell as it completes (cache hit,
+//! fresh run, failure, or cancellation), then one [`Event::Done`] with
+//! the job summary. A submitter that disconnects just drops its
+//! receiver; sends fail silently and the job still runs to completion
+//! (and still populates the cache).
+//!
+//! The runner is injected ([`Runner`]) so the scheduling logic is
+//! testable without simulating anything; the real daemon injects
+//! [`crate::sim_runner`], which executes [`CellSpec::run`] under panic
+//! isolation and scoped fault-plan overrides.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+use archgraph_bench::CellSpec;
+
+use crate::cache::{Cache, Sim};
+
+/// Executes one cell, returning its fingerprint or a failure message.
+/// Must be panic-free: the real runner wraps the simulation in
+/// `sweep::isolate`, test runners simply don't panic.
+pub type Runner = Arc<dyn Fn(&CellSpec) -> Result<Sim, String> + Send + Sync>;
+
+/// Per-job completion accounting. `ok + failed + cancelled == cells`
+/// once the job's [`Event::Done`] fires; `cached` counts the subset of
+/// `ok` served from the result cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Cells submitted with the job.
+    pub cells: usize,
+    /// Cells that produced a fingerprint (fresh or cached).
+    pub ok: usize,
+    /// Cells whose run failed (panic, watchdog, bad fault plan).
+    pub failed: usize,
+    /// Cells served from the cache (a subset of `ok`).
+    pub cached: usize,
+    /// Cells skipped because the job was cancelled or the daemon drained.
+    pub cancelled: usize,
+}
+
+/// Daemon-lifetime counters, served by the `status` op.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Jobs accepted (admission rejections not included).
+    pub jobs: u64,
+    /// Cells actually executed (cache misses, including failures).
+    pub cells_run: u64,
+    /// Cells served from the cache without running.
+    pub cache_hits: u64,
+    /// Executed cells that failed.
+    pub failures: u64,
+}
+
+/// How one cell ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell has a fingerprint — freshly simulated or cache-served.
+    Done {
+        /// The simulated-quantity fingerprint, in render order.
+        sim: Sim,
+        /// Served from the result cache without running?
+        cached: bool,
+    },
+    /// The run failed; the message is the isolated panic or a fault-plan
+    /// parse error. Failures are never cached.
+    Failed {
+        /// Human-readable failure reason.
+        error: String,
+    },
+    /// Skipped: the job was cancelled or the daemon is draining.
+    Cancelled,
+}
+
+/// One completed cell, streamed to the submitting client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellEvent {
+    /// Position of the cell in the submitted job (0-based).
+    pub index: usize,
+    /// Display name (bench-suite name, or the canonical spec string).
+    pub name: String,
+    /// Content-addressed cache key (`CellSpec::cache_key`).
+    pub key: String,
+    /// How the cell ended.
+    pub status: CellStatus,
+}
+
+/// What the scheduler streams back to a submitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// One cell finished (in completion order, with its submit index).
+    Cell(CellEvent),
+    /// The whole job finished; always the final event.
+    Done(JobSummary),
+}
+
+/// A point-in-time view of scheduler state, for the `status` op.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Lifetime counters.
+    pub stats: Stats,
+    /// Cells queued but not yet picked up.
+    pub queued: usize,
+    /// Cells currently executing.
+    pub inflight: usize,
+    /// Jobs with at least one unfinished cell.
+    pub active_jobs: usize,
+    /// Worker-pool size (the in-flight bound).
+    pub workers: usize,
+}
+
+struct Task {
+    job: String,
+    index: usize,
+    spec: CellSpec,
+}
+
+struct JobState {
+    cancelled: bool,
+    remaining: usize,
+    summary: JobSummary,
+    tx: Sender<Event>,
+}
+
+#[derive(Default)]
+struct QState {
+    queue: VecDeque<Task>,
+    jobs: HashMap<String, JobState>,
+    next_job: u64,
+    inflight: usize,
+    shutdown: bool,
+    stats: Stats,
+}
+
+struct Inner {
+    state: Mutex<QState>,
+    cv: Condvar,
+    runner: Runner,
+    cache: Cache,
+    max_queue: usize,
+    workers: usize,
+}
+
+/// The daemon's scheduler: FIFO task queue plus a fixed worker pool.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Spawn a scheduler with `workers` worker threads (the in-flight
+    /// bound; clamped to at least 1) and an admission bound of
+    /// `max_queue` queued cells.
+    pub fn new(workers: usize, max_queue: usize, cache: Cache, runner: Runner) -> Scheduler {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QState::default()),
+            cv: Condvar::new(),
+            runner,
+            cache,
+            max_queue,
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("archgraphd-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueue a job of already-validated cells. Events stream to `tx`.
+    /// Returns the job id and cell count, or a structured rejection
+    /// (shutdown in progress, empty job, or the admission bound).
+    pub fn submit(
+        &self,
+        specs: Vec<CellSpec>,
+        tx: Sender<Event>,
+    ) -> Result<(String, usize), String> {
+        if specs.is_empty() {
+            return Err("empty job: no cells".into());
+        }
+        let mut st = self.inner.state.lock().expect("scheduler lock");
+        if st.shutdown {
+            return Err("daemon is shutting down".into());
+        }
+        if st.queue.len() + specs.len() > self.inner.max_queue {
+            return Err(format!(
+                "queue full: {} queued + {} submitted exceeds the admission bound of {}",
+                st.queue.len(),
+                specs.len(),
+                self.inner.max_queue
+            ));
+        }
+        st.next_job += 1;
+        st.stats.jobs += 1;
+        let job = format!("j{}", st.next_job);
+        let n = specs.len();
+        st.jobs.insert(
+            job.clone(),
+            JobState {
+                cancelled: false,
+                remaining: n,
+                summary: JobSummary {
+                    cells: n,
+                    ..JobSummary::default()
+                },
+                tx,
+            },
+        );
+        for (index, spec) in specs.into_iter().enumerate() {
+            st.queue.push_back(Task {
+                job: job.clone(),
+                index,
+                spec,
+            });
+        }
+        drop(st);
+        self.inner.cv.notify_all();
+        Ok((job, n))
+    }
+
+    /// Cancel a job: queued cells are skipped (streamed as cancelled),
+    /// the in-flight cell — if any — completes normally. Returns false
+    /// for unknown (or already finished) job ids.
+    pub fn cancel(&self, job: &str) -> bool {
+        let mut st = self.inner.state.lock().expect("scheduler lock");
+        match st.jobs.get_mut(job) {
+            Some(j) => {
+                j.cancelled = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current state, for the `status` op.
+    pub fn snapshot(&self) -> Snapshot {
+        let st = self.inner.state.lock().expect("scheduler lock");
+        Snapshot {
+            stats: st.stats.clone(),
+            queued: st.queue.len(),
+            inflight: st.inflight,
+            active_jobs: st.jobs.len(),
+            workers: self.inner.workers,
+        }
+    }
+
+    /// Graceful drain: in-flight cells complete (and are cached), queued
+    /// cells are flushed to their submitters as cancelled, every active
+    /// job receives its terminal [`Event::Done`], and the worker threads
+    /// exit. Blocks until the pool is gone. Idempotent.
+    pub fn shutdown_and_join(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("scheduler lock");
+            st.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("scheduler handles lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Pull the next task; under shutdown, keep pulling so queued
+        // tasks are flushed as cancelled, and exit once the queue is dry.
+        let (task, run_it) = {
+            let mut st = inner.state.lock().expect("scheduler lock");
+            let task = loop {
+                if let Some(t) = st.queue.pop_front() {
+                    break t;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.cv.wait(st).expect("scheduler lock");
+            };
+            let skip = st.shutdown || st.jobs.get(&task.job).is_none_or(|j| j.cancelled);
+            if !skip {
+                st.inflight += 1;
+            }
+            (task, !skip)
+        };
+
+        let status = if run_it {
+            match inner.cache.lookup(&task.spec) {
+                Some(sim) => CellStatus::Done { sim, cached: true },
+                None => match (inner.runner)(&task.spec) {
+                    Ok(sim) => {
+                        inner.cache.record(&task.spec, &sim);
+                        CellStatus::Done { sim, cached: false }
+                    }
+                    Err(error) => CellStatus::Failed { error },
+                },
+            }
+        } else {
+            CellStatus::Cancelled
+        };
+
+        // Display name and key are computed outside the lock (the name
+        // scans the bench suite).
+        let event = CellEvent {
+            index: task.index,
+            name: task.spec.display_name(),
+            key: task.spec.cache_key(),
+            status,
+        };
+
+        let mut st = inner.state.lock().expect("scheduler lock");
+        if run_it {
+            st.inflight -= 1;
+        }
+        match &event.status {
+            CellStatus::Done { cached: true, .. } => st.stats.cache_hits += 1,
+            CellStatus::Done { .. } => st.stats.cells_run += 1,
+            CellStatus::Failed { .. } => {
+                st.stats.cells_run += 1;
+                st.stats.failures += 1;
+            }
+            CellStatus::Cancelled => {}
+        }
+        let finished = match st.jobs.get_mut(&task.job) {
+            Some(jobst) => {
+                match &event.status {
+                    CellStatus::Done { cached, .. } => {
+                        jobst.summary.ok += 1;
+                        if *cached {
+                            jobst.summary.cached += 1;
+                        }
+                    }
+                    CellStatus::Failed { .. } => jobst.summary.failed += 1,
+                    CellStatus::Cancelled => jobst.summary.cancelled += 1,
+                }
+                // A disconnected submitter dropped its receiver; the send
+                // failing is fine — the result is cached either way.
+                let _ = jobst.tx.send(Event::Cell(event));
+                jobst.remaining -= 1;
+                jobst.remaining == 0
+            }
+            // Unreachable in practice: jobs are only removed at
+            // remaining == 0, after their last task.
+            None => false,
+        };
+        if finished {
+            let jobst = st.jobs.remove(&task.job).expect("job present");
+            let _ = jobst.tx.send(Event::Done(jobst.summary));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgraph_bench::cells::{CellSpec, Kernel, MachineKind};
+    use std::sync::mpsc::{self, Receiver};
+
+    /// Tiny distinct specs (never executed by these tests' runners).
+    fn spec(p: usize) -> CellSpec {
+        let mut s = CellSpec::new(Kernel::Color, MachineKind::Smp, p);
+        s.n = 64;
+        s.m = 128;
+        s
+    }
+
+    /// A runner that blocks on `gate` per call, signals `started` when
+    /// entered, and appends the spec's canonical string to `order`.
+    #[allow(clippy::type_complexity)]
+    fn gated_runner(order: Arc<Mutex<Vec<String>>>) -> (Runner, Sender<()>, Receiver<()>) {
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        let runner: Runner = Arc::new(move |s: &CellSpec| {
+            let _ = started_tx.send(());
+            gate_rx
+                .lock()
+                .expect("gate lock")
+                .recv()
+                .expect("gate release");
+            order.lock().expect("order lock").push(s.canonical());
+            Ok(vec![("cycles".to_string(), s.p as u64)])
+        });
+        (runner, gate_tx, started_rx)
+    }
+
+    fn drain(rx: &Receiver<Event>) -> (Vec<CellEvent>, JobSummary) {
+        let mut cells = Vec::new();
+        loop {
+            match rx.recv().expect("event stream ends with Done") {
+                Event::Cell(c) => cells.push(c),
+                Event::Done(s) => return (cells, s),
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_order_across_jobs_with_one_worker() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (runner, gate, _started) = gated_runner(Arc::clone(&order));
+        let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
+
+        let (a_tx, a_rx) = mpsc::channel();
+        let (b_tx, b_rx) = mpsc::channel();
+        sched.submit(vec![spec(1), spec(2)], a_tx).expect("job A");
+        sched.submit(vec![spec(3)], b_tx).expect("job B");
+        for _ in 0..3 {
+            gate.send(()).expect("release");
+        }
+
+        let (a_cells, a_sum) = drain(&a_rx);
+        let (b_cells, b_sum) = drain(&b_rx);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![
+                spec(1).canonical(),
+                spec(2).canonical(),
+                spec(3).canonical()
+            ],
+            "single worker must drain strictly FIFO across jobs"
+        );
+        assert_eq!(a_cells.iter().map(|c| c.index).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(a_sum.ok, 2);
+        assert_eq!(b_cells.len(), 1);
+        assert_eq!(b_sum.ok, 1);
+        assert_eq!(
+            b_cells[0].status,
+            CellStatus::Done {
+                sim: vec![("cycles".to_string(), 3)],
+                cached: false
+            }
+        );
+        sched.shutdown_and_join();
+    }
+
+    #[test]
+    fn admission_control_bounds_the_queued_backlog() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (runner, gate, started) = gated_runner(Arc::clone(&order));
+        let sched = Scheduler::new(1, 1, Cache::disabled(), runner);
+
+        let (tx1, rx1) = mpsc::channel();
+        sched
+            .submit(vec![spec(1)], tx1)
+            .expect("first job admitted");
+        // Wait until the worker has *picked up* the cell: the queue is
+        // empty, the cell is in-flight, and exactly one slot remains.
+        started.recv().expect("worker started cell 1");
+
+        let (tx2, rx2) = mpsc::channel();
+        sched
+            .submit(vec![spec(2)], tx2)
+            .expect("one queued cell fits");
+        let (tx3, _rx3) = mpsc::channel();
+        let err = sched
+            .submit(vec![spec(3)], tx3)
+            .expect_err("bound exceeded");
+        assert!(err.contains("queue full"), "structured rejection: {err}");
+        assert!(err.contains("admission bound of 1"), "{err}");
+
+        gate.send(()).unwrap();
+        gate.send(()).unwrap();
+        let (_, s1) = drain(&rx1);
+        let (_, s2) = drain(&rx2);
+        assert_eq!((s1.ok, s2.ok), (1, 1));
+        // Backlog drained: the bound frees up again.
+        let (tx4, rx4) = mpsc::channel();
+        sched.submit(vec![spec(4)], tx4).expect("slot freed");
+        started.recv().expect("worker started cell 4");
+        gate.send(()).unwrap();
+        let (_, s4) = drain(&rx4);
+        assert_eq!(s4.ok, 1);
+        sched.shutdown_and_join();
+    }
+
+    #[test]
+    fn cancel_skips_queued_cells_but_finishes_the_inflight_one() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (runner, gate, started) = gated_runner(Arc::clone(&order));
+        let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
+
+        let (tx, rx) = mpsc::channel();
+        let (job, _) = sched.submit(vec![spec(1), spec(2), spec(3)], tx).unwrap();
+        started.recv().expect("cell 0 in flight");
+        assert!(sched.cancel(&job), "active job cancels");
+        assert!(!sched.cancel("j999"), "unknown job does not");
+        gate.send(()).unwrap(); // only cell 0 ever runs
+
+        let (cells, sum) = drain(&rx);
+        assert_eq!(cells.len(), 3, "every cell is accounted to the client");
+        assert!(matches!(cells[0].status, CellStatus::Done { .. }));
+        assert_eq!(cells[1].status, CellStatus::Cancelled);
+        assert_eq!(cells[2].status, CellStatus::Cancelled);
+        assert_eq!((sum.ok, sum.cancelled, sum.failed), (1, 2, 0));
+        assert_eq!(order.lock().unwrap().len(), 1, "cancelled cells never ran");
+        assert!(!sched.cancel(&job), "finished job is gone");
+        sched.shutdown_and_join();
+    }
+
+    #[test]
+    fn cache_hits_are_streamed_and_counted() {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraphd-queue-test-{}-cache",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let calls = Arc::new(Mutex::new(0usize));
+        let runner: Runner = Arc::new({
+            let calls = Arc::clone(&calls);
+            move |_s| {
+                *calls.lock().unwrap() += 1;
+                Ok(vec![("cycles".to_string(), 7)])
+            }
+        });
+        let sched = Scheduler::new(1, 64, Cache::open(dir.clone()), runner);
+
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(1)], tx).unwrap();
+        let (cells, sum) = drain(&rx);
+        assert_eq!(
+            cells[0].status,
+            CellStatus::Done {
+                sim: vec![("cycles".to_string(), 7)],
+                cached: false
+            }
+        );
+        assert_eq!((sum.ok, sum.cached), (1, 0));
+
+        // Same content address (even under a different engine pin) hits.
+        let mut pinned = spec(1);
+        pinned.engine = Some(archgraph_mta_sim::machine::MtaEngine::Compiled);
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![pinned], tx).unwrap();
+        let (cells, sum) = drain(&rx);
+        assert_eq!(
+            cells[0].status,
+            CellStatus::Done {
+                sim: vec![("cycles".to_string(), 7)],
+                cached: true
+            }
+        );
+        assert_eq!((sum.ok, sum.cached), (1, 1));
+        assert_eq!(*calls.lock().unwrap(), 1, "second submit never ran");
+
+        let snap = sched.snapshot();
+        assert_eq!(snap.stats.cells_run, 1);
+        assert_eq!(snap.stats.cache_hits, 1);
+        assert_eq!(snap.stats.jobs, 2);
+        sched.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failures_are_streamed_not_fatal_and_never_cached() {
+        let dir =
+            std::env::temp_dir().join(format!("archgraphd-queue-test-{}-fail", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let calls = Arc::new(Mutex::new(0usize));
+        let runner: Runner = Arc::new({
+            let calls = Arc::clone(&calls);
+            move |s: &CellSpec| {
+                *calls.lock().unwrap() += 1;
+                if s.p == 13 {
+                    Err("deliberate poisoned cell".into())
+                } else {
+                    Ok(vec![("cycles".to_string(), s.p as u64)])
+                }
+            }
+        });
+        let sched = Scheduler::new(1, 64, Cache::open(dir.clone()), runner);
+
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(1), spec(13), spec(2)], tx).unwrap();
+        let (cells, sum) = drain(&rx);
+        assert_eq!(
+            cells[1].status,
+            CellStatus::Failed {
+                error: "deliberate poisoned cell".into()
+            }
+        );
+        assert!(
+            matches!(cells[2].status, CellStatus::Done { .. }),
+            "the grid finishes around the poisoned cell"
+        );
+        assert_eq!((sum.ok, sum.failed), (2, 1));
+
+        // Re-submitting the poisoned cell re-runs it: failures don't cache.
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(13)], tx).unwrap();
+        let (_, sum) = drain(&rx);
+        assert_eq!((sum.failed, sum.cached), (1, 0));
+        assert_eq!(*calls.lock().unwrap(), 4, "poisoned cell ran twice");
+        sched.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn shutdown_flushes_queued_cells_and_rejects_new_jobs() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (runner, gate, started) = gated_runner(Arc::clone(&order));
+        let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
+
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(1), spec(2)], tx).unwrap();
+        started.recv().expect("cell 0 in flight");
+        // Release both gates so the drain can never deadlock regardless
+        // of whether cell 1 starts before the shutdown flag lands.
+        gate.send(()).unwrap();
+        gate.send(()).unwrap();
+        sched.shutdown_and_join();
+
+        let (cells, sum) = drain(&rx);
+        assert_eq!(cells.len(), 2, "drain flushes every cell to the client");
+        assert_eq!(sum.failed, 0);
+        assert!(sum.ok >= 1, "the in-flight cell completed");
+        assert_eq!(sum.ok + sum.cancelled, 2);
+
+        let (tx, _rx) = mpsc::channel();
+        let err = sched.submit(vec![spec(3)], tx).expect_err("post-shutdown");
+        assert!(err.contains("shutting down"), "{err}");
+        sched.shutdown_and_join(); // idempotent
+    }
+}

@@ -1,0 +1,336 @@
+//! The daemon's accept loop and per-connection protocol handler.
+//!
+//! The listener is either a Unix-domain socket (the default — local,
+//! permission-scoped, removable on shutdown) or a localhost TCP socket
+//! (for platforms or harnesses without Unix sockets). Accepting is
+//! non-blocking with a short poll so the loop notices shutdown promptly:
+//! a `shutdown` op from any client, or a SIGTERM/SIGINT flagged by the
+//! shared [`archgraph_bench::signals`] handler, both end the loop, after
+//! which the scheduler drains gracefully (in-flight cells finish and are
+//! cached, queued cells flush to their submitters as cancelled) and the
+//! socket file is removed.
+//!
+//! Each accepted connection gets its own handler thread reading request
+//! lines; a malformed line answers with a structured error and keeps the
+//! connection. Handler threads are detached — they die with the process
+//! after the drain, and a client mid-`submit` whose stream ends simply
+//! resubmits after restart, where the result cache makes the replay
+//! nearly free.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{self, Request};
+use crate::queue::{Event, Scheduler};
+
+/// How long the accept loop sleeps when there is nothing to accept.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Where the daemon listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7411`.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Human-readable form for log lines.
+    pub fn describe(&self) -> String {
+        match self {
+            Endpoint::Unix(p) => format!("unix:{}", p.display()),
+            Endpoint::Tcp(a) => format!("tcp:{a}"),
+        }
+    }
+}
+
+/// A bound listening socket.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain listener plus the path to unlink on shutdown.
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+    /// Localhost TCP listener.
+    Tcp(TcpListener),
+}
+
+/// One accepted (or dialed) connection.
+pub enum Conn {
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// A second handle on the same stream (read half / write half).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Bind the endpoint. A Unix socket path left behind by a killed daemon
+/// (the file exists but nothing answers) is reclaimed automatically;
+/// a *live* daemon on the same path is an error — two daemons must not
+/// fight over one socket.
+pub fn bind(ep: &Endpoint) -> io::Result<Listener> {
+    match ep {
+        Endpoint::Unix(path) => {
+            #[cfg(unix)]
+            {
+                if path.exists() {
+                    match UnixStream::connect(path) {
+                        Ok(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("another archgraphd is already serving {}", path.display()),
+                            ))
+                        }
+                        // Dead socket file (daemon was killed): reclaim it.
+                        Err(_) => {
+                            let _ = std::fs::remove_file(path);
+                        }
+                    }
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are unavailable on this platform; use --tcp",
+                ))
+            }
+        }
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Ok(Listener::Tcp(l))
+        }
+    }
+}
+
+/// Dial the endpoint (client side).
+pub fn connect(ep: &Endpoint) -> io::Result<Conn> {
+    match ep {
+        Endpoint::Unix(path) => {
+            #[cfg(unix)]
+            {
+                UnixStream::connect(path).map(Conn::Unix)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are unavailable on this platform; use --tcp",
+                ))
+            }
+        }
+        Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
+    }
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+
+    fn cleanup(&self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Run the daemon until a `shutdown` op or a pending SIGTERM/SIGINT,
+/// then drain the scheduler and remove the socket. Returns the reason
+/// ("shutdown op" or the signal name) for the final log line.
+pub fn serve(listener: Listener, sched: Arc<Scheduler>, stop: Arc<AtomicBool>) -> &'static str {
+    let reason = loop {
+        if stop.load(Ordering::SeqCst) {
+            break "shutdown op";
+        }
+        if let Some(signo) = archgraph_bench::signals::pending() {
+            break if signo == archgraph_bench::signals::SIGTERM {
+                "SIGTERM"
+            } else {
+                "SIGINT"
+            };
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                let sched = Arc::clone(&sched);
+                let stop = Arc::clone(&stop);
+                // Detached: dies with the process after the drain.
+                let _ = thread::Builder::new()
+                    .name("archgraphd-client".to_string())
+                    .spawn(move || handle_client(conn, &sched, &stop));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(e) => {
+                eprintln!("archgraphd: accept error: {e}");
+                thread::sleep(POLL);
+            }
+        }
+    };
+    // Graceful drain: finish in-flight cells (caching them), flush the
+    // queued remainder as cancelled, give handler threads a beat to
+    // write their terminal lines, then release the socket.
+    sched.shutdown_and_join();
+    thread::sleep(Duration::from_millis(100));
+    listener.cleanup();
+    reason
+}
+
+/// One connection's request loop. Returns when the client disconnects,
+/// a write fails, or the client asked for shutdown.
+fn handle_client(conn: Conn, sched: &Scheduler, stop: &AtomicBool) {
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut w = conn;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ok = match protocol::parse_request(&line) {
+            Err(msg) => writeln!(w, "{}", protocol::error(&msg)),
+            Ok(Request::Ping) => writeln!(w, "{}", protocol::pong()),
+            Ok(Request::Status) => writeln!(w, "{}", protocol::status(&sched.snapshot())),
+            Ok(Request::Cancel { job }) => {
+                if sched.cancel(&job) {
+                    writeln!(w, "{}", protocol::cancelled(&job))
+                } else {
+                    writeln!(w, "{}", protocol::error(&format!("unknown job {job:?}")))
+                }
+            }
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(w, "{}", protocol::bye());
+                let _ = w.flush();
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(Request::Submit { cells }) => stream_job(&mut w, sched, cells),
+        };
+        if ok.and_then(|()| w.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Submit a job and stream its events until the terminal `done` line.
+fn stream_job(
+    w: &mut Conn,
+    sched: &Scheduler,
+    cells: Vec<archgraph_bench::CellSpec>,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel();
+    let (job, n) = match sched.submit(cells, tx) {
+        Ok(accepted) => accepted,
+        Err(msg) => return writeln!(w, "{}", protocol::error(&msg)),
+    };
+    writeln!(w, "{}", protocol::accepted(&job, n))?;
+    w.flush()?;
+    for event in rx {
+        match event {
+            Event::Cell(ev) => {
+                writeln!(w, "{}", protocol::cell_line(&job, &ev))?;
+                w.flush()?;
+            }
+            Event::Done(sum) => return writeln!(w, "{}", protocol::done_line(&job, &sum)),
+        }
+    }
+    // The channel closed without a Done event — only possible if the
+    // scheduler dropped the job, which it never does; report it rather
+    // than hanging the client.
+    writeln!(w, "{}", protocol::error("job stream ended unexpectedly"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_describe_themselves() {
+        assert_eq!(
+            Endpoint::Unix(PathBuf::from("/tmp/d.sock")).describe(),
+            "unix:/tmp/d.sock"
+        );
+        assert_eq!(
+            Endpoint::Tcp("127.0.0.1:7411".into()).describe(),
+            "tcp:127.0.0.1:7411"
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stale_socket_files_are_reclaimed_and_live_ones_refused() {
+        let path = std::env::temp_dir().join(format!(
+            "archgraphd-server-test-{}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Simulate a daemon killed without cleanup: a dead socket file.
+        drop(UnixListener::bind(&path).expect("first bind"));
+        assert!(path.exists(), "the socket file outlives the listener");
+        let ep = Endpoint::Unix(path.clone());
+        let second = bind(&ep).expect("stale socket reclaimed");
+        // While it is live, a second daemon must be refused.
+        let err = bind(&ep).expect_err("live socket refused");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        second.cleanup();
+        assert!(!path.exists(), "cleanup removes the socket file");
+    }
+}

@@ -1,0 +1,427 @@
+//! End-to-end daemon tests: real `archgraphd` processes, real Unix
+//! sockets, real kills.
+//!
+//! Covers the durability story the unit tests cannot: SIGTERM mid-job
+//! flushes the in-progress cell to the content-addressed cache, and a
+//! restarted daemon serves the killed sweep's completed cells with
+//! fingerprints identical to an uninterrupted run; a poisoned cell
+//! (`ARCHGRAPH_BENCH_PANIC_CELL`) surfaces as a structured error while
+//! the rest of the grid — and the daemon — keep going.
+//!
+//! Cells are tiny structured specs (color, p=2, n≈128) so the whole
+//! file stays fast in debug builds. Assertions are written to hold
+//! under any worker/signal interleaving.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use archgraph_bench::cells::{CellSpec, Kernel, MachineKind};
+use archgraphd::json::Json;
+
+const DAEMON: &str = env!("CARGO_BIN_EXE_archgraphd");
+const CLIENT: &str = env!("CARGO_BIN_EXE_archgraph-client");
+
+/// Kill-on-drop guard so a failing test never leaks a daemon process.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("archgraphd-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp root");
+    dir
+}
+
+fn start_daemon(root: &Path, jobs: usize, extra_env: &[(&str, &str)]) -> Daemon {
+    let socket = root.join("archgraphd.sock");
+    let mut cmd = Command::new(DAEMON);
+    cmd.args([
+        "--socket",
+        socket.to_str().unwrap(),
+        "--jobs",
+        &jobs.to_string(),
+        "--cache-dir",
+        root.join("cache").to_str().unwrap(),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    // The daemon must not inherit ambient knobs from the test harness.
+    .env_remove("ARCHGRAPH_FAULTS")
+    .env_remove("ARCHGRAPH_BENCH_PANIC_CELL");
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let child = cmd.spawn().expect("spawn archgraphd");
+    let daemon = Daemon { child, socket };
+    // Readiness: the socket file appears once the listener is bound.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !daemon.socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon
+}
+
+fn dial(daemon: &Daemon) -> (BufReader<UnixStream>, UnixStream) {
+    let stream = UnixStream::connect(&daemon.socket).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    (
+        BufReader::new(stream.try_clone().expect("clone stream")),
+        stream,
+    )
+}
+
+fn send(w: &mut UnixStream, line: &str) {
+    writeln!(w, "{line}").expect("send request");
+    w.flush().expect("flush request");
+}
+
+fn recv(r: &mut BufReader<UnixStream>) -> Json {
+    let mut line = String::new();
+    r.read_line(&mut line).expect("read reply line");
+    assert!(!line.is_empty(), "daemon closed the stream unexpectedly");
+    Json::parse(line.trim_end()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+}
+
+fn spec(n: usize) -> CellSpec {
+    let mut s = CellSpec::new(Kernel::Color, MachineKind::Mta, 2);
+    s.n = n;
+    s.m = 3 * n;
+    s
+}
+
+fn submit_line(ns: &[usize]) -> String {
+    let cells: Vec<String> = ns
+        .iter()
+        .map(|n| {
+            format!(
+                r#"{{"kernel":"color","machine":"mta","p":2,"n":{n},"m":{}}}"#,
+                3 * n
+            )
+        })
+        .collect();
+    format!(r#"{{"op":"submit","cells":[{}]}}"#, cells.join(","))
+}
+
+/// The reference fingerprint, computed in-process: what the daemon's
+/// streamed `sim` object must match exactly.
+fn reference_sim(n: usize) -> Vec<(String, u64)> {
+    spec(n)
+        .run()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+fn sim_pairs(cell: &Json) -> Vec<(String, u64)> {
+    cell.get("sim")
+        .and_then(Json::as_obj)
+        .expect("cell has a sim object")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.as_u64().expect("integer sim value")))
+        .collect()
+}
+
+/// Collect one job's streamed events: the accepted line, every cell
+/// line, and the done line.
+fn run_job(daemon: &Daemon, request: &str) -> (Vec<Json>, Json) {
+    let (mut r, mut w) = dial(daemon);
+    send(&mut w, request);
+    let accepted = recv(&mut r);
+    assert_eq!(
+        accepted.get("type").and_then(Json::as_str),
+        Some("accepted"),
+        "{accepted:?}"
+    );
+    let mut cells = Vec::new();
+    loop {
+        let ev = recv(&mut r);
+        match ev.get("type").and_then(Json::as_str) {
+            Some("cell") => cells.push(ev),
+            Some("done") => return (cells, ev),
+            other => panic!("unexpected stream event {other:?}: {ev:?}"),
+        }
+    }
+}
+
+fn shutdown_and_reap(mut daemon: Daemon) {
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, r#"{"op":"shutdown"}"#);
+    let bye = recv(&mut r);
+    assert_eq!(bye.get("type").and_then(Json::as_str), Some("bye"));
+    // Reaping here makes the Drop guard's kill a no-op.
+    let status = daemon.child.wait().expect("wait for daemon exit");
+    assert!(status.success(), "clean shutdown must exit 0, got {status}");
+    assert!(
+        !daemon.socket.exists(),
+        "shutdown must remove the socket file"
+    );
+}
+
+#[test]
+fn submit_streams_results_then_caches_then_shuts_down_cleanly() {
+    let root = temp_root("roundtrip");
+    let daemon = start_daemon(&root, 2, &[]);
+
+    // Fresh run: both cells simulated, fingerprints match in-process runs.
+    let (cells, done) = run_job(&daemon, &submit_line(&[128, 160]));
+    assert_eq!(cells.len(), 2);
+    for cell in &cells {
+        assert_eq!(cell.get("cached"), Some(&Json::Bool(false)));
+        let n = if cell.get("index").and_then(Json::as_u64) == Some(0) {
+            128
+        } else {
+            160
+        };
+        assert_eq!(
+            sim_pairs(cell),
+            reference_sim(n),
+            "daemon-served fingerprints must equal direct execution"
+        );
+    }
+    assert_eq!(done.get("ok").and_then(Json::as_u64), Some(2));
+    assert_eq!(done.get("cached").and_then(Json::as_u64), Some(0));
+
+    // Resubmit: served from the content-addressed cache, same values.
+    let (cells, done) = run_job(&daemon, &submit_line(&[128, 160]));
+    for cell in &cells {
+        assert_eq!(cell.get("cached"), Some(&Json::Bool(true)), "{cell:?}");
+    }
+    assert_eq!(done.get("cached").and_then(Json::as_u64), Some(2));
+
+    // An engine-pinned variant of the same experiment is the same cell:
+    // determinism makes the cache key engine-independent.
+    let pinned = r#"{"op":"submit","cells":[{"kernel":"color","machine":"mta","engine":"compiled","p":2,"n":128,"m":384}]}"#;
+    let (cells, _) = run_job(&daemon, pinned);
+    assert_eq!(cells[0].get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(sim_pairs(&cells[0]), reference_sim(128));
+
+    // Malformed input is a structured reject that keeps the connection.
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, "this is not json");
+    let err = recv(&mut r);
+    assert_eq!(err.get("type").and_then(Json::as_str), Some("error"));
+    send(
+        &mut w,
+        r#"{"op":"submit","cells":[{"cell":"no/such/cell"}]}"#,
+    );
+    let err = recv(&mut r);
+    assert_eq!(err.get("type").and_then(Json::as_str), Some("error"));
+    send(&mut w, r#"{"op":"ping"}"#);
+    assert_eq!(
+        recv(&mut r).get("type").and_then(Json::as_str),
+        Some("pong")
+    );
+
+    shutdown_and_reap(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn sigterm_mid_job_flushes_the_cache_and_resume_is_identical() {
+    let root = temp_root("killresume");
+    let sizes = [128usize, 144, 160, 176];
+    let daemon = start_daemon(&root, 1, &[]);
+
+    // Stream the job; after the first completed cell arrives, SIGTERM the
+    // daemon mid-sweep. (The first cell is durably cached before its
+    // result line is sent, so at least that much must survive.)
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, &submit_line(&sizes));
+    let accepted = recv(&mut r);
+    assert_eq!(
+        accepted.get("type").and_then(Json::as_str),
+        Some("accepted")
+    );
+    let first = recv(&mut r);
+    assert_eq!(first.get("type").and_then(Json::as_str), Some("cell"));
+    let first_sim = sim_pairs(&first);
+
+    let pid = daemon.child.id().to_string();
+    // Child::kill sends SIGKILL; go through kill(1) for a real SIGTERM.
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("run kill");
+    assert!(killed.success());
+
+    // The drain streams whatever it can (completed or cancelled cells,
+    // ideally the done line) and the daemon exits cleanly.
+    let mut drained = Vec::new();
+    loop {
+        let mut line = String::new();
+        match r.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                let ev = Json::parse(line.trim_end()).expect("drain lines stay well-formed");
+                let done = ev.get("type").and_then(Json::as_str) == Some("done");
+                drained.push(ev);
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("wait for killed daemon");
+    assert!(
+        status.success(),
+        "graceful SIGTERM drain must exit 0, got {status}"
+    );
+    drop(daemon);
+    for ev in &drained {
+        if ev.get("type").and_then(Json::as_str) == Some("cell") {
+            assert!(
+                ev.get("error").is_none(),
+                "a drain must cancel, not fail, unfinished cells: {ev:?}"
+            );
+        }
+    }
+
+    // Restart on the same socket path (stale file reclaim) and cache dir;
+    // the resumed sweep completes with byte-identical fingerprints, and
+    // the cells that finished before the kill are served from the cache.
+    let daemon = start_daemon(&root, 1, &[]);
+    let (cells, done) = run_job(&daemon, &submit_line(&sizes));
+    assert_eq!(cells.len(), sizes.len());
+    assert_eq!(
+        done.get("ok").and_then(Json::as_u64),
+        Some(sizes.len() as u64)
+    );
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(0));
+    let cached = done.get("cached").and_then(Json::as_u64).unwrap();
+    assert!(
+        cached >= 1,
+        "the pre-kill cell must resume from the cache, got cached={cached}"
+    );
+    for cell in &cells {
+        let idx = cell.get("index").and_then(Json::as_u64).unwrap() as usize;
+        assert_eq!(
+            sim_pairs(cell),
+            reference_sim(sizes[idx]),
+            "resumed fingerprints must match an uninterrupted run"
+        );
+    }
+    assert_eq!(sim_pairs(&cells[0]), first_sim, "pre-kill result unchanged");
+    assert_eq!(cells[0].get("cached"), Some(&Json::Bool(true)));
+
+    shutdown_and_reap(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn a_poisoned_cell_fails_structurally_and_the_grid_survives() {
+    let root = temp_root("poison");
+    // Poison the middle cell by its display name (the canonical spec
+    // string, since these structured specs are off the bench suite).
+    let poisoned = spec(144).display_name();
+    let daemon = start_daemon(
+        &root,
+        1,
+        &[("ARCHGRAPH_BENCH_PANIC_CELL", poisoned.as_str())],
+    );
+
+    let (cells, done) = run_job(&daemon, &submit_line(&[128, 144, 160]));
+    assert_eq!(cells.len(), 3, "the grid finishes around the poisoned cell");
+    for cell in &cells {
+        let idx = cell.get("index").and_then(Json::as_u64).unwrap();
+        if idx == 1 {
+            let msg = cell
+                .get("error")
+                .and_then(Json::as_str)
+                .expect("poisoned cell carries a structured error");
+            assert!(msg.contains("deliberate panic"), "{msg}");
+        } else {
+            assert_eq!(cell.get("cached"), Some(&Json::Bool(false)));
+            assert!(cell.get("sim").is_some());
+        }
+    }
+    assert_eq!(done.get("ok").and_then(Json::as_u64), Some(2));
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(1));
+
+    // The daemon survived the panic; failures were not cached, so the
+    // poisoned cell re-runs (and fails again), while its neighbours hit.
+    let (cells, done) = run_job(&daemon, &submit_line(&[128, 144, 160]));
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(1));
+    assert_eq!(done.get("cached").and_then(Json::as_u64), Some(2));
+    assert!(
+        cells.iter().any(|c| c.get("error").is_some()),
+        "failure repeats, never cached"
+    );
+
+    shutdown_and_reap(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn the_client_cli_round_trips_the_protocol() {
+    let root = temp_root("client");
+    let daemon = start_daemon(&root, 1, &[]);
+    let sock = daemon.socket.to_str().unwrap().to_string();
+
+    let ping = Command::new(CLIENT)
+        .args(["--socket", &sock, "ping"])
+        .output()
+        .expect("run client ping");
+    assert!(ping.status.success(), "{ping:?}");
+    assert!(String::from_utf8_lossy(&ping.stdout).contains(r#""type":"pong""#));
+
+    let submit = Command::new(CLIENT)
+        .args([
+            "--socket",
+            &sock,
+            "submit-json",
+            r#"{"kernel":"color","machine":"mta","p":2,"n":128,"m":384}"#,
+        ])
+        .output()
+        .expect("run client submit-json");
+    assert!(submit.status.success(), "{submit:?}");
+    let out = String::from_utf8_lossy(&submit.stdout);
+    assert!(out.contains(r#""type":"accepted""#), "{out}");
+    assert!(out.contains(r#""type":"cell""#), "{out}");
+    assert!(out.contains(r#""type":"done""#), "{out}");
+
+    // Unknown cells are a protocol error -> client exits 1.
+    let bad = Command::new(CLIENT)
+        .args(["--socket", &sock, "submit", "no/such/cell"])
+        .output()
+        .expect("run client bad submit");
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+
+    // An unreachable daemon is exit 3.
+    let gone = Command::new(CLIENT)
+        .args(["--socket", root.join("nope.sock").to_str().unwrap(), "ping"])
+        .output()
+        .expect("run client against nothing");
+    assert_eq!(gone.status.code(), Some(3), "{gone:?}");
+
+    // Shutdown through the client; the daemon exits 0 and removes its
+    // socket.
+    let bye = Command::new(CLIENT)
+        .args(["--socket", &sock, "shutdown"])
+        .output()
+        .expect("run client shutdown");
+    assert!(bye.status.success(), "{bye:?}");
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("daemon exit");
+    assert!(status.success(), "{status}");
+    assert!(!daemon.socket.exists());
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}

@@ -14,6 +14,9 @@ fn mean(r: &[(usize, usize, f64)]) -> f64 {
 }
 
 fn main() {
+    // Graceful SIGTERM/SIGINT: finish and flush the in-progress
+    // checkpoint cell, then exit at the next cell boundary.
+    archgraph_bench::signals::install_graceful();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_or_usage(&args, "all [smoke|default|full]");
     let p = *last_or_exit(&scale.procs(), "processor grid");

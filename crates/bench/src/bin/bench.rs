@@ -30,19 +30,14 @@
 
 use std::time::Instant;
 
-use archgraph_bench::sweep;
-use archgraph_bench::workloads::ListKind;
-use archgraph_bench::{fig1, fig2, kernels, table1};
-use archgraph_mta_sim::machine::{with_engine, MtaEngine};
+use archgraph_bench::cells::{bench_suite, Fingerprint};
+use archgraph_bench::{signals, sweep};
 
 /// Schema version written into the JSON; bump on any layout change.
 const SCHEMA: u64 = 1;
 
 /// Default output path — the committed baseline at the repo root.
 const DEFAULT_OUT: &str = "BENCH_archgraph.json";
-
-/// Exact simulated-quantity fingerprint: `(label, value)` pairs.
-type Fingerprint = Vec<(&'static str, u64)>;
 
 /// One cell: a stable name plus either the timed result (minimum
 /// wall-clock seconds and the exact simulated-quantity fingerprint) or
@@ -83,218 +78,20 @@ fn time_cell<F: Fn() -> Fingerprint>(name: &'static str, reps: usize, f: F) -> C
     }
 }
 
-fn mta_fingerprint(report: &archgraph_mta_sim::report::RunReport) -> Vec<(&'static str, u64)> {
-    vec![("cycles", report.cycles), ("issued", report.issued)]
-}
-
-/// Table-1 cells additionally pin utilization (the table's own quantity)
-/// in parts-per-million. It is a deterministic integer ratio of the other
-/// two fingerprints, rounded, so it is exact across hosts.
-fn table1_fingerprint(report: &archgraph_mta_sim::report::RunReport) -> Vec<(&'static str, u64)> {
-    vec![
-        ("cycles", report.cycles),
-        ("issued", report.issued),
-        ("util_ppm", (report.utilization * 1e6).round() as u64),
-    ]
-}
-
-fn smp_fingerprint(stats: &archgraph_smp_sim::stats::RunStats) -> Vec<(&'static str, u64)> {
-    vec![
-        ("instructions", stats.instructions),
-        ("accesses", stats.accesses()),
-    ]
-}
-
+/// The suite itself lives in `archgraph_bench::cells::bench_suite` so the
+/// `archgraphd` daemon executes the *same* specs through the *same* entry
+/// point — the CI daemon smoke leg diffs daemon-served fingerprints
+/// against this binary's output byte-for-byte. Sizes and engine pins are
+/// documented there; the JSON this binary writes is unchanged.
 fn run_cells(reps: usize) -> Vec<CellResult> {
-    // Sizes are chosen so the whole suite runs in tens of seconds in a
-    // release build: large enough that per-cell time is dominated by the
-    // interpreter/simulator loops, small enough to stay CI-friendly.
-    const N_LIST: usize = 1 << 15;
-    const N_GRAPH: usize = 1 << 11;
-    const M_GRAPH: usize = 5 << 11;
-    const N_TREE: usize = 1 << 13;
-    // MTA cells are pinned to an explicit engine so a change to the
-    // session default cannot silently re-time (or re-fingerprint) a
-    // baseline recorded under another engine. The `mta-compiled` cells
-    // run the same workloads through `MtaEngine::Compiled`; their `sim`
-    // fingerprints must stay byte-identical to the trace-engine cells —
-    // that identity is the bench-side echo of the differential suite.
-    // The `mta-partitioned` cells do the same through the windowed
-    // parallel engine; the worker count is deliberately left to the
-    // ambient setting (ARCHGRAPH_MTA_WORKERS, else host parallelism)
-    // because the `sim` fingerprint must be identical for every worker
-    // count — scripts/ci.sh re-runs the suite at W=1 and W=4 and diffs
-    // the fingerprint lines byte-for-byte.
-    vec![
-        time_cell("fig1/mta/random/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta/ordered/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta/random/p1", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta-compiled/random/p8", reps, || {
-            with_engine(MtaEngine::Compiled, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta-compiled/ordered/p8", reps, || {
-            with_engine(MtaEngine::Compiled, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta-compiled/random/p1", reps, || {
-            with_engine(MtaEngine::Compiled, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta-partitioned/random/p8", reps, || {
-            with_engine(MtaEngine::Partitioned, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 8, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta-partitioned/ordered/p8", reps, || {
-            with_engine(MtaEngine::Partitioned, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Ordered, 8, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/mta-partitioned/random/p1", reps, || {
-            with_engine(MtaEngine::Partitioned, || {
-                mta_fingerprint(&fig1::mta_cell(ListKind::Random, 1, N_LIST).report)
-            })
-        }),
-        time_cell("fig1/smp/random/p8", reps, || {
-            smp_fingerprint(&fig1::smp_cell(ListKind::Random, 8, N_LIST).stats)
-        }),
-        time_cell("fig1/smp/ordered/p8", reps, || {
-            smp_fingerprint(&fig1::smp_cell(ListKind::Ordered, 8, N_LIST).stats)
-        }),
-        time_cell("fig2/mta/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
-            })
-        }),
-        time_cell("fig2/mta-compiled/p8", reps, || {
-            with_engine(MtaEngine::Compiled, || {
-                mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
-            })
-        }),
-        time_cell("fig2/mta-partitioned/p8", reps, || {
-            with_engine(MtaEngine::Partitioned, || {
-                mta_fingerprint(&fig2::mta_cell(8, N_GRAPH, M_GRAPH).report)
-            })
-        }),
-        time_cell("fig2/smp/p8", reps, || {
-            smp_fingerprint(&fig2::smp_cell(8, N_GRAPH, M_GRAPH).stats)
-        }),
-        time_cell("table1/mta/random/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                table1_fingerprint(&table1::bench_list_cell(ListKind::Random, 8, N_LIST))
-            })
-        }),
-        time_cell("table1/mta/ordered/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                table1_fingerprint(&table1::bench_list_cell(ListKind::Ordered, 8, N_LIST))
-            })
-        }),
-        time_cell("table1/mta/cc/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                table1_fingerprint(&table1::bench_cc_cell(8, N_GRAPH, M_GRAPH))
-            })
-        }),
-        // --- kernel ladder: coloring, BFS, promoted applications. The
-        // MTA cells pin `rounds`/`levels` alongside cycles+issued; the
-        // engine-variant cells must fingerprint byte-identically to the
-        // trace cells, exactly as for fig1/fig2.
-        time_cell("color/mta/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                let r = kernels::color_mta_cell(8, N_GRAPH, M_GRAPH);
-                let mut fp = mta_fingerprint(&r.report);
-                fp.push(("rounds", r.rounds as u64));
-                fp
-            })
-        }),
-        time_cell("color/mta-compiled/p8", reps, || {
-            with_engine(MtaEngine::Compiled, || {
-                let r = kernels::color_mta_cell(8, N_GRAPH, M_GRAPH);
-                let mut fp = mta_fingerprint(&r.report);
-                fp.push(("rounds", r.rounds as u64));
-                fp
-            })
-        }),
-        time_cell("color/mta-partitioned/p8", reps, || {
-            with_engine(MtaEngine::Partitioned, || {
-                let r = kernels::color_mta_cell(8, N_GRAPH, M_GRAPH);
-                let mut fp = mta_fingerprint(&r.report);
-                fp.push(("rounds", r.rounds as u64));
-                fp
-            })
-        }),
-        time_cell("color/smp/p8", reps, || {
-            let r = kernels::color_smp_cell(8, N_GRAPH, M_GRAPH);
-            let mut fp = smp_fingerprint(&r.stats);
-            fp.push(("rounds", r.rounds as u64));
-            fp
-        }),
-        time_cell("bfs/mta/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                let r = kernels::bfs_mta_cell(8, N_GRAPH, M_GRAPH);
-                let mut fp = mta_fingerprint(&r.report);
-                fp.push(("levels", r.level_count as u64));
-                fp
-            })
-        }),
-        time_cell("bfs/mta-compiled/p8", reps, || {
-            with_engine(MtaEngine::Compiled, || {
-                let r = kernels::bfs_mta_cell(8, N_GRAPH, M_GRAPH);
-                let mut fp = mta_fingerprint(&r.report);
-                fp.push(("levels", r.level_count as u64));
-                fp
-            })
-        }),
-        time_cell("bfs/mta-partitioned/p8", reps, || {
-            with_engine(MtaEngine::Partitioned, || {
-                let r = kernels::bfs_mta_cell(8, N_GRAPH, M_GRAPH);
-                let mut fp = mta_fingerprint(&r.report);
-                fp.push(("levels", r.level_count as u64));
-                fp
-            })
-        }),
-        time_cell("bfs/smp/p8", reps, || {
-            let r = kernels::bfs_smp_cell(8, N_GRAPH, M_GRAPH);
-            let mut fp = smp_fingerprint(&r.stats);
-            fp.push(("levels", r.level_count as u64));
-            fp
-        }),
-        time_cell("euler/mta/p8", reps, || {
-            with_engine(MtaEngine::Trace, || {
-                mta_fingerprint(&kernels::euler_mta_cell(8, N_TREE).report)
-            })
-        }),
-        time_cell("euler/smp/p8", reps, || {
-            smp_fingerprint(&kernels::euler_smp_cell(8, N_TREE).stats)
-        }),
-        time_cell("msf/native", reps, || {
-            let r = kernels::msf_native_cell(N_GRAPH, M_GRAPH);
-            vec![("weight", r.weight), ("tree_edges", r.tree_edges)]
-        }),
-        time_cell("biconn/native", reps, || {
-            let r = kernels::biconn_native_cell(N_GRAPH, M_GRAPH);
-            vec![
-                ("blocks", r.blocks),
-                ("bridges", r.bridges),
-                ("cut_vertices", r.cut_vertices),
-            ]
-        }),
-    ]
+    let mut out = Vec::new();
+    for (name, spec) in bench_suite() {
+        // A SIGTERM/SIGINT between cells exits promptly (nothing here is
+        // checkpointed — the JSON is only written after a full suite).
+        signals::exit_if_pending();
+        out.push(time_cell(name, reps, || spec.run()));
+    }
+    out
 }
 
 /// Escape a string for a JSON literal (quotes, backslashes, control
@@ -358,6 +155,9 @@ fn to_json(cells: &[CellResult], reps: usize) -> String {
 }
 
 fn main() {
+    // Graceful SIGTERM/SIGINT: finish the in-progress cell, then exit at
+    // the next cell boundary instead of dying mid-measurement.
+    signals::install_graceful();
     let mut out_path = DEFAULT_OUT.to_string();
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);

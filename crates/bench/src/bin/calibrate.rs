@@ -37,6 +37,9 @@ fn cal_cell(
 }
 
 fn main() {
+    // Graceful SIGTERM/SIGINT: finish and flush the in-progress
+    // checkpoint cell, then exit at the next cell boundary.
+    archgraph_bench::signals::install_graceful();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_or_usage(&args, "calibrate [smoke|default|full]");
     let smp = SmpParams::sun_e4500();

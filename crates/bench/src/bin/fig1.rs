@@ -45,6 +45,9 @@ fn print_panel(title: &str, series: &[Series], sizes: &[usize], procs: &[usize])
 const USAGE: &str = "fig1 [smoke|default|full] [--arch mta|smp|both] [--csv]";
 
 fn main() {
+    // Graceful SIGTERM/SIGINT: finish and flush the in-progress
+    // checkpoint cell, then exit at the next cell boundary.
+    archgraph_bench::signals::install_graceful();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut rest = Vec::new();
     let mut arch = "both".to_string();

@@ -10,6 +10,9 @@ use archgraph_bench::{scale_or_usage, table1};
 use archgraph_core::report::{fmt_percent, Table};
 
 fn main() {
+    // Graceful SIGTERM/SIGINT: finish and flush the in-progress
+    // checkpoint cell, then exit at the next cell boundary.
+    archgraph_bench::signals::install_graceful();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_or_usage(&args, "table1 [smoke|default|full]");
     eprintln!("computing Table 1 utilizations ({scale:?})...");

@@ -1,0 +1,627 @@
+//! Bench cells as data: a validated [`CellSpec`] plus [`run`](CellSpec::run),
+//! callable from any driver — the `--bin bench` regression driver, the
+//! `archgraphd` sweep daemon, or a test — with byte-identical `sim`
+//! fingerprints everywhere.
+//!
+//! Before this module the cell list lived inline in `bin/bench.rs` as
+//! thirty hand-written closures, so nothing else could execute "the cell
+//! named `fig1/mta/random/p8`" without re-deriving its workload, engine
+//! pin, and fingerprint layout. Now [`bench_suite`] *is* that list, the
+//! bench binary iterates it, and the daemon executes the same specs
+//! through the same entry point — the CI smoke leg diffs the two outputs
+//! to prove the identity end-to-end.
+//!
+//! # Content-addressed cache keys
+//!
+//! [`CellSpec::cache_key`] hashes the *result-determining* fields only:
+//! kernel, machine, processor count, and problem size (plus the fault
+//! plan, which perturbs simulated quantities by design). Engine and
+//! worker count are deliberately **excluded**: the workspace's
+//! determinism contract (PRs 2–6, enforced by the differential suites
+//! and the bench baseline) is that all four MTA engines at every worker
+//! count produce bit-identical simulated fingerprints, so
+//! `fig1/mta/random/p8` and `fig1/mta-compiled/random/p8` are the same
+//! cached result. The cycle budget is also excluded — it only decides
+//! whether a run *fails*, and failures are never cached.
+
+use archgraph_core::error::with_max_cycles;
+use archgraph_mta_sim::machine::{with_engine, with_workers, MtaEngine};
+
+use crate::workloads::ListKind;
+use crate::{fig1, fig2, kernels, table1};
+
+/// Exact simulated-quantity fingerprint: `(label, value)` pairs in a
+/// stable order (the order they render into bench JSON).
+pub type Fingerprint = Vec<(&'static str, u64)>;
+
+/// Which workload a cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Fig. 1 list ranking over the given list layout.
+    Fig1(ListKind),
+    /// Fig. 2 connected components (Shiloach–Vishkin / spanning walks).
+    Fig2,
+    /// Table 1 utilization, list-ranking workload.
+    Table1List(ListKind),
+    /// Table 1 utilization, connected-components workload.
+    Table1Cc,
+    /// Speculative (speculate-then-fix) graph coloring.
+    Color,
+    /// Load-balanced frontier BFS.
+    Bfs,
+    /// Euler-tour list ranking on a random tree.
+    Euler,
+    /// Minimum spanning forest (Borůvka-over-SV), native execution.
+    Msf,
+    /// Tarjan–Vishkin biconnected components, native execution.
+    Biconn,
+}
+
+impl Kernel {
+    /// Stable lowercase name used in specs and canonical strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Fig1(ListKind::Random) => "fig1-random",
+            Kernel::Fig1(ListKind::Ordered) => "fig1-ordered",
+            Kernel::Fig2 => "fig2",
+            Kernel::Table1List(ListKind::Random) => "table1-random",
+            Kernel::Table1List(ListKind::Ordered) => "table1-ordered",
+            Kernel::Table1Cc => "table1-cc",
+            Kernel::Color => "color",
+            Kernel::Bfs => "bfs",
+            Kernel::Euler => "euler",
+            Kernel::Msf => "msf",
+            Kernel::Biconn => "biconn",
+        }
+    }
+
+    /// Parse a spec-facing kernel name (the inverse of [`Kernel::name`]).
+    pub fn parse(s: &str) -> Option<Kernel> {
+        Some(match s {
+            "fig1-random" => Kernel::Fig1(ListKind::Random),
+            "fig1-ordered" => Kernel::Fig1(ListKind::Ordered),
+            "fig2" => Kernel::Fig2,
+            "table1-random" => Kernel::Table1List(ListKind::Random),
+            "table1-ordered" => Kernel::Table1List(ListKind::Ordered),
+            "table1-cc" => Kernel::Table1Cc,
+            "color" => Kernel::Color,
+            "bfs" => Kernel::Bfs,
+            "euler" => Kernel::Euler,
+            "msf" => Kernel::Msf,
+            "biconn" => Kernel::Biconn,
+            _ => return None,
+        })
+    }
+}
+
+/// Which execution substrate a cell runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// The simulated Cray MTA-2.
+    Mta,
+    /// The simulated Sun E4500 SMP.
+    Smp,
+    /// Native host execution (deterministic integer fingerprints).
+    Native,
+}
+
+impl MachineKind {
+    /// Stable lowercase name used in specs and canonical strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::Mta => "mta",
+            MachineKind::Smp => "smp",
+            MachineKind::Native => "native",
+        }
+    }
+
+    /// Parse a spec-facing machine name.
+    pub fn parse(s: &str) -> Option<MachineKind> {
+        Some(match s {
+            "mta" => MachineKind::Mta,
+            "smp" => MachineKind::Smp,
+            "native" => MachineKind::Native,
+            _ => return None,
+        })
+    }
+}
+
+/// One executable bench cell. `engine`/`workers`/`max_cycles` are scoped
+/// overrides applied around the run when `Some`; `None` leaves the
+/// ambient configuration (environment variable or default) in charge,
+/// matching the historical behaviour of `--bin bench` exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// The workload.
+    pub kernel: Kernel,
+    /// The substrate it runs on.
+    pub machine: MachineKind,
+    /// MTA engine pin ([`MachineKind::Mta`] only; ignored elsewhere).
+    pub engine: Option<MtaEngine>,
+    /// Partitioned-engine worker count (never affects simulated results).
+    pub workers: Option<usize>,
+    /// Simulated processor count (0 for native cells).
+    pub p: usize,
+    /// Problem size: list/tree vertices, or graph vertices.
+    pub n: usize,
+    /// Edge count for graph kernels (0 where meaningless).
+    pub m: usize,
+    /// Cycle-watchdog budget override for this cell, if any.
+    pub max_cycles: Option<u64>,
+    /// Fault plan spec (`<spec>:<seed>`, see `ARCHGRAPH_FAULTS`), if the
+    /// cell should run on a perturbed memory system. Validated before
+    /// running; part of the cache key.
+    pub faults: Option<String>,
+}
+
+/// Default problem sizes, shared with the committed bench baseline. The
+/// whole suite must run in tens of seconds in a release build.
+pub mod sizes {
+    /// List length for fig1/table1 list-ranking cells.
+    pub const N_LIST: usize = 1 << 15;
+    /// Graph vertices for fig2/table1-cc/color/bfs/msf/biconn cells.
+    pub const N_GRAPH: usize = 1 << 11;
+    /// Graph edges for the same cells.
+    pub const M_GRAPH: usize = 5 << 11;
+    /// Tree vertices for the Euler cells.
+    pub const N_TREE: usize = 1 << 13;
+}
+
+impl CellSpec {
+    /// A spec with everything ambient: the kernel's default bench size,
+    /// no engine pin, no overrides.
+    pub fn new(kernel: Kernel, machine: MachineKind, p: usize) -> CellSpec {
+        let (n, m) = default_size(kernel);
+        CellSpec {
+            kernel,
+            machine,
+            engine: None,
+            workers: None,
+            p,
+            n,
+            m,
+            max_cycles: None,
+            faults: None,
+        }
+    }
+
+    /// Validate the spec: combination, sizes, bounds, fault grammar.
+    /// Returns a human-readable reason on rejection — the daemon turns
+    /// this into a structured protocol error.
+    pub fn validate(&self) -> Result<(), String> {
+        let native_ok = matches!(self.kernel, Kernel::Msf | Kernel::Biconn);
+        match self.machine {
+            MachineKind::Native if !native_ok => {
+                return Err(format!("kernel {} has no native cell", self.kernel.name()));
+            }
+            MachineKind::Mta | MachineKind::Smp if native_ok => {
+                return Err(format!(
+                    "kernel {} only has a native cell",
+                    self.kernel.name()
+                ));
+            }
+            _ => {}
+        }
+        if matches!(self.kernel, Kernel::Table1List(_) | Kernel::Table1Cc)
+            && self.machine != MachineKind::Mta
+        {
+            return Err("table1 cells are MTA-only (the table is MTA utilization)".into());
+        }
+        if self.machine != MachineKind::Native && (self.p == 0 || self.p > 64) {
+            return Err(format!("p={} out of range (1..=64)", self.p));
+        }
+        if self.n < 2 || self.n > (1 << 24) {
+            return Err(format!("n={} out of range (2..=2^24)", self.n));
+        }
+        let graphish = matches!(
+            self.kernel,
+            Kernel::Fig2
+                | Kernel::Table1Cc
+                | Kernel::Color
+                | Kernel::Bfs
+                | Kernel::Msf
+                | Kernel::Biconn
+        );
+        if graphish && (self.m == 0 || self.m > (1 << 26)) {
+            return Err(format!("m={} out of range (1..=2^26)", self.m));
+        }
+        if let Some(w) = self.workers {
+            if w == 0 || w > 256 {
+                return Err(format!("workers={w} out of range (1..=256)"));
+            }
+        }
+        if self.max_cycles == Some(0) {
+            return Err("max_cycles=0 can never be satisfied".into());
+        }
+        if let Some(f) = &self.faults {
+            archgraph_mta_sim::FaultPlan::parse(f).map_err(|e| format!("faults: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Canonical result-determining string: the content address the
+    /// daemon's cache is keyed by. Excludes engine, workers, and cycle
+    /// budget — see the module docs for why that is sound.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v1 kernel={} machine={} p={} n={} m={} faults={}",
+            self.kernel.name(),
+            self.machine.name(),
+            self.p,
+            self.n,
+            self.m,
+            self.faults.as_deref().unwrap_or("-"),
+        )
+    }
+
+    /// FNV-1a hash of [`CellSpec::canonical`], as fixed-width hex: the
+    /// cache filename and the `key` field of daemon result lines.
+    pub fn cache_key(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Display name: the bench-suite name if this spec is one of the
+    /// suite's cells, else the canonical string.
+    pub fn display_name(&self) -> String {
+        for (name, spec) in bench_suite() {
+            if spec == *self {
+                return name.to_string();
+            }
+        }
+        self.canonical()
+    }
+
+    /// Execute the cell and produce its `sim` fingerprint. Scoped
+    /// overrides (engine, workers, cycle budget) are applied only where
+    /// `Some`; the fault plan is **not** applied here — callers that honor
+    /// `self.faults` (the daemon) wrap this in `with_fault_plan`, while
+    /// `--bin bench` runs ambient like it always has. Panics on simulator
+    /// failure (watchdog, deadlock); run under `sweep::isolate`.
+    pub fn run(&self) -> Fingerprint {
+        let body = || self.dispatch();
+        let body = || match self.workers {
+            Some(w) => with_workers(w, body),
+            None => body(),
+        };
+        let body = || match self.engine {
+            Some(e) => with_engine(e, body),
+            None => body(),
+        };
+        match self.max_cycles {
+            Some(b) => with_max_cycles(b, body),
+            None => body(),
+        }
+    }
+
+    fn dispatch(&self) -> Fingerprint {
+        match (self.kernel, self.machine) {
+            (Kernel::Fig1(kind), MachineKind::Mta) => {
+                mta_fingerprint(&fig1::mta_cell(kind, self.p, self.n).report)
+            }
+            // `_` machine arms: validation already rejected native for
+            // the simulated-only kernels, so `_` here means SMP.
+            (Kernel::Fig1(kind), _) => smp_fingerprint(&fig1::smp_cell(kind, self.p, self.n).stats),
+            (Kernel::Fig2, MachineKind::Mta) => {
+                mta_fingerprint(&fig2::mta_cell(self.p, self.n, self.m).report)
+            }
+            (Kernel::Fig2, _) => smp_fingerprint(&fig2::smp_cell(self.p, self.n, self.m).stats),
+            (Kernel::Table1List(kind), _) => {
+                table1_fingerprint(&table1::bench_list_cell(kind, self.p, self.n))
+            }
+            (Kernel::Table1Cc, _) => {
+                table1_fingerprint(&table1::bench_cc_cell(self.p, self.n, self.m))
+            }
+            (Kernel::Color, MachineKind::Mta) => {
+                let r = kernels::color_mta_cell(self.p, self.n, self.m);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("rounds", r.rounds as u64));
+                fp
+            }
+            (Kernel::Color, _) => {
+                let r = kernels::color_smp_cell(self.p, self.n, self.m);
+                let mut fp = smp_fingerprint(&r.stats);
+                fp.push(("rounds", r.rounds as u64));
+                fp
+            }
+            (Kernel::Bfs, MachineKind::Mta) => {
+                let r = kernels::bfs_mta_cell(self.p, self.n, self.m);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("levels", r.level_count as u64));
+                fp
+            }
+            (Kernel::Bfs, _) => {
+                let r = kernels::bfs_smp_cell(self.p, self.n, self.m);
+                let mut fp = smp_fingerprint(&r.stats);
+                fp.push(("levels", r.level_count as u64));
+                fp
+            }
+            (Kernel::Euler, MachineKind::Mta) => {
+                mta_fingerprint(&kernels::euler_mta_cell(self.p, self.n).report)
+            }
+            (Kernel::Euler, _) => smp_fingerprint(&kernels::euler_smp_cell(self.p, self.n).stats),
+            (Kernel::Msf, _) => {
+                let r = kernels::msf_native_cell(self.n, self.m);
+                vec![("weight", r.weight), ("tree_edges", r.tree_edges)]
+            }
+            (Kernel::Biconn, _) => {
+                let r = kernels::biconn_native_cell(self.n, self.m);
+                vec![
+                    ("blocks", r.blocks),
+                    ("bridges", r.bridges),
+                    ("cut_vertices", r.cut_vertices),
+                ]
+            }
+        }
+    }
+}
+
+/// Default `(n, m)` for a kernel: the committed bench-baseline sizes.
+pub fn default_size(kernel: Kernel) -> (usize, usize) {
+    use sizes::*;
+    match kernel {
+        Kernel::Fig1(_) | Kernel::Table1List(_) => (N_LIST, 0),
+        Kernel::Fig2
+        | Kernel::Table1Cc
+        | Kernel::Color
+        | Kernel::Bfs
+        | Kernel::Msf
+        | Kernel::Biconn => (N_GRAPH, M_GRAPH),
+        Kernel::Euler => (N_TREE, 0),
+    }
+}
+
+fn mta_fingerprint(report: &archgraph_mta_sim::report::RunReport) -> Fingerprint {
+    vec![("cycles", report.cycles), ("issued", report.issued)]
+}
+
+/// Table-1 cells additionally pin utilization (the table's own quantity)
+/// in parts-per-million: a deterministic integer ratio of the other two
+/// fingerprints, rounded, so it is exact across hosts.
+fn table1_fingerprint(report: &archgraph_mta_sim::report::RunReport) -> Fingerprint {
+    vec![
+        ("cycles", report.cycles),
+        ("issued", report.issued),
+        ("util_ppm", (report.utilization * 1e6).round() as u64),
+    ]
+}
+
+fn smp_fingerprint(stats: &archgraph_smp_sim::stats::RunStats) -> Fingerprint {
+    vec![
+        ("instructions", stats.instructions),
+        ("accesses", stats.accesses()),
+    ]
+}
+
+/// The bench regression suite: every cell `--bin bench` times, as
+/// `(stable name, spec)` pairs in baseline order. MTA cells are pinned
+/// to an explicit engine so a change to the session default cannot
+/// silently re-fingerprint a baseline recorded under another engine;
+/// the `mta-partitioned` cells deliberately leave the worker count
+/// ambient because the fingerprint must be identical at every W (the
+/// ci.sh W=1-vs-W=4 diff enforces it).
+pub fn bench_suite() -> Vec<(&'static str, CellSpec)> {
+    let mta = |kernel, p| {
+        let mut s = CellSpec::new(kernel, MachineKind::Mta, p);
+        s.engine = Some(MtaEngine::Trace);
+        s
+    };
+    let mta_eng = |kernel, p, e| {
+        let mut s = CellSpec::new(kernel, MachineKind::Mta, p);
+        s.engine = Some(e);
+        s
+    };
+    let smp = |kernel, p| CellSpec::new(kernel, MachineKind::Smp, p);
+    let native = |kernel| CellSpec::new(kernel, MachineKind::Native, 0);
+    use Kernel::*;
+    use ListKind::{Ordered, Random};
+    use MtaEngine::{Compiled, Partitioned};
+    vec![
+        ("fig1/mta/random/p8", mta(Fig1(Random), 8)),
+        ("fig1/mta/ordered/p8", mta(Fig1(Ordered), 8)),
+        ("fig1/mta/random/p1", mta(Fig1(Random), 1)),
+        (
+            "fig1/mta-compiled/random/p8",
+            mta_eng(Fig1(Random), 8, Compiled),
+        ),
+        (
+            "fig1/mta-compiled/ordered/p8",
+            mta_eng(Fig1(Ordered), 8, Compiled),
+        ),
+        (
+            "fig1/mta-compiled/random/p1",
+            mta_eng(Fig1(Random), 1, Compiled),
+        ),
+        (
+            "fig1/mta-partitioned/random/p8",
+            mta_eng(Fig1(Random), 8, Partitioned),
+        ),
+        (
+            "fig1/mta-partitioned/ordered/p8",
+            mta_eng(Fig1(Ordered), 8, Partitioned),
+        ),
+        (
+            "fig1/mta-partitioned/random/p1",
+            mta_eng(Fig1(Random), 1, Partitioned),
+        ),
+        ("fig1/smp/random/p8", smp(Fig1(Random), 8)),
+        ("fig1/smp/ordered/p8", smp(Fig1(Ordered), 8)),
+        ("fig2/mta/p8", mta(Fig2, 8)),
+        ("fig2/mta-compiled/p8", mta_eng(Fig2, 8, Compiled)),
+        ("fig2/mta-partitioned/p8", mta_eng(Fig2, 8, Partitioned)),
+        ("fig2/smp/p8", smp(Fig2, 8)),
+        ("table1/mta/random/p8", mta(Table1List(Random), 8)),
+        ("table1/mta/ordered/p8", mta(Table1List(Ordered), 8)),
+        ("table1/mta/cc/p8", mta(Table1Cc, 8)),
+        ("color/mta/p8", mta(Color, 8)),
+        ("color/mta-compiled/p8", mta_eng(Color, 8, Compiled)),
+        ("color/mta-partitioned/p8", mta_eng(Color, 8, Partitioned)),
+        ("color/smp/p8", smp(Color, 8)),
+        ("bfs/mta/p8", mta(Bfs, 8)),
+        ("bfs/mta-compiled/p8", mta_eng(Bfs, 8, Compiled)),
+        ("bfs/mta-partitioned/p8", mta_eng(Bfs, 8, Partitioned)),
+        ("bfs/smp/p8", smp(Bfs, 8)),
+        ("euler/mta/p8", mta(Euler, 8)),
+        ("euler/smp/p8", smp(Euler, 8)),
+        ("msf/native", native(Msf)),
+        ("biconn/native", native(Biconn)),
+    ]
+}
+
+/// Look up a bench-suite cell by its stable name.
+pub fn find(name: &str) -> Option<CellSpec> {
+    bench_suite()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| s)
+}
+
+/// Parse an MTA engine name as specs spell it.
+pub fn parse_engine(s: &str) -> Option<MtaEngine> {
+    Some(match s {
+        "trace" => MtaEngine::Trace,
+        "single-step" | "single_step" | "oracle" => MtaEngine::SingleStep,
+        "compiled" | "threaded" => MtaEngine::Compiled,
+        "partitioned" | "parallel" => MtaEngine::Partitioned,
+        _ => return None,
+    })
+}
+
+/// Spell an MTA engine the way [`parse_engine`] reads it.
+pub fn engine_name(e: MtaEngine) -> &'static str {
+    match e {
+        MtaEngine::Trace => "trace",
+        MtaEngine::SingleStep => "single-step",
+        MtaEngine::Compiled => "compiled",
+        MtaEngine::Partitioned => "partitioned",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_unique_and_specs_valid() {
+        let suite = bench_suite();
+        assert_eq!(suite.len(), 30, "the committed baseline has 30 cells");
+        let mut names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len(), "duplicate cell name");
+        for (name, spec) in &suite {
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_engine_and_workers_but_not_size() {
+        let a = find("fig2/mta/p8").unwrap();
+        let b = find("fig2/mta-compiled/p8").unwrap();
+        let c = find("fig2/mta-partitioned/p8").unwrap();
+        assert_eq!(a.cache_key(), b.cache_key(), "engines share one result");
+        assert_eq!(a.cache_key(), c.cache_key());
+        let mut w4 = c.clone();
+        w4.workers = Some(4);
+        assert_eq!(
+            a.cache_key(),
+            w4.cache_key(),
+            "workers never change results"
+        );
+
+        let mut bigger = a.clone();
+        bigger.n *= 2;
+        assert_ne!(a.cache_key(), bigger.cache_key());
+        let mut faulty = a.clone();
+        faulty.faults = Some("mem-latency=30,rate=1:9".into());
+        assert_ne!(a.cache_key(), faulty.cache_key(), "faults change results");
+        let smp = find("fig2/smp/p8").unwrap();
+        assert_ne!(a.cache_key(), smp.cache_key(), "machines differ");
+    }
+
+    #[test]
+    fn validation_rejects_bad_combinations() {
+        let bad = CellSpec::new(Kernel::Msf, MachineKind::Mta, 8);
+        assert!(bad.validate().is_err(), "msf has no MTA cell");
+        let bad = CellSpec::new(Kernel::Color, MachineKind::Native, 0);
+        assert!(bad.validate().is_err(), "color has no native cell");
+        let mut bad = CellSpec::new(Kernel::Color, MachineKind::Mta, 0);
+        assert!(bad.validate().is_err(), "p=0 on a simulated machine");
+        bad.p = 2;
+        bad.faults = Some("bogus".into());
+        assert!(bad.validate().is_err(), "malformed fault plan");
+        bad.faults = Some("mem-latency=30,rate=1:9".into());
+        assert!(bad.validate().is_ok());
+        bad.max_cycles = Some(0);
+        assert!(bad.validate().is_err(), "zero budget");
+    }
+
+    #[test]
+    fn run_matches_the_kernel_entry_points() {
+        // The spec path must produce exactly what the direct cell calls
+        // produce — this is the identity `--bin bench` and the daemon
+        // both lean on.
+        let mut spec = CellSpec::new(Kernel::Color, MachineKind::Mta, 2);
+        spec.engine = Some(MtaEngine::Trace);
+        spec.n = 128;
+        spec.m = 384;
+        let fp = spec.run();
+        let direct = with_engine(MtaEngine::Trace, || kernels::color_mta_cell(2, 128, 384));
+        assert_eq!(
+            fp,
+            vec![
+                ("cycles", direct.report.cycles),
+                ("issued", direct.report.issued),
+                ("rounds", direct.rounds as u64)
+            ]
+        );
+    }
+
+    #[test]
+    fn run_honours_a_cycle_budget() {
+        let mut spec = CellSpec::new(Kernel::Bfs, MachineKind::Mta, 2);
+        spec.engine = Some(MtaEngine::Trace);
+        spec.n = 128;
+        spec.m = 384;
+        spec.max_cycles = Some(10);
+        let err = crate::sweep::isolate("budget", || spec.run())
+            .expect_err("a 10-cycle budget must trip the watchdog");
+        assert!(
+            err.message.contains("cycle budget exceeded"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn display_name_round_trips_suite_cells() {
+        let spec = find("bfs/smp/p8").unwrap();
+        assert_eq!(spec.display_name(), "bfs/smp/p8");
+        let mut off_suite = spec.clone();
+        off_suite.n = 64;
+        off_suite.m = 128;
+        assert_eq!(off_suite.display_name(), off_suite.canonical());
+    }
+
+    #[test]
+    fn kernel_and_machine_names_round_trip() {
+        for (_, spec) in bench_suite() {
+            assert_eq!(Kernel::parse(spec.kernel.name()), Some(spec.kernel));
+            assert_eq!(MachineKind::parse(spec.machine.name()), Some(spec.machine));
+        }
+        assert_eq!(Kernel::parse("nope"), None);
+        assert_eq!(MachineKind::parse("gpu"), None);
+        for e in [
+            MtaEngine::Trace,
+            MtaEngine::SingleStep,
+            MtaEngine::Compiled,
+            MtaEngine::Partitioned,
+        ] {
+            assert_eq!(parse_engine(engine_name(e)), Some(e));
+        }
+    }
+}

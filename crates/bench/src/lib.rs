@@ -9,16 +9,19 @@
 
 #![warn(missing_docs)]
 
+pub mod cells;
 pub mod fig1;
 pub mod fig2;
 pub mod grid;
 pub mod guard;
 pub mod kernels;
 pub mod scale;
+pub mod signals;
 pub mod sweep;
 pub mod table1;
 pub mod workloads;
 
+pub use cells::{bench_suite, CellSpec, Fingerprint, Kernel, MachineKind};
 pub use guard::{first_or_exit, last_or_exit, series_or_exit};
 pub use scale::{parse_scale_args, scale_or_usage, usage_error, Scale};
 pub use sweep::{CellFailure, CellOutcome, CellPoint, Checkpoint, PanelSweep};

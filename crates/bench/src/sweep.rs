@@ -245,10 +245,21 @@ impl Checkpoint {
 
     /// Record `cell` as completed. Best-effort: a full disk degrades to a
     /// non-resumable sweep, it must not fail the run.
+    ///
+    /// The write is atomic (temp file in the same directory, then
+    /// rename): a signal or crash landing mid-write can therefore never
+    /// leave a torn checkpoint that a resume would silently discard —
+    /// either the old state or the complete new cell is on disk.
     pub fn record(&self, cell: &str, payload: &str) {
         let Some(p) = self.path(cell) else { return };
-        if let Err(e) = std::fs::write(&p, payload) {
+        let mut tmp_name = p.as_os_str().to_os_string();
+        tmp_name.push(".inflight");
+        let tmp = PathBuf::from(tmp_name);
+        let write_and_rename =
+            std::fs::write(&tmp, payload).and_then(|()| std::fs::rename(&tmp, &p));
+        if let Err(e) = write_and_rename {
             eprintln!("warning: cannot write checkpoint {}: {e}", p.display());
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 
@@ -289,6 +300,12 @@ pub fn isolate<R>(cell: &str, f: impl FnOnce() -> R) -> CellOutcome<R> {
 
 /// [`isolate`] plus checkpointing for point-shaped cells: a cell already
 /// recorded by an interrupted run is restored without re-simulating.
+///
+/// This is also the drivers' graceful-shutdown flush point: when a
+/// SIGTERM/SIGINT arrived (and the driver installed the
+/// [`crate::signals`] handlers), the in-progress cell completes, its
+/// checkpoint is recorded, and the process exits — so a killed `--full`
+/// sweep resumes from every cell that finished, losing none.
 pub fn point_cell(
     ck: &Checkpoint,
     cell: &str,
@@ -296,11 +313,14 @@ pub fn point_cell(
 ) -> CellOutcome<CellPoint> {
     if let Some(payload) = ck.lookup(cell) {
         if let Some(pt) = CellPoint::decode(&payload) {
+            crate::signals::exit_if_pending();
             return Ok(pt);
         }
     }
+    crate::signals::exit_if_pending();
     let pt = isolate(cell, f)?;
     ck.record(cell, &pt.encode());
+    crate::signals::exit_if_pending();
     Ok(pt)
 }
 
@@ -434,6 +454,25 @@ mod tests {
         let third = point_cell(&ck, "a/b", cell).expect("cell reruns");
         assert_eq!(third, first);
         assert_eq!(runs.load(Ordering::SeqCst), 2, "clear() forgot the cell");
+        ck.clear();
+    }
+
+    #[test]
+    fn record_is_atomic_and_leaves_no_temp_files() {
+        let ck = temp_store("atomic");
+        ck.record("a/b", "1 2 3|ok");
+        let dir = ck.dir.as_ref().expect("store enabled");
+        let names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.ends_with(".inflight")),
+            "temp file left behind: {names:?}"
+        );
+        // Overwrite through the same rename path; payload fully replaced.
+        ck.record("a/b", "4 5 6|new");
+        assert_eq!(ck.lookup("a/b"), Some("4 5 6|new".to_string()));
         ck.clear();
     }
 

@@ -72,6 +72,29 @@ pub struct FaultPlan {
     rate_log2: u32,
 }
 
+std::thread_local! {
+    static FAULT_OVERRIDE: std::cell::RefCell<Option<Option<FaultPlan>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with every [`Memory`] constructed on this thread using exactly
+/// `plan` — `Some(plan)` injects that plan, `None` forces a clean memory
+/// even when [`FAULTS_ENV`] is set in the ambient environment. The sweep
+/// daemon uses this so a job's fault plan is part of its spec, never
+/// inherited from the daemon's environment (its result cache is keyed by
+/// the spec, so an ambient plan leaking in would poison the cache).
+/// Panic-safe and nestable; the previous override is restored on exit.
+pub fn with_fault_plan<R>(plan: Option<FaultPlan>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Option<FaultPlan>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FAULT_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(FAULT_OVERRIDE.with(|c| c.borrow_mut().replace(plan)));
+    f()
+}
+
 /// SplitMix64 finalizer: a cheap, well-mixed hash so "one address in 2^k"
 /// picks an arbitrary-looking but fully deterministic subset.
 fn mix(mut x: u64) -> u64 {
@@ -142,6 +165,17 @@ impl FaultPlan {
                     .map(|s| FaultPlan::parse(&s).unwrap_or_else(|e| panic!("{FAULTS_ENV}: {e}")))
             })
             .as_ref()
+    }
+
+    /// The plan for newly constructed memories on this thread: the
+    /// [`with_fault_plan`] override if one is active (its `None` forces a
+    /// clean memory even when [`FAULTS_ENV`] is set), else the
+    /// environment plan.
+    pub(crate) fn configured() -> Option<FaultPlan> {
+        if let Some(forced) = FAULT_OVERRIDE.with(|c| c.borrow().clone()) {
+            return forced;
+        }
+        FaultPlan::from_env().cloned()
     }
 
     /// Is `addr` in the affected subset? Pure function of `(addr, seed)`.
@@ -350,6 +384,25 @@ mod tests {
                 assert_eq!(p.stuck_tag(a), None);
             }
         }
+    }
+
+    #[test]
+    fn with_fault_plan_scopes_the_override() {
+        let plan = FaultPlan::parse("mem-latency=30,rate=0:7").unwrap();
+        let ambient = FaultPlan::configured();
+        // Some(plan): new memories pick up exactly this plan.
+        let seen = with_fault_plan(Some(plan.clone()), || Memory::new(4).fault_plan().cloned());
+        assert_eq!(seen, Some(plan.clone()));
+        // None forces a clean memory regardless of the environment, and
+        // nesting restores the outer override on exit.
+        let (inner_clean, outer_again) = with_fault_plan(Some(plan.clone()), || {
+            let clean = with_fault_plan(None, || Memory::new(4).fault_plan().cloned());
+            (clean, Memory::new(4).fault_plan().cloned())
+        });
+        assert_eq!(inner_clean, None);
+        assert_eq!(outer_again, Some(plan));
+        // Fully unwound: back to the ambient configuration.
+        assert_eq!(FaultPlan::configured(), ambient);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub(crate) mod wheel;
 pub mod word;
 
 pub use archgraph_core::error::{BlockedStream, SimError};
-pub use fault::FaultPlan;
+pub use fault::{with_fault_plan, FaultPlan};
 pub use machine::{with_engine, with_workers, MtaEngine, MtaMachine};
 pub use memory::Memory;
 pub use report::{EngineStats, RunReport};

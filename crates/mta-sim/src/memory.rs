@@ -49,13 +49,14 @@ pub struct Memory {
 
 impl Memory {
     /// A memory of `capacity` words, all full-of-zero. Picks up the
-    /// ambient fault plan (`ARCHGRAPH_FAULTS`), if one is configured.
+    /// configured fault plan: a scoped `with_fault_plan` override if one
+    /// is active on this thread, else the ambient `ARCHGRAPH_FAULTS`.
     pub fn new(capacity: usize) -> Self {
         Memory {
             words: vec![Word::default(); capacity],
             next_free: 0,
             counters: MemCounters::default(),
-            fault: FaultPlan::from_env().cloned(),
+            fault: FaultPlan::configured(),
         }
     }
 

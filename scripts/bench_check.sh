@@ -27,6 +27,15 @@
 #   With an argument, compares that file instead of running the driver —
 #   useful for inspecting a run you already have.
 #
+# Exit codes:
+#   0  fingerprints identical, times within tolerance
+#   1  fingerprint drift or wall-clock regression
+#   2  STALE BASELINE — the committed baseline's cell *names* no longer
+#      match what the bench binary emits (cells were added, removed, or
+#      renamed without refreshing BENCH_archgraph.json). Distinct from 1
+#      so CI and developers can tell "the simulators changed behaviour"
+#      apart from "someone forgot to re-record the baseline".
+#
 # Refresh the baseline (after an intentional perf or behaviour change):
 #   cargo run --release --offline -p archgraph-bench --bin bench
 #   git add BENCH_archgraph.json
@@ -60,6 +69,7 @@ fresh = json.load(open(fresh_path))
 
 failures = []
 warnings = []
+stale = []  # baseline cell-name drift: exit 2, not 1
 rows = []  # (name, fresh s, baseline s, fingerprint status, time status)
 
 if base.get("schema") != fresh.get("schema"):
@@ -73,12 +83,12 @@ fcells = {c["name"]: c for c in fresh.get("cells", [])}
 
 for name in sorted(set(bcells) | set(fcells)):
     if name not in fcells:
-        failures.append(f"{name}: present in baseline but missing from fresh run")
-        rows.append((name, None, bcells[name]["host_seconds"], "missing", "-"))
+        stale.append(f"{name}: committed in the baseline but the bench binary no longer emits it")
+        rows.append((name, None, bcells[name].get("host_seconds"), "stale", "-"))
         continue
     if name not in bcells:
-        failures.append(f"{name}: new cell not in baseline (refresh the baseline)")
-        rows.append((name, fcells[name]["host_seconds"], None, "new", "-"))
+        stale.append(f"{name}: emitted by the bench binary but missing from the committed baseline")
+        rows.append((name, fcells[name].get("host_seconds"), None, "new", "-"))
         continue
     b, f = bcells[name], fcells[name]
     fp_ok = b["sim"] == f["sim"]
@@ -113,9 +123,14 @@ if summary:
 
 for w in warnings:
     print(f"  warn {w}")
+for msg in failures:
+    print(f"  FAIL {msg}", file=sys.stderr)
+for msg in stale:
+    print(f"  STALE {msg}", file=sys.stderr)
+if stale:
+    print("bench_check: stale baseline — refresh BENCH_archgraph.json and commit it", file=sys.stderr)
+    sys.exit(2)
 if failures:
-    for msg in failures:
-        print(f"  FAIL {msg}", file=sys.stderr)
     sys.exit(1)
 print("bench_check: all cells within tolerance, fingerprints identical")
 EOF

@@ -80,6 +80,13 @@ if ! diff <(grep '"sim"' "$w1") <(grep '"sim"' "$w4"); then
     exit 1
 fi
 
+echo "== archgraphd daemon smoke =="
+# Serve two of the same suite cells through the daemon and diff the
+# streamed fingerprints byte-for-byte against the W=1 bench output from
+# the previous leg; replay must be fully cache-served; shutdown must be
+# clean (exit 0, socket removed). See scripts/daemon_smoke.sh.
+scripts/daemon_smoke.sh "$w1"
+
 echo "== bench regression check =="
 scripts/bench_check.sh
 

@@ -1,0 +1,215 @@
+#!/usr/bin/env bash
+# Nightly daemon soak: a larger sweep through archgraphd, killed halfway
+# and resumed, proving the kill/restart path end to end.
+#
+#   1. reference leg — serve a multi-cell job through a daemon with a
+#      fresh cache, uninterrupted; record the stream and the throughput;
+#   2. interrupt leg — serve the same job through a second daemon (own
+#      fresh cache), SIGTERM it mid-stream, and assert it drains
+#      gracefully (exit 0);
+#   3. resume leg — restart the daemon on the same cache dir and socket,
+#      resubmit, and assert the job completes with fingerprints
+#      byte-identical to the reference leg (and to the committed bench
+#      baseline for the suite cells), with the pre-kill cells served
+#      from the cache;
+#   4. write the three streams plus a machine-readable summary under
+#      $OUT_DIR (uploaded as a CI artifact) and, when
+#      GITHUB_STEP_SUMMARY is set, append a markdown table.
+#
+# Usage:  scripts/daemon_nightly.sh [OUT_DIR]   (default: daemon-nightly)
+
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+OUT_DIR="${1:-daemon-nightly}"
+mkdir -p "$OUT_DIR"
+
+# A representative slice of the bench suite: both machines, all MTA
+# engine pins, list/graph/tree workloads. Big enough that a SIGTERM
+# lands mid-sweep with --jobs 1, small enough for a nightly runner.
+CELLS=(
+    fig1/mta/random/p8
+    fig1/mta-compiled/random/p8
+    fig1/mta-partitioned/random/p8
+    fig1/smp/random/p8
+    fig2/mta/p8
+    fig2/smp/p8
+    table1/mta/cc/p8
+    color/mta/p8
+    color/smp/p8
+    bfs/mta/p8
+    bfs/smp/p8
+    euler/mta/p8
+)
+
+DAEMON=target/release/archgraphd
+CLIENT=target/release/archgraph-client
+if [[ ! -x "$DAEMON" || ! -x "$CLIENT" ]]; then
+    cargo build --release --offline -p archgraphd
+fi
+
+WORK="$(mktemp -d /tmp/archgraphd-nightly.XXXXXX)"
+DPID=""
+cleanup() {
+    if [[ -n "$DPID" ]] && kill -0 "$DPID" 2>/dev/null; then
+        kill "$DPID" 2>/dev/null || true
+        wait "$DPID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() { # $1 = socket, $2 = cache dir
+    "$DAEMON" --socket "$1" --jobs 1 --max-queue 128 --cache-dir "$2" &
+    DPID=$!
+    for _ in $(seq 1 300); do
+        [[ -S "$1" ]] && return 0
+        kill -0 "$DPID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "daemon_nightly: FAIL — daemon did not come up on $1" >&2
+    exit 1
+}
+
+stop_daemon() { # clean shutdown through the client; daemon must exit 0
+    "$CLIENT" --socket "$1" shutdown > /dev/null
+    wait "$DPID"
+    DPID=""
+}
+
+echo "== reference leg: uninterrupted sweep =="
+SOCK_A="$WORK/a.sock"
+start_daemon "$SOCK_A" "$WORK/cache-a"
+t0=$(date +%s)
+"$CLIENT" --socket "$SOCK_A" submit "${CELLS[@]}" > "$OUT_DIR/reference.jsonl"
+t1=$(date +%s)
+stop_daemon "$SOCK_A"
+REF_SECONDS=$((t1 - t0))
+echo "-- reference sweep: ${#CELLS[@]} cells in ${REF_SECONDS}s"
+
+echo "== interrupt leg: SIGTERM mid-sweep =="
+SOCK_B="$WORK/b.sock"
+start_daemon "$SOCK_B" "$WORK/cache-b"
+"$CLIENT" --socket "$SOCK_B" submit "${CELLS[@]}" > "$OUT_DIR/interrupted.jsonl" &
+CPID=$!
+# Kill the daemon once a few cells have streamed (mid-sweep by construction).
+for _ in $(seq 1 600); do
+    done_cells=$(grep -c '"type":"cell"' "$OUT_DIR/interrupted.jsonl" 2>/dev/null || true)
+    [[ "${done_cells:-0}" -ge 3 ]] && break
+    sleep 0.2
+done
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "daemon_nightly: FAIL — SIGTERM drain exited nonzero" >&2
+    exit 1
+fi
+DPID=""
+wait "$CPID" || true # the client may see a truncated stream; that's the point
+if [[ -e "$SOCK_B" ]]; then
+    echo "daemon_nightly: FAIL — drained daemon left its socket behind" >&2
+    exit 1
+fi
+
+echo "== resume leg: restart on the same cache =="
+start_daemon "$SOCK_B" "$WORK/cache-b"
+"$CLIENT" --socket "$SOCK_B" submit "${CELLS[@]}" > "$OUT_DIR/resumed.jsonl"
+stop_daemon "$SOCK_B"
+
+python3 - "$OUT_DIR" "$REF_SECONDS" BENCH_archgraph.json <<'EOF'
+import json, os, sys
+
+out_dir, ref_seconds, baseline_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+def cells_of(path):
+    cells, done = {}, None
+    for line in open(path):
+        ev = json.loads(line)
+        if ev.get("type") == "cell" and "sim" in ev:
+            cells[ev["name"]] = ev
+        elif ev.get("type") == "done":
+            done = ev
+    return cells, done
+
+ref, ref_done = cells_of(os.path.join(out_dir, "reference.jsonl"))
+pre_kill, _ = cells_of(os.path.join(out_dir, "interrupted.jsonl"))
+res, res_done = cells_of(os.path.join(out_dir, "resumed.jsonl"))
+
+fails = []
+if ref_done is None or ref_done["failed"] or ref_done["cancelled"]:
+    fails.append(f"reference leg did not complete cleanly: {ref_done}")
+if res_done is None or res_done["failed"] or res_done["cancelled"]:
+    fails.append(f"resumed leg did not complete cleanly: {res_done}")
+if set(ref) != set(res):
+    fails.append(f"cell sets differ: {sorted(set(ref) ^ set(res))}")
+for name, ev in sorted(res.items()):
+    if name in ref and ev["sim"] != ref[name]["sim"]:
+        fails.append(
+            f"{name}: resumed fingerprint {ev['sim']} != reference {ref[name]['sim']}"
+        )
+# Cells that finished before the kill must resume from the cache, with
+# the values recorded pre-kill.
+for name, ev in sorted(pre_kill.items()):
+    if name not in res:
+        continue
+    if not res[name]["cached"]:
+        fails.append(f"{name}: completed pre-kill but re-ran on resume")
+    if res[name]["sim"] != ev["sim"]:
+        fails.append(f"{name}: pre-kill fingerprint changed on resume")
+if not pre_kill:
+    fails.append("no cells completed before the kill — the kill landed too early")
+cached = res_done["cached"] if res_done else 0
+if cached < len(pre_kill):
+    fails.append(f"resume cached {cached} < {len(pre_kill)} pre-kill cells")
+
+# Suite cells must also match the committed bench baseline exactly.
+baseline = {c["name"]: c for c in json.load(open(baseline_path))["cells"]}
+for name, ev in sorted(res.items()):
+    if name in baseline and ev["sim"] != baseline[name]["sim"]:
+        fails.append(
+            f"{name}: daemon fingerprint {ev['sim']} != committed baseline {baseline[name]['sim']}"
+        )
+
+# Clamp to >= 1s so a sub-second sweep yields a finite lower bound.
+throughput = len(ref) * 60.0 / max(ref_seconds, 1)
+summary = {
+    "cells": len(ref),
+    "reference_seconds": ref_seconds,
+    "cells_per_minute": round(throughput, 1),
+    "completed_before_kill": len(pre_kill),
+    "cached_on_resume": cached,
+    "ok": not fails,
+    "failures": fails,
+}
+with open(os.path.join(out_dir, "summary.json"), "w") as fh:
+    json.dump(summary, fh, indent=2)
+    fh.write("\n")
+
+gh = os.environ.get("GITHUB_STEP_SUMMARY")
+if gh:
+    with open(gh, "a") as fh:
+        fh.write("### archgraphd nightly kill/resume\n\n")
+        fh.write(f"- cells: **{len(ref)}**, reference sweep: **{ref_seconds}s** ")
+        fh.write(f"(~{summary['cells_per_minute']} cells/min through the daemon)\n")
+        fh.write(f"- completed before SIGTERM: **{len(pre_kill)}**, cache-served on resume: **{cached}**\n\n")
+        fh.write("| cell | sim (resumed) | cached on resume | identical to reference |\n")
+        fh.write("|---|---|---|---|\n")
+        for name, ev in sorted(res.items()):
+            same = "yes" if name in ref and ev["sim"] == ref[name]["sim"] else "NO"
+            fh.write(f"| {name} | `{json.dumps(ev['sim'])}` | {str(ev['cached']).lower()} | {same} |\n")
+        fh.write("\n")
+        if fails:
+            fh.write("**FAILURES:**\n\n")
+            for f in fails:
+                fh.write(f"- {f}\n")
+
+for f in fails:
+    print(f"  FAIL {f}", file=sys.stderr)
+if fails:
+    sys.exit(1)
+print(
+    f"daemon_nightly: {len(res)} cells resumed identically "
+    f"({len(pre_kill)} pre-kill cells cache-served, ~{summary['cells_per_minute']} cells/min)"
+)
+EOF
+
+echo "daemon_nightly: all legs passed (results in $OUT_DIR/)"

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Daemon smoke leg: prove archgraphd serves the exact same experiment the
+# bench driver runs, end to end over the wire.
+#
+#   1. start archgraphd on a temp Unix socket with a fresh cache;
+#   2. submit two bench-suite cells through archgraph-client and assert
+#      every streamed "sim" fingerprint is BYTE-identical to the same
+#      cell in a --bin bench output (passed as $1);
+#   3. resubmit the same cells and assert both are served with
+#      "cached":true and the identical fingerprints;
+#   4. shut the daemon down through the client and assert it exits 0 and
+#      removes its socket file.
+#
+# Usage:  scripts/daemon_smoke.sh BENCH_JSON
+#   BENCH_JSON is any bench driver output containing the probed cells
+#   (ci.sh passes the W=1 run it already produced for the partitioned
+#   identity leg).
+
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+BENCH_JSON="${1:?usage: scripts/daemon_smoke.sh BENCH_JSON}"
+CELLS=(fig2/mta/p8 bfs/smp/p8)
+
+DAEMON=target/release/archgraphd
+CLIENT=target/release/archgraph-client
+if [[ ! -x "$DAEMON" || ! -x "$CLIENT" ]]; then
+    cargo build --release --offline -p archgraphd
+fi
+
+WORK="$(mktemp -d /tmp/archgraphd-smoke.XXXXXX)"
+SOCK="$WORK/archgraphd.sock"
+DPID=""
+cleanup() {
+    if [[ -n "$DPID" ]] && kill -0 "$DPID" 2>/dev/null; then
+        kill "$DPID" 2>/dev/null || true
+        wait "$DPID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$DAEMON" --socket "$SOCK" --jobs 2 --cache-dir "$WORK/cache" &
+DPID=$!
+for _ in $(seq 1 300); do
+    [[ -S "$SOCK" ]] && break
+    if ! kill -0 "$DPID" 2>/dev/null; then
+        echo "daemon_smoke: FAIL — daemon died before binding its socket" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -S "$SOCK" ]] || { echo "daemon_smoke: FAIL — socket never appeared" >&2; exit 1; }
+
+echo "-- submit (fresh): ${CELLS[*]}"
+"$CLIENT" --socket "$SOCK" submit "${CELLS[@]}" > "$WORK/first.jsonl"
+echo "-- submit (replay): ${CELLS[*]}"
+"$CLIENT" --socket "$SOCK" submit "${CELLS[@]}" > "$WORK/second.jsonl"
+
+python3 - "$BENCH_JSON" "$WORK/first.jsonl" "$WORK/second.jsonl" <<'EOF'
+import json, sys
+
+bench_path, first_path, second_path = sys.argv[1], sys.argv[2], sys.argv[3]
+bench = json.load(open(bench_path))
+bench_cells = {c["name"]: c for c in bench["cells"]}
+
+# Raw "sim" renderings from the bench JSON, for the byte-level check.
+bench_raw = {}
+current = None
+for line in open(bench_path):
+    s = line.strip()
+    if s.startswith('"name":'):
+        current = json.loads("{" + s.rstrip(",") + "}")["name"]
+    elif s.startswith('"sim":') and current is not None:
+        bench_raw[current] = s.split('"sim": ', 1)[1]
+
+def check(path, expect_cached):
+    seen = {}
+    for line in open(path):
+        ev = json.loads(line)
+        t = ev.get("type")
+        if t == "error":
+            sys.exit(f"daemon_smoke: FAIL — daemon error: {ev}")
+        if t == "done":
+            if ev["failed"] != 0 or ev["cancelled"] != 0:
+                sys.exit(f"daemon_smoke: FAIL — job not fully ok: {ev}")
+        if t != "cell":
+            continue
+        name = ev["name"]
+        if "error" in ev:
+            sys.exit(f"daemon_smoke: FAIL — cell {name} failed: {ev['error']}")
+        if ev["cached"] != expect_cached:
+            sys.exit(f"daemon_smoke: FAIL — {name}: cached={ev['cached']}, expected {expect_cached}")
+        if name not in bench_cells:
+            sys.exit(f"daemon_smoke: FAIL — {name} not in the bench output")
+        if ev["sim"] != bench_cells[name]["sim"]:
+            sys.exit(
+                f"daemon_smoke: FAIL — {name} fingerprint drift: "
+                f"daemon {ev['sim']} vs bench {bench_cells[name]['sim']}"
+            )
+        # Byte identity of the rendered sim object: the daemon line ends
+        # "...,\"sim\":{ ... }}" — strip the event's closing brace.
+        daemon_sim = line.split('"sim":', 1)[1].strip()
+        assert daemon_sim.endswith("}}"), daemon_sim
+        daemon_sim = daemon_sim[:-1]
+        if daemon_sim != bench_raw[name]:
+            sys.exit(
+                f"daemon_smoke: FAIL — {name} sim rendering differs byte-wise: "
+                f"daemon {daemon_sim!r} vs bench {bench_raw[name]!r}"
+            )
+        seen[name] = ev["sim"]
+    return seen
+
+first = check(first_path, expect_cached=False)
+second = check(second_path, expect_cached=True)
+if first != second:
+    sys.exit(f"daemon_smoke: FAIL — replay changed results: {first} vs {second}")
+if not first:
+    sys.exit("daemon_smoke: FAIL — no cell results streamed")
+print(f"daemon_smoke: {len(first)} cells byte-identical to bench, replay fully cached")
+EOF
+
+echo "-- shutdown"
+"$CLIENT" --socket "$SOCK" shutdown > /dev/null
+if ! wait "$DPID"; then
+    echo "daemon_smoke: FAIL — daemon exited nonzero on clean shutdown" >&2
+    exit 1
+fi
+DPID=""
+if [[ -e "$SOCK" ]]; then
+    echo "daemon_smoke: FAIL — socket file survived shutdown" >&2
+    exit 1
+fi
+echo "daemon_smoke: daemon served, cached, and shut down cleanly"
