@@ -1,16 +1,22 @@
 //! `archgraph-client` — thin CLI for talking to a running `archgraphd`.
 //!
 //! ```text
-//! archgraph-client (--socket PATH | --tcp ADDR) COMMAND [ARGS]
+//! archgraph-client (--socket PATH | --tcp ADDR) [--token SECRET] COMMAND [ARGS]
 //!
 //! commands:
 //!   ping                      liveness probe
-//!   status                    scheduler counters
+//!   status                    scheduler counters + cache footprint
+//!   list                      bench suite with per-cell cache status
 //!   shutdown                  ask the daemon to drain and exit
 //!   cancel JOB                cancel a job by id (e.g. j3)
-//!   submit CELL [CELL...]     run bench-suite cells by name
+//!   submit [--budget-cycles N] CELL [CELL...]
+//!                             run bench-suite cells by name, optionally
+//!                             metered by a job cycle budget
 //!   submit-json JSON          run raw cell specs (an object or array)
 //! ```
+//!
+//! `--token` sends the bearer token as the connection's first line, as
+//! required by a daemon started with `--token`.
 //!
 //! Every protocol line the daemon sends is echoed verbatim to stdout, so
 //! scripts can parse the stream directly. Exit status: 0 on success, 1
@@ -27,8 +33,9 @@ use archgraphd::server::{self, Endpoint};
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: archgraph-client (--socket PATH | --tcp ADDR) \
-         (ping | status | shutdown | cancel JOB | submit CELL... | submit-json JSON)"
+        "usage: archgraph-client (--socket PATH | --tcp ADDR) [--token SECRET] \
+         (ping | status | list | shutdown | cancel JOB | \
+         submit [--budget-cycles N] CELL... | submit-json JSON)"
     );
     exit(2);
 }
@@ -36,7 +43,7 @@ fn usage(msg: &str) -> ! {
 /// Build the request line, and whether the reply is a job stream.
 fn build_request(cmd: &str, rest: &[String]) -> (String, bool) {
     match cmd {
-        "ping" | "status" | "shutdown" => {
+        "ping" | "status" | "shutdown" | "list" => {
             if !rest.is_empty() {
                 usage(&format!("{cmd} takes no arguments"));
             }
@@ -50,6 +57,18 @@ fn build_request(cmd: &str, rest: &[String]) -> (String, bool) {
             _ => usage("cancel takes exactly one job id"),
         },
         "submit" => {
+            let mut rest = rest;
+            let mut budget = String::new();
+            if rest.first().map(String::as_str) == Some("--budget-cycles") {
+                if rest.len() < 2 {
+                    usage("--budget-cycles requires a value");
+                }
+                let n: u64 = rest[1]
+                    .parse()
+                    .unwrap_or_else(|_| usage("--budget-cycles requires an integer"));
+                budget = format!(r#","budget_cycles":{n}"#);
+                rest = &rest[2..];
+            }
             if rest.is_empty() {
                 usage("submit needs at least one bench cell name");
             }
@@ -58,7 +77,7 @@ fn build_request(cmd: &str, rest: &[String]) -> (String, bool) {
                 .map(|name| format!(r#"{{"cell":"{}"}}"#, escape(name)))
                 .collect();
             (
-                format!(r#"{{"op":"submit","cells":[{}]}}"#, cells.join(",")),
+                format!(r#"{{"op":"submit","cells":[{}]{budget}}}"#, cells.join(",")),
                 true,
             )
         }
@@ -88,7 +107,16 @@ fn main() {
         (Some("--tcp"), Some(a)) => Endpoint::Tcp(a.clone()),
         _ => usage("first arguments must be --socket PATH or --tcp ADDR"),
     };
-    let cmd = it.next().unwrap_or_else(|| usage("missing command"));
+    let mut token: Option<String> = None;
+    let mut cmd = it.next().unwrap_or_else(|| usage("missing command"));
+    if cmd == "--token" {
+        token = Some(
+            it.next()
+                .unwrap_or_else(|| usage("--token requires a value"))
+                .clone(),
+        );
+        cmd = it.next().unwrap_or_else(|| usage("missing command"));
+    }
     let rest: Vec<String> = it.cloned().collect();
     let (request, streams) = build_request(cmd, &rest);
 
@@ -107,6 +135,13 @@ fn main() {
         }
     });
     let mut w = conn;
+    // A token-gated daemon expects the bearer token as the first line.
+    if let Some(t) = &token {
+        if writeln!(w, "{t}").is_err() {
+            eprintln!("error: connection lost while authenticating");
+            exit(3);
+        }
+    }
     if writeln!(w, "{request}").and_then(|()| w.flush()).is_err() {
         eprintln!("error: connection lost while sending the request");
         exit(3);

@@ -22,6 +22,7 @@
 //! of the run, not of the spec.
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use archgraph_bench::sweep::Checkpoint;
 use archgraph_bench::CellSpec;
@@ -35,17 +36,49 @@ pub const CACHE_SPEC: &str = "archgraphd-cache-v1";
 /// in render order.
 pub type Sim = Vec<(String, u64)>;
 
+/// A point-in-time accounting of the cache, surfaced through `status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheUsage {
+    /// Entries currently on disk.
+    pub entries: usize,
+    /// Total payload bytes currently on disk.
+    pub bytes: u64,
+    /// Entries evicted by the size bound since the cache was opened.
+    pub evictions: u64,
+    /// Payload bytes reclaimed by those evictions.
+    pub evicted_bytes: u64,
+}
+
+/// Counters the eviction sweep accumulates over the cache's lifetime.
+#[derive(Debug, Default)]
+struct EvictionCounters {
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
 /// The daemon's on-disk result cache (or a disabled stand-in).
 #[derive(Debug)]
 pub struct Cache {
     store: Checkpoint,
+    /// Soft size bound in payload bytes; `None` means unbounded.
+    max_bytes: Option<u64>,
+    counters: Mutex<EvictionCounters>,
 }
 
 impl Cache {
-    /// Open (or create) the cache rooted at `dir`.
+    /// Open (or create) the cache rooted at `dir`, unbounded.
     pub fn open(dir: PathBuf) -> Cache {
+        Cache::open_bounded(dir, None)
+    }
+
+    /// Open (or create) the cache rooted at `dir`, evicting
+    /// least-recently-used entries (by file mtime) after each record
+    /// until the total payload size fits under `max_bytes`.
+    pub fn open_bounded(dir: PathBuf, max_bytes: Option<u64>) -> Cache {
         Cache {
             store: Checkpoint::at_spec(dir, CACHE_SPEC),
+            max_bytes,
+            counters: Mutex::new(EvictionCounters::default()),
         }
     }
 
@@ -53,6 +86,8 @@ impl Cache {
     pub fn disabled() -> Cache {
         Cache {
             store: Checkpoint::disabled(),
+            max_bytes: None,
+            counters: Mutex::new(EvictionCounters::default()),
         }
     }
 
@@ -64,14 +99,81 @@ impl Cache {
     /// The cached fingerprint for `spec`, if an equivalent cell (same
     /// content address) completed before. Undecodable entries read as
     /// misses — the cell simply re-runs and overwrites them.
+    ///
+    /// A hit re-records the payload so the entry's file mtime advances:
+    /// that is the "recently used" half of the LRU bound, and it keeps
+    /// hot suite cells resident while one-off sweeps age out.
     pub fn lookup(&self, spec: &CellSpec) -> Option<Sim> {
-        decode(&self.store.lookup(&spec.cache_key())?)
+        let payload = self.store.lookup(&spec.cache_key())?;
+        let sim = decode(&payload)?;
+        if self.max_bytes.is_some() {
+            self.store.record(&spec.cache_key(), &payload);
+        }
+        Some(sim)
+    }
+
+    /// Would `lookup` hit for `spec`? Unlike `lookup`, this does not
+    /// touch the entry's mtime — `list` probes every suite cell and
+    /// must not count as use.
+    pub fn contains(&self, spec: &CellSpec) -> bool {
+        self.store
+            .lookup(&spec.cache_key())
+            .map(|p| decode(&p).is_some())
+            .unwrap_or(false)
     }
 
     /// Record a successful run of `spec`. Best-effort, like checkpoint
     /// writes: a full disk degrades to a cacheless daemon, not a dead one.
+    /// When a size bound is set, sweeps oldest-first afterwards.
     pub fn record(&self, spec: &CellSpec, sim: &[(String, u64)]) {
         self.store.record(&spec.cache_key(), &encode(sim));
+        self.sweep();
+    }
+
+    /// Current on-disk footprint plus lifetime eviction counters.
+    pub fn usage(&self) -> CacheUsage {
+        let entries = self.store.entries();
+        let c = self.counters.lock().unwrap();
+        CacheUsage {
+            entries: entries.len(),
+            bytes: entries.iter().map(|e| e.bytes).sum(),
+            evictions: c.evictions,
+            evicted_bytes: c.evicted_bytes,
+        }
+    }
+
+    /// Evict least-recently-used entries until the total payload size is
+    /// within `max_bytes`. Eviction is always *safe* — the cache is a
+    /// pure memo over deterministic runs, so a victimised entry costs a
+    /// re-run, never a wrong answer. Ties on mtime break by name so the
+    /// victim order is deterministic on coarse-clock filesystems.
+    fn sweep(&self) {
+        let Some(max) = self.max_bytes else { return };
+        let mut entries = self.store.entries();
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        if total <= max {
+            return;
+        }
+        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.name.cmp(&b.name)));
+        let mut evicted = 0u64;
+        let mut evicted_bytes = 0u64;
+        for victim in &entries {
+            if total <= max {
+                break;
+            }
+            // Only count removals that actually landed: a concurrent
+            // sweep may have beaten us to this victim.
+            if self.store.remove(&victim.name) {
+                evicted += 1;
+                evicted_bytes += victim.bytes;
+            }
+            total = total.saturating_sub(victim.bytes);
+        }
+        if evicted > 0 {
+            let mut c = self.counters.lock().unwrap();
+            c.evictions += evicted;
+            c.evicted_bytes += evicted_bytes;
+        }
     }
 }
 
@@ -183,5 +285,94 @@ mod tests {
         let spec = find("msf/native").unwrap();
         cache.record(&spec, &[("weight".to_string(), 1)]);
         assert_eq!(cache.lookup(&spec), None);
+        assert!(!cache.contains(&spec));
+        assert_eq!(cache.usage(), CacheUsage::default());
+    }
+
+    fn temp_bounded(name: &str, max: u64) -> (Cache, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraphd-cache-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Cache::open_bounded(dir.clone(), Some(max)), dir)
+    }
+
+    /// One payload from `encode` for a single-pair sim is
+    /// `"v1 ok cycles=1"` = 14 bytes.
+    fn one_pair(v: u64) -> Sim {
+        vec![("cycles".to_string(), v)]
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let (cache, dir) = temp_cache("unbounded");
+        for name in ["fig2/mta/p8", "bfs/smp/p8", "color/mta/p8", "euler/smp/p8"] {
+            cache.record(&find(name).unwrap(), &one_pair(7));
+        }
+        let u = cache.usage();
+        assert_eq!(u.entries, 4);
+        assert_eq!(u.bytes, 4 * 14);
+        assert_eq!(u.evictions, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first() {
+        // Room for exactly two 14-byte payloads.
+        let (cache, dir) = temp_bounded("evict-order", 28);
+        let a = find("fig2/mta/p8").unwrap();
+        let b = find("bfs/smp/p8").unwrap();
+        let c = find("color/mta/p8").unwrap();
+        cache.record(&a, &one_pair(1));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cache.record(&b, &one_pair(2));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cache.record(&c, &one_pair(3));
+        assert!(!cache.contains(&a), "oldest entry is the victim");
+        assert!(cache.contains(&b));
+        assert!(cache.contains(&c));
+        let u = cache.usage();
+        assert_eq!((u.entries, u.bytes), (2, 28));
+        assert_eq!((u.evictions, u.evicted_bytes), (1, 14));
+        assert_eq!(cache.lookup(&a), None, "a miss after eviction just re-runs");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lookup_hits_refresh_recency() {
+        let (cache, dir) = temp_bounded("lru-touch", 28);
+        let a = find("fig2/mta/p8").unwrap();
+        let b = find("bfs/smp/p8").unwrap();
+        let c = find("color/mta/p8").unwrap();
+        cache.record(&a, &one_pair(1));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cache.record(&b, &one_pair(2));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Touch `a`: it becomes the most recently used entry...
+        assert_eq!(cache.lookup(&a), Some(one_pair(1)));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cache.record(&c, &one_pair(3));
+        // ...so the sweep for `c` victimises `b` instead.
+        assert!(cache.contains(&a), "touched entry survives");
+        assert!(!cache.contains(&b), "untouched entry is evicted");
+        assert!(cache.contains(&c));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn contains_does_not_refresh_recency() {
+        let (cache, dir) = temp_bounded("peek", 28);
+        let a = find("fig2/mta/p8").unwrap();
+        let b = find("bfs/smp/p8").unwrap();
+        let c = find("color/mta/p8").unwrap();
+        cache.record(&a, &one_pair(1));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cache.record(&b, &one_pair(2));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(cache.contains(&a), "peek sees the entry");
+        cache.record(&c, &one_pair(3));
+        assert!(!cache.contains(&a), "peek did not save `a` from eviction");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

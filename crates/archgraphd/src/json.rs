@@ -181,15 +181,39 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'b' => out.push('\u{8}'),
                     b'f' => out.push('\u{c}'),
                     b'u' => {
-                        let hex = b
-                            .get(*pos..*pos + 4)
-                            .ok_or("truncated \\u escape")
-                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
-                        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape hex")?;
-                        *pos += 4;
-                        // Surrogates are not paired — the protocol never
-                        // emits them; map to the replacement character.
-                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        let cp = parse_hex4(b, pos)?;
+                        let ch = match cp {
+                            // A high surrogate must pair with a low one
+                            // in an immediately following \u escape —
+                            // that is how standard encoders write any
+                            // non-BMP character (emoji included).
+                            0xD800..=0xDBFF => {
+                                if b.get(*pos..*pos + 2) != Some(br"\u") {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{cp:04X} (expected a \\uDC00-\\uDFFF continuation)"
+                                    ));
+                                }
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(format!(
+                                        "high surrogate \\u{cp:04X} followed by \\u{lo:04X}, not a low surrogate"
+                                    ));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined).ok_or_else(|| {
+                                    format!("bad surrogate pair \\u{cp:04X}\\u{lo:04X}")
+                                })?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                "lone low surrogate \\u{cp:04X} (not preceded by a high surrogate)"
+                            ))
+                            }
+                            _ => char::from_u32(cp)
+                                .ok_or_else(|| format!("invalid code point \\u{cp:04X}"))?,
+                        };
+                        out.push(ch);
                     }
                     other => return Err(format!("unknown escape \\{}", other as char)),
                 }
@@ -208,6 +232,18 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
         }
     }
     Err("unterminated string".into())
+}
+
+/// Read the four hex digits of a `\u` escape (cursor already past the
+/// `\u`), advancing the cursor.
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = b
+        .get(*pos..*pos + 4)
+        .ok_or("truncated \\u escape")
+        .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+    let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape hex")?;
+    *pos += 4;
+    Ok(cp)
 }
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
@@ -295,6 +331,37 @@ mod tests {
         let v = Json::parse(r#""a\"b\\c\ndA ünïcode""#).unwrap();
         assert_eq!(v.as_str(), Some("a\"b\\c\ndA ünïcode"));
         assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_non_bmp_characters() {
+        // A standard encoder writes U+1F600 😀 as "\ud83d\ude00".
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Mixed with BMP escapes and raw text on both sides.
+        let v = Json::parse(r#""cell \u0041\uD83D\uDE80 done""#).unwrap();
+        assert_eq!(v.as_str(), Some("cell A🚀 done"));
+        // Raw (unescaped) UTF-8 emoji still pass straight through.
+        assert_eq!(Json::parse(r#""🚀""#).unwrap().as_str(), Some("🚀"));
+        // An emoji survives an escape → parse round trip.
+        let escaped = escape("graph 😀 🚀");
+        let quoted = format!("\"{escaped}\"");
+        assert_eq!(Json::parse(&quoted).unwrap().as_str(), Some("graph 😀 🚀"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_structured_errors_not_replacement_chars() {
+        for (bad, why) in [
+            (r#""\ud83d""#, "lone high surrogate"),
+            (r#""\ud83d tail""#, "high surrogate then raw text"),
+            (r#""\ud83dA""#, "high surrogate then a BMP escape"),
+            (r#""\ude00""#, "lone low surrogate"),
+            (r#""\ud83d\ud83d""#, "two high surrogates"),
+        ] {
+            let err = Json::parse(bad).expect_err(why);
+            assert!(err.contains("surrogate"), "{why}: {err}");
+            assert!(!err.contains('\u{fffd}'), "no silent corruption: {err}");
+        }
     }
 
     #[test]

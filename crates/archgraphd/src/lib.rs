@@ -3,11 +3,14 @@
 //! A resident multi-tenant sweep daemon for the archgraph simulators.
 //! Clients submit experiment specs (kernel, machine, engine, worker
 //! count, problem size, fault plan, cycle budget) over a line-delimited
-//! JSON protocol on a Unix socket or localhost TCP; the daemon validates
-//! them, schedules the cells across a bounded worker pool with admission
-//! control, streams per-cell results as they complete, and caches
-//! completed cells by content-addressed spec fingerprint so repeated
-//! and restarted sweeps are nearly free.
+//! JSON protocol on a Unix socket or TCP — loopback-only unless both
+//! `--allow-remote` and a `--token` bearer secret are configured. The
+//! daemon validates specs, schedules cells across a bounded worker pool
+//! round-robin across jobs (admission-controlled, optionally metered by
+//! a per-job cycle budget), streams per-cell results as they complete,
+//! and caches completed cells by content-addressed spec fingerprint —
+//! optionally bounded with LRU eviction — so repeated and restarted
+//! sweeps are nearly free.
 //!
 //! The protocol, scheduling, and cache layers are libraries (tested
 //! in-process); the `archgraphd` binary wires them to real sockets and

@@ -12,7 +12,9 @@
 //! {"op":"status"}
 //! {"op":"shutdown"}
 //! {"op":"cancel","job":"j1"}
+//! {"op":"list"}
 //! {"op":"submit","cells":[ <spec>, ... ]}
+//! {"op":"submit","cells":[ <spec>, ... ],"budget_cycles":N}
 //! ```
 //!
 //! A cell `<spec>` is either a bench-suite reference
@@ -23,6 +25,15 @@
 //! a misspelled override must not silently run the wrong experiment.
 //!
 //! # Responses
+//!
+//! `submit` may carry an optional `budget_cycles` quota: the job's
+//! cells are metered against it and fail with a structured
+//! `BudgetExceeded` error once it runs out (cache hits are free).
+//!
+//! `list` answers one `{"type":"list","cells":[...]}` line enumerating
+//! the bench suite with each cell's content-address `key` and a
+//! `cached` flag, so clients can discover runnable cells (and what is
+//! already warm) without shelling out to `--bin bench`.
 //!
 //! `submit` answers `{"type":"accepted","job":"j1","cells":N}`, then
 //! streams one `{"type":"cell",...}` line per cell in completion order
@@ -35,7 +46,7 @@
 use archgraph_bench::cells::{self, CellSpec, Kernel, MachineKind};
 
 use crate::json::{escape, render_sim, Json};
-use crate::queue::{CellEvent, CellStatus, JobSummary, Snapshot};
+use crate::queue::{CellEvent, CellStatus, JobSummary, ListEntry, Snapshot};
 
 /// A parsed, validated client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,10 +62,14 @@ pub enum Request {
         /// The job id from the `accepted` response.
         job: String,
     },
+    /// Enumerate the bench suite with cache status.
+    List,
     /// Run a batch of cells.
     Submit {
         /// Validated cell specs, in submit order.
         cells: Vec<CellSpec>,
+        /// Optional cycle quota for the whole job.
+        budget_cycles: Option<u64>,
     },
 }
 
@@ -71,6 +86,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
+        "list" => Ok(Request::List),
         "cancel" => {
             let job = v
                 .get("job")
@@ -88,17 +104,30 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if cells_json.is_empty() {
                 return Err("submit needs at least one cell".into());
             }
-            if obj.keys().any(|k| k != "op" && k != "cells") {
-                return Err("submit accepts only \"op\" and \"cells\"".into());
+            if obj
+                .keys()
+                .any(|k| k != "op" && k != "cells" && k != "budget_cycles")
+            {
+                return Err("submit accepts only \"op\", \"cells\", and \"budget_cycles\"".into());
             }
+            let budget_cycles = match v.get("budget_cycles") {
+                None => None,
+                Some(b) => Some(
+                    b.as_u64()
+                        .ok_or("\"budget_cycles\" must be a non-negative integer")?,
+                ),
+            };
             let mut specs = Vec::with_capacity(cells_json.len());
             for (i, cj) in cells_json.iter().enumerate() {
                 specs.push(parse_spec(cj).map_err(|e| format!("cells[{i}]: {e}"))?);
             }
-            Ok(Request::Submit { cells: specs })
+            Ok(Request::Submit {
+                cells: specs,
+                budget_cycles,
+            })
         }
         other => Err(format!(
-            "unknown op {other:?} (expected ping, status, shutdown, cancel, submit)"
+            "unknown op {other:?} (expected ping, status, shutdown, cancel, list, submit)"
         )),
     }
 }
@@ -216,12 +245,14 @@ pub fn cancelled(job: &str) -> String {
     format!(r#"{{"type":"cancelled","job":"{}"}}"#, escape(job))
 }
 
-/// `{"type":"status",...}` — scheduler counters.
+/// `{"type":"status",...}` — scheduler counters plus the result-cache
+/// footprint and lifetime eviction counters.
 pub fn status(snap: &Snapshot) -> String {
     format!(
         concat!(
             r#"{{"type":"status","workers":{},"queued":{},"inflight":{},"#,
-            r#""active_jobs":{},"jobs":{},"cells_run":{},"cache_hits":{},"failures":{}}}"#
+            r#""active_jobs":{},"jobs":{},"cells_run":{},"cache_hits":{},"failures":{},"#,
+            r#""cache_entries":{},"cache_bytes":{},"evictions":{},"evicted_bytes":{}}}"#
         ),
         snap.workers,
         snap.queued,
@@ -231,7 +262,30 @@ pub fn status(snap: &Snapshot) -> String {
         snap.stats.cells_run,
         snap.stats.cache_hits,
         snap.stats.failures,
+        snap.cache.entries,
+        snap.cache.bytes,
+        snap.cache.evictions,
+        snap.cache.evicted_bytes,
     )
+}
+
+/// `{"type":"list","cells":[{"name":...,"key":...,"cached":...},...]}` —
+/// the bench suite with per-cell cache status, on one line.
+pub fn list_line(entries: &[ListEntry]) -> String {
+    let mut out = String::from(r#"{"type":"list","cells":["#);
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            r#"{{"name":"{}","key":"{}","cached":{}}}"#,
+            escape(&e.name),
+            escape(&e.key),
+            e.cached
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// One streamed cell-result line. The `sim` sub-object is rendered
@@ -282,6 +336,7 @@ mod tests {
             parse_request(r#"{"op":"cancel","job":"j7"}"#),
             Ok(Request::Cancel { job: "j7".into() })
         );
+        assert_eq!(parse_request(r#"{"op":"list"}"#), Ok(Request::List));
     }
 
     #[test]
@@ -300,6 +355,8 @@ mod tests {
             r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8","typo_key":1}]}"#,
             r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8","faults":"bogus"}]}"#,
             r#"{"op":"submit","extra":true,"cells":[{"cell":"fig2/mta/p8"}]}"#,
+            r#"{"op":"submit","budget_cycles":-4,"cells":[{"cell":"fig2/mta/p8"}]}"#,
+            r#"{"op":"submit","budget_cycles":"lots","cells":[{"cell":"fig2/mta/p8"}]}"#,
         ] {
             let err = parse_request(bad).expect_err(bad);
             // The error doubles as the protocol reply; it must render.
@@ -315,11 +372,28 @@ mod tests {
             r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8"},{"cell":"msf/native"}]}"#,
         )
         .unwrap();
-        let Request::Submit { cells } = req else {
+        let Request::Submit {
+            cells,
+            budget_cycles,
+        } = req
+        else {
             panic!("not a submit")
         };
         assert_eq!(cells[0], find("fig2/mta/p8").unwrap());
         assert_eq!(cells[1], find("msf/native").unwrap());
+        assert_eq!(budget_cycles, None, "budgets are opt-in");
+    }
+
+    #[test]
+    fn submit_parses_an_optional_budget() {
+        let req = parse_request(
+            r#"{"op":"submit","budget_cycles":500000,"cells":[{"cell":"fig2/mta/p8"}]}"#,
+        )
+        .unwrap();
+        let Request::Submit { budget_cycles, .. } = req else {
+            panic!("not a submit")
+        };
+        assert_eq!(budget_cycles, Some(500_000));
     }
 
     #[test]
@@ -328,7 +402,7 @@ mod tests {
             r#"{"op":"submit","cells":[{"kernel":"color","machine":"mta","engine":"compiled","workers":4,"p":2,"n":128,"m":384,"max_cycles":1000000,"faults":"mem-latency=30,rate=1:9"}]}"#,
         )
         .unwrap();
-        let Request::Submit { cells } = req else {
+        let Request::Submit { cells, .. } = req else {
             panic!("not a submit")
         };
         let s = &cells[0];
@@ -347,7 +421,7 @@ mod tests {
             r#"{"op":"submit","cells":[{"cell":"fig2/mta/p8","engine":"partitioned","workers":4}]}"#,
         )
         .unwrap();
-        let Request::Submit { cells } = req else {
+        let Request::Submit { cells, .. } = req else {
             panic!("not a submit")
         };
         assert_eq!(cells[0].engine, Some(MtaEngine::Partitioned));
@@ -398,6 +472,12 @@ mod tests {
             inflight: 1,
             active_jobs: 1,
             workers: 2,
+            cache: crate::cache::CacheUsage {
+                entries: 6,
+                bytes: 84,
+                evictions: 2,
+                evicted_bytes: 28,
+            },
         };
         for line in [
             pong(),
@@ -406,6 +486,19 @@ mod tests {
             accepted("j1", 4),
             cancelled_resp(),
             status(&snap),
+            list_line(&[
+                ListEntry {
+                    name: "fig2/mta/p8".into(),
+                    key: "0123456789abcdef".into(),
+                    cached: true,
+                },
+                ListEntry {
+                    name: "bfs/smp/p8".into(),
+                    key: "fedcba9876543210".into(),
+                    cached: false,
+                },
+            ]),
+            list_line(&[]),
             cell_line("j1", &ev),
             cell_line("j1", &failed),
             cell_line("j1", &cancelled),
@@ -430,6 +523,24 @@ mod tests {
         );
         let parsed = Json::parse(&done_line("j1", &sum)).unwrap();
         assert_eq!(parsed.get("ok").and_then(Json::as_u64), Some(2));
+
+        let parsed = Json::parse(&status(&snap)).unwrap();
+        assert_eq!(parsed.get("cache_entries").and_then(Json::as_u64), Some(6));
+        assert_eq!(parsed.get("evictions").and_then(Json::as_u64), Some(2));
+
+        let parsed = Json::parse(&list_line(&[ListEntry {
+            name: "fig2/mta/p8".into(),
+            key: "0123456789abcdef".into(),
+            cached: true,
+        }]))
+        .unwrap();
+        let cells = parsed.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(
+            cells[0].get("name").and_then(Json::as_str),
+            Some("fig2/mta/p8")
+        );
+        assert_eq!(cells[0].get("cached"), Some(&Json::Bool(true)));
     }
 
     fn cancelled_resp() -> String {

@@ -1,18 +1,38 @@
-//! Job queue, admission control, and the worker pool.
+//! Job queue, admission control, fair scheduling, and the worker pool.
 //!
-//! Submitted jobs are split into per-cell tasks on one FIFO queue; a
-//! fixed pool of worker threads (the in-flight bound — one simulated
-//! cell per worker, never more) drains it. Admission control caps the
-//! *queued* backlog: a submit that would push the queue past the bound
-//! is rejected with a structured error instead of letting one tenant
-//! buffer unbounded work ahead of everyone else.
+//! Submitted jobs keep their cells on *per-job* queues; a ring of active
+//! job ids is drained round-robin (deficit-style with a quantum of one
+//! cell: each worker pull takes the next cell from the next job in the
+//! ring, then rotates the job to the back). That is the serving-layer
+//! version of the paper's thesis — many independent streams stay in
+//! flight and no tenant's 1000-cell sweep head-of-line-blocks a
+//! neighbour's single cell, which lands in roughly one cell-time
+//! regardless of queue depth elsewhere. Admission control caps the total
+//! *queued* backlog: a submit that would push the sum of pending cells
+//! past the bound is rejected with a structured error instead of letting
+//! one tenant buffer unbounded work ahead of everyone else.
+//!
+//! Jobs may carry a cycle *budget* (`budget_cycles` on submit). The
+//! scheduler threads the remaining budget through
+//! [`CellSpec::max_cycles`] so the engines' own cycle watchdog enforces
+//! it mid-run; simulated cycles (or SMP instructions) are charged
+//! against the budget as cells complete. A job that exhausts its quota
+//! fails *structurally* — remaining cells are failed with a
+//! `BudgetExceeded` error without running — instead of starving the
+//! pool. Cache hits are free: a budget of 0 turns a job into
+//! "serve from cache only". The charge is optimistic (no reservation),
+//! so a job whose cells run on several workers at once can overshoot
+//! its budget by up to one in-flight cell per worker; the budget is a
+//! quota, not a hard real-time bound.
 //!
 //! Results stream back per job over an [`mpsc`] channel the submitter
 //! provides: one [`Event::Cell`] per cell as it completes (cache hit,
 //! fresh run, failure, or cancellation), then one [`Event::Done`] with
 //! the job summary. A submitter that disconnects just drops its
 //! receiver; sends fail silently and the job still runs to completion
-//! (and still populates the cache).
+//! (and still populates the cache). Cancellation drains the job's
+//! pending cells *eagerly*, so `status` never reports cancelled work as
+//! runnable backlog.
 //!
 //! The runner is injected ([`Runner`]) so the scheduling logic is
 //! testable without simulating anything; the real daemon injects
@@ -24,9 +44,10 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 
+use archgraph_bench::cells::bench_suite;
 use archgraph_bench::CellSpec;
 
-use crate::cache::{Cache, Sim};
+use crate::cache::{Cache, CacheUsage, Sim};
 
 /// Executes one cell, returning its fingerprint or a failure message.
 /// Must be panic-free: the real runner wraps the simulation in
@@ -42,7 +63,8 @@ pub struct JobSummary {
     pub cells: usize,
     /// Cells that produced a fingerprint (fresh or cached).
     pub ok: usize,
-    /// Cells whose run failed (panic, watchdog, bad fault plan).
+    /// Cells whose run failed (panic, watchdog, bad fault plan, or a
+    /// budget-exhausted skip).
     pub failed: usize,
     /// Cells served from the cache (a subset of `ok`).
     pub cached: usize,
@@ -59,7 +81,8 @@ pub struct Stats {
     pub cells_run: u64,
     /// Cells served from the cache without running.
     pub cache_hits: u64,
-    /// Executed cells that failed.
+    /// Cells that failed: executed failures plus budget-exhausted
+    /// skips (which never run, so they are *not* in `cells_run`).
     pub failures: u64,
 }
 
@@ -73,8 +96,9 @@ pub enum CellStatus {
         /// Served from the result cache without running?
         cached: bool,
     },
-    /// The run failed; the message is the isolated panic or a fault-plan
-    /// parse error. Failures are never cached.
+    /// The run failed; the message is the isolated panic, a fault-plan
+    /// parse error, or a structured `BudgetExceeded: ...` when the
+    /// job's cycle budget ran out. Failures are never cached.
     Failed {
         /// Human-readable failure reason.
         error: String,
@@ -110,7 +134,8 @@ pub enum Event {
 pub struct Snapshot {
     /// Lifetime counters.
     pub stats: Stats,
-    /// Cells queued but not yet picked up.
+    /// Cells queued but not yet picked up (cancelled cells excluded —
+    /// cancellation drains them eagerly).
     pub queued: usize,
     /// Cells currently executing.
     pub inflight: usize,
@@ -118,29 +143,108 @@ pub struct Snapshot {
     pub active_jobs: usize,
     /// Worker-pool size (the in-flight bound).
     pub workers: usize,
+    /// Result-cache footprint and lifetime eviction counters.
+    pub cache: CacheUsage,
+}
+
+/// One suite cell as reported by the `list` op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListEntry {
+    /// Bench-suite name (`fig2/mta/p8`, ...).
+    pub name: String,
+    /// Content-addressed cache key.
+    pub key: String,
+    /// Would a submit of this cell be served from the cache?
+    pub cached: bool,
 }
 
 struct Task {
-    job: String,
     index: usize,
     spec: CellSpec,
 }
 
+/// Remaining cycle quota for a budgeted job.
+struct BudgetState {
+    total: u64,
+    remaining: u64,
+}
+
 struct JobState {
     cancelled: bool,
+    /// Cells not yet picked up by a worker, in submit order.
+    pending: VecDeque<Task>,
+    /// Cells not yet *finished* (pending + in flight).
     remaining: usize,
     summary: JobSummary,
     tx: Sender<Event>,
+    budget: Option<BudgetState>,
 }
 
 #[derive(Default)]
 struct QState {
-    queue: VecDeque<Task>,
+    /// Round-robin ring of job ids with pending cells. Invariant: a job
+    /// id appears at most once; stale entries (drained or finished
+    /// jobs) are dropped lazily by `next_task`.
+    ring: VecDeque<String>,
     jobs: HashMap<String, JobState>,
+    /// Sum of all pending-queue lengths (the admission-controlled
+    /// backlog).
+    queued: usize,
     next_job: u64,
     inflight: usize,
     shutdown: bool,
     stats: Stats,
+}
+
+/// Pop the next task round-robin: take the head job off the ring, take
+/// its first pending cell, and rotate the job to the back if it still
+/// has more — a deficit round-robin with a quantum of one cell.
+fn next_task(st: &mut QState) -> Option<(String, Task)> {
+    while let Some(job) = st.ring.pop_front() {
+        let Some(jobst) = st.jobs.get_mut(&job) else {
+            continue; // stale ring entry: job already finished
+        };
+        let Some(task) = jobst.pending.pop_front() else {
+            continue; // stale ring entry: job drained (e.g. cancelled)
+        };
+        st.queued -= 1;
+        if !jobst.pending.is_empty() {
+            st.ring.push_back(job.clone());
+        }
+        return Some((job, task));
+    }
+    None
+}
+
+/// How a pulled cell is allowed to run, per the job's budget.
+enum BudgetGate {
+    /// No budget on the job: run with the spec's own `max_cycles`.
+    Unlimited,
+    /// Budget active: clamp `max_cycles` to `remaining`. `binding` is
+    /// true when the budget (not the spec's own limit) is the tighter
+    /// bound, i.e. a watchdog trip means the *job* ran out of quota.
+    Clamp {
+        total: u64,
+        remaining: u64,
+        binding: bool,
+    },
+    /// Quota already exhausted: fail the cell without running it.
+    Exhausted { total: u64 },
+}
+
+/// The structured failure message for a job that ran out of budget.
+fn budget_exceeded(total: u64, detail: &str) -> String {
+    format!("BudgetExceeded: job budget of {total} cycles exhausted ({detail})")
+}
+
+/// The cycle charge of a completed fingerprint: the simulated `cycles`
+/// (MTA) or `instructions` (SMP) quantity. Native kernels have neither
+/// and charge nothing — budgets meter simulated machine time.
+fn cycles_of(sim: &[(String, u64)]) -> u64 {
+    sim.iter()
+        .find(|(k, _)| k == "cycles" || k == "instructions")
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
 }
 
 struct Inner {
@@ -152,7 +256,8 @@ struct Inner {
     workers: usize,
 }
 
-/// The daemon's scheduler: FIFO task queue plus a fixed worker pool.
+/// The daemon's scheduler: per-job queues drained round-robin by a
+/// fixed worker pool.
 pub struct Scheduler {
     inner: Arc<Inner>,
     handles: Mutex<Vec<JoinHandle<()>>>,
@@ -187,12 +292,14 @@ impl Scheduler {
         }
     }
 
-    /// Enqueue a job of already-validated cells. Events stream to `tx`.
-    /// Returns the job id and cell count, or a structured rejection
-    /// (shutdown in progress, empty job, or the admission bound).
+    /// Enqueue a job of already-validated cells, optionally metered by a
+    /// cycle budget. Events stream to `tx`. Returns the job id and cell
+    /// count, or a structured rejection (shutdown in progress, empty
+    /// job, or the admission bound).
     pub fn submit(
         &self,
         specs: Vec<CellSpec>,
+        budget_cycles: Option<u64>,
         tx: Sender<Event>,
     ) -> Result<(String, usize), String> {
         if specs.is_empty() {
@@ -202,10 +309,10 @@ impl Scheduler {
         if st.shutdown {
             return Err("daemon is shutting down".into());
         }
-        if st.queue.len() + specs.len() > self.inner.max_queue {
+        if st.queued + specs.len() > self.inner.max_queue {
             return Err(format!(
                 "queue full: {} queued + {} submitted exceeds the admission bound of {}",
-                st.queue.len(),
+                st.queued,
                 specs.len(),
                 self.inner.max_queue
             ));
@@ -214,42 +321,63 @@ impl Scheduler {
         st.stats.jobs += 1;
         let job = format!("j{}", st.next_job);
         let n = specs.len();
+        st.queued += n;
         st.jobs.insert(
             job.clone(),
             JobState {
                 cancelled: false,
+                pending: specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(index, spec)| Task { index, spec })
+                    .collect(),
                 remaining: n,
                 summary: JobSummary {
                     cells: n,
                     ..JobSummary::default()
                 },
                 tx,
+                budget: budget_cycles.map(|total| BudgetState {
+                    total,
+                    remaining: total,
+                }),
             },
         );
-        for (index, spec) in specs.into_iter().enumerate() {
-            st.queue.push_back(Task {
-                job: job.clone(),
-                index,
-                spec,
-            });
-        }
+        st.ring.push_back(job.clone());
         drop(st);
         self.inner.cv.notify_all();
         Ok((job, n))
     }
 
-    /// Cancel a job: queued cells are skipped (streamed as cancelled),
-    /// the in-flight cell — if any — completes normally. Returns false
+    /// Cancel a job: pending cells are drained *eagerly* — streamed to
+    /// the submitter as cancelled and removed from the backlog before
+    /// this returns, so a `status` probe never reports them as runnable.
+    /// The in-flight cell — if any — completes normally. Returns false
     /// for unknown (or already finished) job ids.
     pub fn cancel(&self, job: &str) -> bool {
         let mut st = self.inner.state.lock().expect("scheduler lock");
-        match st.jobs.get_mut(job) {
-            Some(j) => {
-                j.cancelled = true;
-                true
-            }
-            None => false,
+        let st = &mut *st;
+        let Some(jobst) = st.jobs.get_mut(job) else {
+            return false;
+        };
+        jobst.cancelled = true;
+        let drained: Vec<Task> = jobst.pending.drain(..).collect();
+        st.queued -= drained.len();
+        for task in drained {
+            jobst.summary.cancelled += 1;
+            jobst.remaining -= 1;
+            let _ = jobst.tx.send(Event::Cell(CellEvent {
+                index: task.index,
+                name: task.spec.display_name(),
+                key: task.spec.cache_key(),
+                status: CellStatus::Cancelled,
+            }));
         }
+        if jobst.remaining == 0 {
+            let jobst = st.jobs.remove(job).expect("job present");
+            let _ = jobst.tx.send(Event::Done(jobst.summary));
+        }
+        true
     }
 
     /// Current state, for the `status` op.
@@ -257,11 +385,26 @@ impl Scheduler {
         let st = self.inner.state.lock().expect("scheduler lock");
         Snapshot {
             stats: st.stats.clone(),
-            queued: st.queue.len(),
+            queued: st.queued,
             inflight: st.inflight,
             active_jobs: st.jobs.len(),
             workers: self.inner.workers,
+            cache: self.inner.cache.usage(),
         }
+    }
+
+    /// The bench suite as served by the `list` op: every suite cell's
+    /// name, content address, and whether the cache would serve it
+    /// without running. Probing does not count as cache use.
+    pub fn list(&self) -> Vec<ListEntry> {
+        bench_suite()
+            .into_iter()
+            .map(|(name, spec)| ListEntry {
+                name: name.to_string(),
+                key: spec.cache_key(),
+                cached: self.inner.cache.contains(&spec),
+            })
+            .collect()
     }
 
     /// Graceful drain: in-flight cells complete (and are cached), queued
@@ -288,36 +431,91 @@ impl Scheduler {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        // Pull the next task; under shutdown, keep pulling so queued
-        // tasks are flushed as cancelled, and exit once the queue is dry.
-        let (task, run_it) = {
+        // Pull the next task round-robin; under shutdown, keep pulling
+        // so pending tasks are flushed as cancelled, and exit once every
+        // queue is dry.
+        let (job, task, run_it) = {
             let mut st = inner.state.lock().expect("scheduler lock");
-            let task = loop {
-                if let Some(t) = st.queue.pop_front() {
-                    break t;
+            let (job, task) = loop {
+                if let Some(jt) = next_task(&mut st) {
+                    break jt;
                 }
                 if st.shutdown {
                     return;
                 }
                 st = inner.cv.wait(st).expect("scheduler lock");
             };
-            let skip = st.shutdown || st.jobs.get(&task.job).is_none_or(|j| j.cancelled);
+            let skip = st.shutdown || st.jobs.get(&job).is_none_or(|j| j.cancelled);
             if !skip {
                 st.inflight += 1;
             }
-            (task, !skip)
+            (job, task, !skip)
         };
 
+        // `ran` distinguishes executed cells from budget-exhausted
+        // skips in the lifetime stats; `charge` is the cycle cost
+        // debited from the job's budget once the cell is accounted.
+        let mut ran = false;
+        let mut charge = 0u64;
         let status = if run_it {
+            // Cache first: hits are free and are served even with an
+            // exhausted budget (a budget of 0 means "cache only").
             match inner.cache.lookup(&task.spec) {
                 Some(sim) => CellStatus::Done { sim, cached: true },
-                None => match (inner.runner)(&task.spec) {
-                    Ok(sim) => {
-                        inner.cache.record(&task.spec, &sim);
-                        CellStatus::Done { sim, cached: false }
+                None => {
+                    let gate = {
+                        let st = inner.state.lock().expect("scheduler lock");
+                        match st.jobs.get(&job).and_then(|j| j.budget.as_ref()) {
+                            None => BudgetGate::Unlimited,
+                            Some(b) if b.remaining == 0 => BudgetGate::Exhausted { total: b.total },
+                            Some(b) => BudgetGate::Clamp {
+                                total: b.total,
+                                remaining: b.remaining,
+                                binding: b.remaining <= task.spec.max_cycles.unwrap_or(u64::MAX),
+                            },
+                        }
+                    };
+                    match gate {
+                        BudgetGate::Exhausted { total } => CellStatus::Failed {
+                            error: budget_exceeded(total, "cell skipped without running"),
+                        },
+                        BudgetGate::Unlimited => {
+                            ran = true;
+                            run_cell(inner, &task.spec)
+                        }
+                        BudgetGate::Clamp {
+                            total,
+                            remaining,
+                            binding,
+                        } => {
+                            ran = true;
+                            let mut clamped = task.spec.clone();
+                            clamped.max_cycles = Some(match task.spec.max_cycles {
+                                Some(own) => own.min(remaining),
+                                None => remaining,
+                            });
+                            match run_cell(inner, &clamped) {
+                                CellStatus::Failed { error }
+                                    if binding && error.contains("cycle budget exceeded") =>
+                                {
+                                    // The *job's* quota tripped the
+                                    // watchdog, not the cell's own
+                                    // limit: burn the rest of the
+                                    // budget so siblings fail fast.
+                                    charge = remaining;
+                                    CellStatus::Failed {
+                                        error: budget_exceeded(total, &error),
+                                    }
+                                }
+                                CellStatus::Done { sim, cached } => {
+                                    charge = cycles_of(&sim);
+                                    CellStatus::Done { sim, cached }
+                                }
+                                other => other,
+                            }
+                        }
                     }
-                    Err(error) => CellStatus::Failed { error },
-                },
+                }
             }
         } else {
             CellStatus::Cancelled
@@ -340,12 +538,14 @@ fn worker_loop(inner: &Inner) {
             CellStatus::Done { cached: true, .. } => st.stats.cache_hits += 1,
             CellStatus::Done { .. } => st.stats.cells_run += 1,
             CellStatus::Failed { .. } => {
-                st.stats.cells_run += 1;
+                if ran {
+                    st.stats.cells_run += 1;
+                }
                 st.stats.failures += 1;
             }
             CellStatus::Cancelled => {}
         }
-        let finished = match st.jobs.get_mut(&task.job) {
+        let finished = match st.jobs.get_mut(&job) {
             Some(jobst) => {
                 match &event.status {
                     CellStatus::Done { cached, .. } => {
@@ -356,6 +556,9 @@ fn worker_loop(inner: &Inner) {
                     }
                     CellStatus::Failed { .. } => jobst.summary.failed += 1,
                     CellStatus::Cancelled => jobst.summary.cancelled += 1,
+                }
+                if let Some(b) = jobst.budget.as_mut() {
+                    b.remaining = b.remaining.saturating_sub(charge);
                 }
                 // A disconnected submitter dropped its receiver; the send
                 // failing is fine — the result is cached either way.
@@ -368,9 +571,20 @@ fn worker_loop(inner: &Inner) {
             None => false,
         };
         if finished {
-            let jobst = st.jobs.remove(&task.job).expect("job present");
+            let jobst = st.jobs.remove(&job).expect("job present");
             let _ = jobst.tx.send(Event::Done(jobst.summary));
         }
+    }
+}
+
+/// Execute one cell through the injected runner, caching a success.
+fn run_cell(inner: &Inner, spec: &CellSpec) -> CellStatus {
+    match (inner.runner)(spec) {
+        Ok(sim) => {
+            inner.cache.record(spec, &sim);
+            CellStatus::Done { sim, cached: false }
+        }
+        Err(error) => CellStatus::Failed { error },
     }
 }
 
@@ -419,41 +633,89 @@ mod tests {
     }
 
     #[test]
-    fn fifo_order_across_jobs_with_one_worker() {
+    fn round_robin_interleaves_jobs_with_one_worker() {
         let order = Arc::new(Mutex::new(Vec::new()));
-        let (runner, gate, _started) = gated_runner(Arc::clone(&order));
+        let (runner, gate, started) = gated_runner(Arc::clone(&order));
         let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
 
+        // Job A is submitted first and its first cell is already in
+        // flight when B and C arrive; the ring then alternates jobs.
         let (a_tx, a_rx) = mpsc::channel();
         let (b_tx, b_rx) = mpsc::channel();
-        sched.submit(vec![spec(1), spec(2)], a_tx).expect("job A");
-        sched.submit(vec![spec(3)], b_tx).expect("job B");
-        for _ in 0..3 {
+        let (c_tx, c_rx) = mpsc::channel();
+        sched
+            .submit(vec![spec(1), spec(2), spec(3)], None, a_tx)
+            .expect("job A");
+        started.recv().expect("A cell 0 in flight");
+        sched
+            .submit(vec![spec(4), spec(5)], None, b_tx)
+            .expect("job B");
+        sched.submit(vec![spec(6)], None, c_tx).expect("job C");
+        for _ in 0..6 {
             gate.send(()).expect("release");
         }
 
         let (a_cells, a_sum) = drain(&a_rx);
         let (b_cells, b_sum) = drain(&b_rx);
+        let (c_cells, c_sum) = drain(&c_rx);
         assert_eq!(
             *order.lock().unwrap(),
             vec![
-                spec(1).canonical(),
-                spec(2).canonical(),
-                spec(3).canonical()
+                spec(1).canonical(), // A0 (in flight before B/C existed)
+                spec(2).canonical(), // A1 (head of the ring)
+                spec(4).canonical(), // B0
+                spec(6).canonical(), // C0 — the 1-cell job is not stuck behind A
+                spec(3).canonical(), // A2
+                spec(5).canonical(), // B1
             ],
-            "single worker must drain strictly FIFO across jobs"
+            "one worker must rotate the ring one cell per job"
         );
-        assert_eq!(a_cells.iter().map(|c| c.index).collect::<Vec<_>>(), [0, 1]);
-        assert_eq!(a_sum.ok, 2);
-        assert_eq!(b_cells.len(), 1);
-        assert_eq!(b_sum.ok, 1);
         assert_eq!(
-            b_cells[0].status,
-            CellStatus::Done {
-                sim: vec![("cycles".to_string(), 3)],
-                cached: false
-            }
+            a_cells.iter().map(|c| c.index).collect::<Vec<_>>(),
+            [0, 1, 2]
         );
+        assert_eq!((a_sum.ok, b_sum.ok, c_sum.ok), (3, 2, 1));
+        assert_eq!((a_cells.len(), b_cells.len(), c_cells.len()), (3, 2, 1));
+        sched.shutdown_and_join();
+    }
+
+    #[test]
+    fn a_one_cell_job_lands_within_two_cell_times_of_a_hundred_cell_sweep() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (runner, gate, started) = gated_runner(Arc::clone(&order));
+        let sched = Scheduler::new(1, 256, Cache::disabled(), runner);
+
+        // The acceptance bar: 1 worker, a 100-cell sweep queued first,
+        // then a 1-cell job. The small job must complete within 2
+        // cell-times (the sweep cell in flight at submit time, plus at
+        // most one more before the ring reaches the newcomer).
+        let (big_tx, big_rx) = mpsc::channel();
+        let big: Vec<CellSpec> = (0..100).map(|_| spec(1)).collect();
+        sched.submit(big, None, big_tx).expect("100-cell sweep");
+        started.recv().expect("sweep cell 0 in flight");
+
+        let (small_tx, small_rx) = mpsc::channel();
+        sched
+            .submit(vec![spec(2)], None, small_tx)
+            .expect("1-cell job");
+        for _ in 0..101 {
+            gate.send(()).expect("release");
+        }
+
+        let (small_cells, small_sum) = drain(&small_rx);
+        assert_eq!((small_cells.len(), small_sum.ok), (1, 1));
+        let order = order.lock().unwrap();
+        let pos = order
+            .iter()
+            .position(|c| c == &spec(2).canonical())
+            .expect("small job ran");
+        assert!(
+            pos <= 2,
+            "1-cell job ran {pos} cell-times after submit; FIFO would be 100"
+        );
+        drop(order);
+        let (_, big_sum) = drain(&big_rx);
+        assert_eq!(big_sum.ok, 100, "the sweep still completes in full");
         sched.shutdown_and_join();
     }
 
@@ -465,7 +727,7 @@ mod tests {
 
         let (tx1, rx1) = mpsc::channel();
         sched
-            .submit(vec![spec(1)], tx1)
+            .submit(vec![spec(1)], None, tx1)
             .expect("first job admitted");
         // Wait until the worker has *picked up* the cell: the queue is
         // empty, the cell is in-flight, and exactly one slot remains.
@@ -473,11 +735,11 @@ mod tests {
 
         let (tx2, rx2) = mpsc::channel();
         sched
-            .submit(vec![spec(2)], tx2)
+            .submit(vec![spec(2)], None, tx2)
             .expect("one queued cell fits");
         let (tx3, _rx3) = mpsc::channel();
         let err = sched
-            .submit(vec![spec(3)], tx3)
+            .submit(vec![spec(3)], None, tx3)
             .expect_err("bound exceeded");
         assert!(err.contains("queue full"), "structured rejection: {err}");
         assert!(err.contains("admission bound of 1"), "{err}");
@@ -489,12 +751,64 @@ mod tests {
         assert_eq!((s1.ok, s2.ok), (1, 1));
         // Backlog drained: the bound frees up again.
         let (tx4, rx4) = mpsc::channel();
-        sched.submit(vec![spec(4)], tx4).expect("slot freed");
+        sched.submit(vec![spec(4)], None, tx4).expect("slot freed");
         started.recv().expect("worker started cell 4");
         gate.send(()).unwrap();
         let (_, s4) = drain(&rx4);
         assert_eq!(s4.ok, 1);
         sched.shutdown_and_join();
+    }
+
+    #[test]
+    fn racing_submits_never_over_admit() {
+        // Two threads race 3-cell submits at a bound of 4 with the
+        // worker parked: only one can fit, every round, and the backlog
+        // never exceeds the bound.
+        for round in 0..8 {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let (runner, gate, started) = gated_runner(Arc::clone(&order));
+            let sched = Arc::new(Scheduler::new(1, 4, Cache::disabled(), runner));
+
+            let (tx0, rx0) = mpsc::channel();
+            sched.submit(vec![spec(9)], None, tx0).expect("pilot job");
+            started.recv().expect("worker parked on the pilot cell");
+
+            let barrier = Arc::new(std::sync::Barrier::new(2));
+            let racers: Vec<_> = (0..2)
+                .map(|_| {
+                    let sched = Arc::clone(&sched);
+                    let barrier = Arc::clone(&barrier);
+                    thread::spawn(move || {
+                        let (tx, rx) = mpsc::channel();
+                        barrier.wait();
+                        let admitted = sched
+                            .submit(vec![spec(1), spec(2), spec(3)], None, tx)
+                            .is_ok();
+                        (admitted, rx)
+                    })
+                })
+                .collect();
+            let results: Vec<_> = racers.into_iter().map(|h| h.join().unwrap()).collect();
+            let admitted = results.iter().filter(|(ok, _)| *ok).count();
+            assert_eq!(admitted, 1, "round {round}: exactly one racer fits");
+            assert!(
+                sched.snapshot().queued <= 4,
+                "round {round}: backlog within the bound"
+            );
+
+            for _ in 0..4 {
+                gate.send(()).unwrap();
+            }
+            let (_, s0) = drain(&rx0);
+            assert_eq!(s0.ok, 1);
+            for (ok, rx) in results {
+                if ok {
+                    let (_, s) = drain(&rx);
+                    assert_eq!(s.ok, 3);
+                }
+            }
+            sched.shutdown_and_join();
+        }
     }
 
     #[test]
@@ -504,7 +818,9 @@ mod tests {
         let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
 
         let (tx, rx) = mpsc::channel();
-        let (job, _) = sched.submit(vec![spec(1), spec(2), spec(3)], tx).unwrap();
+        let (job, _) = sched
+            .submit(vec![spec(1), spec(2), spec(3)], None, tx)
+            .unwrap();
         started.recv().expect("cell 0 in flight");
         assert!(sched.cancel(&job), "active job cancels");
         assert!(!sched.cancel("j999"), "unknown job does not");
@@ -512,12 +828,199 @@ mod tests {
 
         let (cells, sum) = drain(&rx);
         assert_eq!(cells.len(), 3, "every cell is accounted to the client");
-        assert!(matches!(cells[0].status, CellStatus::Done { .. }));
+        assert_eq!(cells[0].status, CellStatus::Cancelled);
         assert_eq!(cells[1].status, CellStatus::Cancelled);
-        assert_eq!(cells[2].status, CellStatus::Cancelled);
+        assert!(
+            matches!(cells[2].status, CellStatus::Done { .. }),
+            "the in-flight cell still completes"
+        );
         assert_eq!((sum.ok, sum.cancelled, sum.failed), (1, 2, 0));
         assert_eq!(order.lock().unwrap().len(), 1, "cancelled cells never ran");
         assert!(!sched.cancel(&job), "finished job is gone");
+        sched.shutdown_and_join();
+    }
+
+    #[test]
+    fn cancel_drains_the_backlog_before_returning() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (runner, gate, started) = gated_runner(Arc::clone(&order));
+        let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
+
+        let (tx, rx) = mpsc::channel();
+        let (job, _) = sched
+            .submit(vec![spec(1), spec(2), spec(3), spec(4)], None, tx)
+            .unwrap();
+        started.recv().expect("cell 0 in flight");
+        assert_eq!(sched.snapshot().queued, 3, "three cells pending");
+
+        assert!(sched.cancel(&job));
+        // Consistency pinned *before* any worker makes progress: the
+        // cancelled cells are gone from the runnable backlog and already
+        // streamed to the client.
+        let snap = sched.snapshot();
+        assert_eq!(snap.queued, 0, "cancelled cells are not runnable backlog");
+        assert_eq!(snap.inflight, 1, "the in-flight cell is still going");
+        let mut streamed = 0;
+        while let Ok(Event::Cell(c)) = rx.try_recv() {
+            assert_eq!(c.status, CellStatus::Cancelled);
+            streamed += 1;
+        }
+        assert_eq!(streamed, 3, "cancellations streamed eagerly");
+
+        gate.send(()).unwrap();
+        // The in-flight cell completes and ends the job.
+        let mut ok = 0;
+        loop {
+            match rx.recv().expect("stream ends with Done") {
+                Event::Cell(c) => {
+                    assert!(matches!(c.status, CellStatus::Done { .. }));
+                    ok += 1;
+                }
+                Event::Done(sum) => {
+                    assert_eq!((sum.ok, sum.cancelled), (1, 3));
+                    break;
+                }
+            }
+        }
+        assert_eq!(ok, 1);
+        sched.shutdown_and_join();
+    }
+
+    /// A runner that needs 60 "cycles" per cell and honours
+    /// `max_cycles` the way the engines do: a tighter limit trips the
+    /// watchdog with the engine's own message.
+    fn metered_runner(calls: Arc<Mutex<usize>>) -> Runner {
+        Arc::new(move |s: &CellSpec| {
+            *calls.lock().unwrap() += 1;
+            const NEED: u64 = 60;
+            match s.max_cycles {
+                Some(b) if b < NEED => Err(format!(
+                    "cycle budget exceeded: {b} cycles spent against a budget of {b}"
+                )),
+                _ => Ok(vec![("cycles".to_string(), NEED)]),
+            }
+        })
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_structurally_not_by_starvation() {
+        let calls = Arc::new(Mutex::new(0usize));
+        let sched = Scheduler::new(1, 64, Cache::disabled(), metered_runner(Arc::clone(&calls)));
+
+        // 100 cycles across three 60-cycle cells: the first fits, the
+        // second trips the clamped watchdog, the third never runs.
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(vec![spec(1), spec(2), spec(3)], Some(100), tx)
+            .unwrap();
+        let (cells, sum) = drain(&rx);
+        assert!(matches!(
+            &cells[0].status,
+            CellStatus::Done { cached: false, .. }
+        ));
+        let CellStatus::Failed { error } = &cells[1].status else {
+            panic!("cell 1 must fail: {:?}", cells[1].status);
+        };
+        assert!(
+            error.starts_with("BudgetExceeded: job budget of 100"),
+            "{error}"
+        );
+        assert!(
+            error.contains("cycle budget exceeded"),
+            "watchdog detail preserved: {error}"
+        );
+        let CellStatus::Failed { error } = &cells[2].status else {
+            panic!("cell 2 must fail: {:?}", cells[2].status);
+        };
+        assert!(
+            error.contains("cell skipped without running"),
+            "fail-fast, not a run: {error}"
+        );
+        assert_eq!((sum.ok, sum.failed, sum.cancelled), (1, 2, 0));
+        assert_eq!(*calls.lock().unwrap(), 2, "the third cell never ran");
+
+        let stats = sched.snapshot().stats;
+        assert_eq!(stats.cells_run, 2, "skips are not executed cells");
+        assert_eq!(stats.failures, 2);
+
+        // The pool is not starved: a fresh unbudgeted job runs fine.
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(4)], None, tx).unwrap();
+        let (_, sum) = drain(&rx);
+        assert_eq!(sum.ok, 1);
+        sched.shutdown_and_join();
+    }
+
+    #[test]
+    fn cache_hits_are_free_under_a_zero_budget() {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraphd-queue-test-{}-budget-cache",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let calls = Arc::new(Mutex::new(0usize));
+        let sched = Scheduler::new(
+            1,
+            64,
+            Cache::open(dir.clone()),
+            metered_runner(Arc::clone(&calls)),
+        );
+
+        // Warm the cache without a budget.
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(1)], None, tx).unwrap();
+        let (_, sum) = drain(&rx);
+        assert_eq!(sum.ok, 1);
+
+        // Budget 0 = serve-from-cache-only: the warm cell hits, the
+        // cold one fails structurally without running.
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(1), spec(2)], Some(0), tx).unwrap();
+        let (cells, sum) = drain(&rx);
+        assert_eq!(
+            cells[0].status,
+            CellStatus::Done {
+                sim: vec![("cycles".to_string(), 60)],
+                cached: true
+            }
+        );
+        let CellStatus::Failed { error } = &cells[1].status else {
+            panic!("cold cell must fail: {:?}", cells[1].status);
+        };
+        assert!(error.starts_with("BudgetExceeded"), "{error}");
+        assert_eq!((sum.ok, sum.cached, sum.failed), (1, 1, 1));
+        assert_eq!(*calls.lock().unwrap(), 1, "only the warm-up ever ran");
+        sched.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn a_cells_own_max_cycles_trip_is_not_a_budget_failure() {
+        let calls = Arc::new(Mutex::new(0usize));
+        let sched = Scheduler::new(1, 64, Cache::disabled(), metered_runner(Arc::clone(&calls)));
+
+        // The cell's own limit (10) is tighter than the job budget
+        // (1000): the watchdog trip is the cell's failure, the budget
+        // is not charged, and the next cell still runs.
+        let mut tight = spec(1);
+        tight.max_cycles = Some(10);
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![tight, spec(2)], Some(1000), tx).unwrap();
+        let (cells, sum) = drain(&rx);
+        let CellStatus::Failed { error } = &cells[0].status else {
+            panic!("tight cell must fail: {:?}", cells[0].status);
+        };
+        assert!(
+            !error.contains("BudgetExceeded"),
+            "cell-local trip is not a job-budget failure: {error}"
+        );
+        assert!(error.contains("cycle budget exceeded"), "{error}");
+        assert!(
+            matches!(&cells[1].status, CellStatus::Done { .. }),
+            "budget uncharged: the sibling runs"
+        );
+        assert_eq!((sum.ok, sum.failed), (1, 1));
+        assert_eq!(*calls.lock().unwrap(), 2);
         sched.shutdown_and_join();
     }
 
@@ -539,7 +1042,7 @@ mod tests {
         let sched = Scheduler::new(1, 64, Cache::open(dir.clone()), runner);
 
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(1)], tx).unwrap();
+        sched.submit(vec![spec(1)], None, tx).unwrap();
         let (cells, sum) = drain(&rx);
         assert_eq!(
             cells[0].status,
@@ -554,7 +1057,7 @@ mod tests {
         let mut pinned = spec(1);
         pinned.engine = Some(archgraph_mta_sim::machine::MtaEngine::Compiled);
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![pinned], tx).unwrap();
+        sched.submit(vec![pinned], None, tx).unwrap();
         let (cells, sum) = drain(&rx);
         assert_eq!(
             cells[0].status,
@@ -570,6 +1073,53 @@ mod tests {
         assert_eq!(snap.stats.cells_run, 1);
         assert_eq!(snap.stats.cache_hits, 1);
         assert_eq!(snap.stats.jobs, 2);
+        assert_eq!(snap.cache.entries, 1, "status surfaces the cache footprint");
+        assert_eq!(snap.cache.evictions, 0);
+        sched.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn list_reports_suite_names_and_cache_status() {
+        let dir =
+            std::env::temp_dir().join(format!("archgraphd-queue-test-{}-list", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner: Runner = Arc::new(|_s| Ok(vec![("cycles".to_string(), 7)]));
+        let sched = Scheduler::new(1, 64, Cache::open(dir.clone()), runner);
+
+        let cold = sched.list();
+        assert_eq!(cold.len(), bench_suite().len());
+        assert!(cold.iter().all(|e| !e.cached), "cold cache: nothing cached");
+        assert!(cold.iter().any(|e| e.name == "fig2/mta/p8"));
+
+        // Run one suite cell; only its entry flips (and, per the
+        // determinism contract, its engine-pinned siblings that share
+        // the content address).
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(
+                vec![archgraph_bench::cells::find("fig2/mta/p8").unwrap()],
+                None,
+                tx,
+            )
+            .unwrap();
+        let (_, sum) = drain(&rx);
+        assert_eq!(sum.ok, 1);
+        let warm = sched.list();
+        let fig2: Vec<_> = warm
+            .iter()
+            .filter(|e| e.name.starts_with("fig2/mta"))
+            .collect();
+        assert!(
+            fig2.iter().all(|e| e.cached),
+            "all fig2 MTA engine pins share one cache entry"
+        );
+        assert!(
+            warm.iter()
+                .filter(|e| e.cached)
+                .all(|e| e.key == fig2[0].key),
+            "only the one content address is warm"
+        );
         sched.shutdown_and_join();
         let _ = std::fs::remove_dir_all(dir);
     }
@@ -594,7 +1144,9 @@ mod tests {
         let sched = Scheduler::new(1, 64, Cache::open(dir.clone()), runner);
 
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(1), spec(13), spec(2)], tx).unwrap();
+        sched
+            .submit(vec![spec(1), spec(13), spec(2)], None, tx)
+            .unwrap();
         let (cells, sum) = drain(&rx);
         assert_eq!(
             cells[1].status,
@@ -610,7 +1162,7 @@ mod tests {
 
         // Re-submitting the poisoned cell re-runs it: failures don't cache.
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(13)], tx).unwrap();
+        sched.submit(vec![spec(13)], None, tx).unwrap();
         let (_, sum) = drain(&rx);
         assert_eq!((sum.failed, sum.cached), (1, 0));
         assert_eq!(*calls.lock().unwrap(), 4, "poisoned cell ran twice");
@@ -625,7 +1177,7 @@ mod tests {
         let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
 
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(1), spec(2)], tx).unwrap();
+        sched.submit(vec![spec(1), spec(2)], None, tx).unwrap();
         started.recv().expect("cell 0 in flight");
         // Release both gates so the drain can never deadlock regardless
         // of whether cell 1 starts before the shutdown flag lands.
@@ -640,7 +1192,9 @@ mod tests {
         assert_eq!(sum.ok + sum.cancelled, 2);
 
         let (tx, _rx) = mpsc::channel();
-        let err = sched.submit(vec![spec(3)], tx).expect_err("post-shutdown");
+        let err = sched
+            .submit(vec![spec(3)], None, tx)
+            .expect_err("post-shutdown");
         assert!(err.contains("shutting down"), "{err}");
         sched.shutdown_and_join(); // idempotent
     }

@@ -1,8 +1,12 @@
 //! The daemon's accept loop and per-connection protocol handler.
 //!
 //! The listener is either a Unix-domain socket (the default — local,
-//! permission-scoped, removable on shutdown) or a localhost TCP socket
-//! (for platforms or harnesses without Unix sockets). Accepting is
+//! permission-scoped, removable on shutdown) or a TCP socket, which is
+//! *loopback-only* unless the operator passes both `--allow-remote`
+//! and `--token`: binding a non-loopback address without a bearer
+//! token is refused at startup, and with a token every connection must
+//! send the token as its literal first line before any request is
+//! processed. Accepting is
 //! non-blocking with a short poll so the loop notices shutdown promptly:
 //! a `shutdown` op from any client, or a SIGTERM/SIGINT flagged by the
 //! shared [`archgraph_bench::signals`] handler, both end the loop, after
@@ -18,7 +22,9 @@
 //! nearly free.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::fs::MetadataExt;
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -52,13 +58,38 @@ impl Endpoint {
     }
 }
 
+/// Remote-access policy for TCP endpoints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Security {
+    /// Permit binding a non-loopback TCP address (requires `token`).
+    pub allow_remote: bool,
+    /// Bearer token every connection must send as its first line.
+    pub token: Option<String>,
+}
+
+/// The identity of a bound socket file: `(st_dev, st_ino)`. Recorded at
+/// bind time so shutdown only unlinks the path if it still names *our*
+/// socket — a daemon that lost a reclaim race must not delete a newer
+/// daemon's live socket.
+#[cfg(unix)]
+type FileId = (u64, u64);
+
+#[cfg(unix)]
+fn file_id(path: &std::path::Path) -> Option<FileId> {
+    std::fs::symlink_metadata(path)
+        .ok()
+        .map(|m| (m.dev(), m.ino()))
+}
+
 /// A bound listening socket.
 #[derive(Debug)]
 pub enum Listener {
-    /// Unix-domain listener plus the path to unlink on shutdown.
+    /// Unix-domain listener, the path to unlink on shutdown, and the
+    /// socket file's identity as bound (to detect losing the path to a
+    /// newer daemon).
     #[cfg(unix)]
-    Unix(UnixListener, PathBuf),
-    /// Localhost TCP listener.
+    Unix(UnixListener, PathBuf, Option<FileId>),
+    /// TCP listener (loopback-only unless remote access is enabled).
     Tcp(TcpListener),
 }
 
@@ -110,11 +141,17 @@ impl Write for Conn {
     }
 }
 
+/// Bind the endpoint with the default (local-only) security policy.
+pub fn bind(ep: &Endpoint) -> io::Result<Listener> {
+    bind_secured(ep, &Security::default())
+}
+
 /// Bind the endpoint. A Unix socket path left behind by a killed daemon
 /// (the file exists but nothing answers) is reclaimed automatically;
 /// a *live* daemon on the same path is an error — two daemons must not
-/// fight over one socket.
-pub fn bind(ep: &Endpoint) -> io::Result<Listener> {
+/// fight over one socket. A non-loopback TCP address is refused unless
+/// the policy allows remote access *and* carries a bearer token.
+pub fn bind_secured(ep: &Endpoint, security: &Security) -> io::Result<Listener> {
     match ep {
         Endpoint::Unix(path) => {
             #[cfg(unix)]
@@ -135,7 +172,8 @@ pub fn bind(ep: &Endpoint) -> io::Result<Listener> {
                 }
                 let l = UnixListener::bind(path)?;
                 l.set_nonblocking(true)?;
-                Ok(Listener::Unix(l, path.clone()))
+                let id = file_id(path);
+                Ok(Listener::Unix(l, path.clone(), id))
             }
             #[cfg(not(unix))]
             {
@@ -147,6 +185,19 @@ pub fn bind(ep: &Endpoint) -> io::Result<Listener> {
             }
         }
         Endpoint::Tcp(addr) => {
+            let loopback_only = !(security.allow_remote && security.token.is_some());
+            if loopback_only {
+                let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+                if let Some(bad) = addrs.iter().find(|a| !a.ip().is_loopback()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::PermissionDenied,
+                        format!(
+                            "refusing non-loopback TCP bind {bad}: archgraphd serves \
+                             localhost only unless --allow-remote and --token are both given"
+                        ),
+                    ));
+                }
+            }
             let l = TcpListener::bind(addr)?;
             l.set_nonblocking(true)?;
             Ok(Listener::Tcp(l))
@@ -179,15 +230,21 @@ impl Listener {
     fn accept(&self) -> io::Result<Conn> {
         match self {
             #[cfg(unix)]
-            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Unix(l, _, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
             Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
         }
     }
 
+    /// Unlink the socket path — but only while it still names the
+    /// socket *we* bound. If a newer daemon reclaimed the path (after
+    /// this one's file was removed out from under it), the inode no
+    /// longer matches and the path is left alone.
     fn cleanup(&self) {
         #[cfg(unix)]
-        if let Listener::Unix(_, path) = self {
-            let _ = std::fs::remove_file(path);
+        if let Listener::Unix(_, path, bound_id) = self {
+            if bound_id.is_some() && file_id(path) == *bound_id {
+                let _ = std::fs::remove_file(path);
+            }
         }
     }
 }
@@ -195,7 +252,13 @@ impl Listener {
 /// Run the daemon until a `shutdown` op or a pending SIGTERM/SIGINT,
 /// then drain the scheduler and remove the socket. Returns the reason
 /// ("shutdown op" or the signal name) for the final log line.
-pub fn serve(listener: Listener, sched: Arc<Scheduler>, stop: Arc<AtomicBool>) -> &'static str {
+pub fn serve(
+    listener: Listener,
+    sched: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+    token: Option<String>,
+) -> &'static str {
+    let token = Arc::new(token);
     let reason = loop {
         if stop.load(Ordering::SeqCst) {
             break "shutdown op";
@@ -211,10 +274,11 @@ pub fn serve(listener: Listener, sched: Arc<Scheduler>, stop: Arc<AtomicBool>) -
             Ok(conn) => {
                 let sched = Arc::clone(&sched);
                 let stop = Arc::clone(&stop);
+                let token = Arc::clone(&token);
                 // Detached: dies with the process after the drain.
                 let _ = thread::Builder::new()
                     .name("archgraphd-client".to_string())
-                    .spawn(move || handle_client(conn, &sched, &stop));
+                    .spawn(move || handle_client(conn, &sched, &stop, token.as_deref()));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
             Err(e) => {
@@ -233,14 +297,31 @@ pub fn serve(listener: Listener, sched: Arc<Scheduler>, stop: Arc<AtomicBool>) -
 }
 
 /// One connection's request loop. Returns when the client disconnects,
-/// a write fails, or the client asked for shutdown.
-fn handle_client(conn: Conn, sched: &Scheduler, stop: &AtomicBool) {
+/// a write fails, or the client asked for shutdown. With a token set,
+/// the connection's first line must be the bare token: a match is
+/// silent (the client just proceeds), anything else answers a
+/// structured error and closes the connection.
+fn handle_client(conn: Conn, sched: &Scheduler, stop: &AtomicBool, token: Option<&str>) {
     let Ok(read_half) = conn.try_clone() else {
         return;
     };
     let reader = BufReader::new(read_half);
     let mut w = conn;
-    for line in reader.lines() {
+    let mut lines = reader.lines();
+    if let Some(expect) = token {
+        let presented = lines.next();
+        let authed = matches!(&presented, Some(Ok(first)) if first.trim() == expect);
+        if !authed {
+            let _ = writeln!(
+                w,
+                "{}",
+                protocol::error("authentication failed: send the bearer token as the first line")
+            );
+            let _ = w.flush();
+            return;
+        }
+    }
+    for line in lines {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
             continue;
@@ -262,7 +343,11 @@ fn handle_client(conn: Conn, sched: &Scheduler, stop: &AtomicBool) {
                 stop.store(true, Ordering::SeqCst);
                 return;
             }
-            Ok(Request::Submit { cells }) => stream_job(&mut w, sched, cells),
+            Ok(Request::List) => writeln!(w, "{}", protocol::list_line(&sched.list())),
+            Ok(Request::Submit {
+                cells,
+                budget_cycles,
+            }) => stream_job(&mut w, sched, cells, budget_cycles),
         };
         if ok.and_then(|()| w.flush()).is_err() {
             return;
@@ -275,9 +360,10 @@ fn stream_job(
     w: &mut Conn,
     sched: &Scheduler,
     cells: Vec<archgraph_bench::CellSpec>,
+    budget_cycles: Option<u64>,
 ) -> io::Result<()> {
     let (tx, rx) = mpsc::channel();
-    let (job, n) = match sched.submit(cells, tx) {
+    let (job, n) = match sched.submit(cells, budget_cycles, tx) {
         Ok(accepted) => accepted,
         Err(msg) => return writeln!(w, "{}", protocol::error(&msg)),
     };
@@ -332,5 +418,62 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
         second.cleanup();
         assert!(!path.exists(), "cleanup removes the socket file");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn a_superseded_daemon_does_not_unlink_its_successors_socket() {
+        let path = std::env::temp_dir().join(format!(
+            "archgraphd-server-test-{}-race.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let ep = Endpoint::Unix(path.clone());
+
+        // Daemon A binds, then loses its socket file out from under it
+        // (the reclaim race: someone judged it stale and removed it).
+        let a = bind(&ep).expect("daemon A binds");
+        std::fs::remove_file(&path).expect("A's socket file is removed");
+        // Daemon B takes over the path with a fresh socket file.
+        let b = bind(&ep).expect("daemon B binds the freed path");
+        let b_id = file_id(&path).expect("B's socket file exists");
+
+        // A shutting down must not delete B's live socket.
+        a.cleanup();
+        assert_eq!(
+            file_id(&path),
+            Some(b_id),
+            "A's cleanup left B's socket in place"
+        );
+        // B still owns the path, so *its* cleanup removes it.
+        b.cleanup();
+        assert!(!path.exists(), "B's cleanup removes its own socket");
+    }
+
+    #[test]
+    fn non_loopback_tcp_binds_are_refused_without_remote_credentials() {
+        let ep = Endpoint::Tcp("0.0.0.0:0".into());
+        let err = bind(&ep).expect_err("wildcard bind refused by default");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert!(err.to_string().contains("--allow-remote"), "{err}");
+
+        // --allow-remote alone is not enough: a token is required too.
+        let half = Security {
+            allow_remote: true,
+            token: None,
+        };
+        let err = bind_secured(&ep, &half).expect_err("no token, no remote");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+
+        let full = Security {
+            allow_remote: true,
+            token: Some("s3cret".into()),
+        };
+        let l = bind_secured(&ep, &full).expect("token-backed remote bind");
+        drop(l);
+
+        // Loopback needs no credentials at all.
+        let l = bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("loopback bind");
+        drop(l);
     }
 }

@@ -47,6 +47,15 @@ fn temp_root(name: &str) -> PathBuf {
 }
 
 fn start_daemon(root: &Path, jobs: usize, extra_env: &[(&str, &str)]) -> Daemon {
+    start_daemon_with_args(root, jobs, extra_env, &[])
+}
+
+fn start_daemon_with_args(
+    root: &Path,
+    jobs: usize,
+    extra_env: &[(&str, &str)],
+    extra_args: &[&str],
+) -> Daemon {
     let socket = root.join("archgraphd.sock");
     let mut cmd = Command::new(DAEMON);
     cmd.args([
@@ -57,6 +66,7 @@ fn start_daemon(root: &Path, jobs: usize, extra_env: &[(&str, &str)]) -> Daemon 
         "--cache-dir",
         root.join("cache").to_str().unwrap(),
     ])
+    .args(extra_args)
     .stdout(Stdio::null())
     .stderr(Stdio::null())
     // The daemon must not inherit ambient knobs from the test harness.
@@ -364,6 +374,237 @@ fn a_poisoned_cell_fails_structurally_and_the_grid_survives() {
         cells.iter().any(|c| c.get("error").is_some()),
         "failure repeats, never cached"
     );
+
+    shutdown_and_reap(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn budgeted_jobs_fail_structurally_and_list_serves_the_suite() {
+    let root = temp_root("budget");
+    let daemon = start_daemon(&root, 1, &[]);
+
+    // `list` enumerates the bench suite with cache status (cold here).
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, r#"{"op":"list"}"#);
+    let list = recv(&mut r);
+    assert_eq!(list.get("type").and_then(Json::as_str), Some("list"));
+    let cells = list.get("cells").and_then(Json::as_arr).expect("cells");
+    assert!(cells.len() >= 30, "the whole suite is listed");
+    assert!(cells
+        .iter()
+        .any(|c| c.get("name").and_then(Json::as_str) == Some("fig2/mta/p8")));
+    for c in cells {
+        assert_eq!(c.get("cached"), Some(&Json::Bool(false)), "cold: {c:?}");
+        assert!(c.get("key").and_then(Json::as_str).is_some());
+    }
+
+    // A 1-cycle budget: the first cell trips the clamped watchdog, the
+    // second is skipped without running. Both carry structured
+    // BudgetExceeded errors; the daemon itself stays healthy.
+    let request = format!(
+        r#"{{"op":"submit","budget_cycles":1,"cells":[{},{}]}}"#,
+        r#"{"kernel":"color","machine":"mta","p":2,"n":128,"m":384}"#,
+        r#"{"kernel":"color","machine":"mta","p":2,"n":160,"m":480}"#
+    );
+    let (cells, done) = run_job(&daemon, &request);
+    assert_eq!(cells.len(), 2);
+    for cell in &cells {
+        let msg = cell
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("budgeted cell fails with an error");
+        assert!(msg.contains("BudgetExceeded"), "{msg}");
+    }
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(2));
+    assert_eq!(done.get("ok").and_then(Json::as_u64), Some(0));
+
+    // The same job without a budget completes; with an ample budget the
+    // cached results are then free even under budget 1.
+    let (cells, done) = run_job(&daemon, &submit_line(&[128, 160]));
+    assert_eq!(done.get("ok").and_then(Json::as_u64), Some(2));
+    assert_eq!(sim_pairs(&cells[0]), reference_sim(128));
+    let request = format!(
+        r#"{{"op":"submit","budget_cycles":1,"cells":[{}]}}"#,
+        r#"{"kernel":"color","machine":"mta","p":2,"n":128,"m":384}"#
+    );
+    let (cells, done) = run_job(&daemon, &request);
+    assert_eq!(cells[0].get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(done.get("ok").and_then(Json::as_u64), Some(1));
+
+    shutdown_and_reap(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn a_token_gated_daemon_refuses_unauthenticated_connections() {
+    let root = temp_root("token");
+    let daemon = start_daemon_with_args(&root, 1, &[], &["--token", "s3cret-tok3n"]);
+    let sock = daemon.socket.to_str().unwrap().to_string();
+
+    // No token: the first request line is treated as a failed
+    // authentication and the connection closes.
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, r#"{"op":"ping"}"#);
+    let err = recv(&mut r);
+    assert_eq!(err.get("type").and_then(Json::as_str), Some("error"));
+    assert!(err
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("authentication failed"));
+    let mut line = String::new();
+    assert_eq!(
+        r.read_line(&mut line).unwrap(),
+        0,
+        "connection closed after failed auth"
+    );
+
+    // Wrong token: same refusal.
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, "wrong-token");
+    send(&mut w, r#"{"op":"ping"}"#);
+    let err = recv(&mut r);
+    assert_eq!(err.get("type").and_then(Json::as_str), Some("error"));
+
+    // Correct token as the first line: the session proceeds normally.
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, "s3cret-tok3n");
+    send(&mut w, r#"{"op":"ping"}"#);
+    assert_eq!(
+        recv(&mut r).get("type").and_then(Json::as_str),
+        Some("pong")
+    );
+
+    // The client CLI sends the token with --token.
+    let ping = Command::new(CLIENT)
+        .args(["--socket", &sock, "--token", "s3cret-tok3n", "ping"])
+        .output()
+        .expect("run client ping with token");
+    assert!(ping.status.success(), "{ping:?}");
+    assert!(String::from_utf8_lossy(&ping.stdout).contains(r#""type":"pong""#));
+    let unauth = Command::new(CLIENT)
+        .args(["--socket", &sock, "ping"])
+        .output()
+        .expect("run client ping without token");
+    assert_eq!(unauth.status.code(), Some(1), "{unauth:?}");
+
+    // Shutdown needs the token too.
+    let bye = Command::new(CLIENT)
+        .args(["--socket", &sock, "--token", "s3cret-tok3n", "shutdown"])
+        .output()
+        .expect("run client shutdown");
+    assert!(bye.status.success(), "{bye:?}");
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("daemon exit");
+    assert!(status.success(), "{status}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn non_loopback_tcp_binds_are_refused_at_startup() {
+    let root = temp_root("tcp-refuse");
+    let out = Command::new(DAEMON)
+        .args([
+            "--tcp",
+            "0.0.0.0:0",
+            "--cache-dir",
+            root.join("cache").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run daemon with a wildcard bind");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--allow-remote"), "{err}");
+    assert!(err.contains("--token"), "{err}");
+
+    // --allow-remote without --token is refused just the same.
+    let out = Command::new(DAEMON)
+        .args([
+            "--tcp",
+            "0.0.0.0:0",
+            "--allow-remote",
+            "--cache-dir",
+            root.join("cache").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run daemon with remote but no token");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn a_superseded_daemon_does_not_unlink_its_successors_live_socket() {
+    let root = temp_root("sockrace");
+    let daemon_a = start_daemon(&root, 1, &[]);
+
+    // Simulate A losing the reclaim race: its socket file vanishes and a
+    // second daemon takes over the same path.
+    std::fs::remove_file(&daemon_a.socket).expect("remove A's socket file");
+    let daemon_b = start_daemon(&root, 1, &[]);
+    assert_eq!(daemon_a.socket, daemon_b.socket);
+
+    // A drains via SIGTERM; its shutdown must not delete B's socket.
+    let pid = daemon_a.child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("run kill");
+    assert!(killed.success());
+    let mut daemon_a = daemon_a;
+    let status = daemon_a.child.wait().expect("wait for daemon A");
+    assert!(status.success(), "A's graceful drain exits 0, got {status}");
+    drop(daemon_a);
+
+    assert!(
+        daemon_b.socket.exists(),
+        "the superseded daemon deleted its successor's live socket"
+    );
+    // And B still answers on it.
+    let (mut r, mut w) = dial(&daemon_b);
+    send(&mut w, r#"{"op":"ping"}"#);
+    assert_eq!(
+        recv(&mut r).get("type").and_then(Json::as_str),
+        Some("pong")
+    );
+    shutdown_and_reap(daemon_b);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn a_bounded_cache_evicts_and_rerun_is_identical() {
+    let root = temp_root("evict");
+    // A bound far below one payload: every record is swept right back
+    // out, which is the most aggressive (still sound) eviction policy.
+    let daemon = start_daemon_with_args(&root, 1, &[], &["--cache-max-bytes", "10"]);
+
+    let sizes = [128usize, 144, 160];
+    let (cells, done) = run_job(&daemon, &submit_line(&sizes));
+    assert_eq!(done.get("ok").and_then(Json::as_u64), Some(3));
+    let first_sims: Vec<_> = cells.iter().map(sim_pairs).collect();
+
+    // status surfaces the eviction counters.
+    let (mut r, mut w) = dial(&daemon);
+    send(&mut w, r#"{"op":"status"}"#);
+    let status = recv(&mut r);
+    assert_eq!(status.get("type").and_then(Json::as_str), Some("status"));
+    let evictions = status.get("evictions").and_then(Json::as_u64).unwrap();
+    assert!(evictions >= 1, "tiny bound must evict, got {evictions}");
+    assert!(status.get("cache_bytes").and_then(Json::as_u64).is_some());
+    assert!(status.get("cache_entries").and_then(Json::as_u64).is_some());
+
+    // Eviction is safe: the re-run misses the cache but reproduces the
+    // exact fingerprints.
+    let (cells, done) = run_job(&daemon, &submit_line(&sizes));
+    assert_eq!(done.get("ok").and_then(Json::as_u64), Some(3));
+    assert_eq!(done.get("cached").and_then(Json::as_u64), Some(0));
+    for (cell, first) in cells.iter().zip(&first_sims) {
+        assert_eq!(cell.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(&sim_pairs(cell), first, "evicted cell re-runs identically");
+        let idx = cell.get("index").and_then(Json::as_u64).unwrap() as usize;
+        assert_eq!(sim_pairs(cell), reference_sim(sizes[idx]));
+    }
 
     shutdown_and_reap(daemon);
     let _ = std::fs::remove_dir_all(root);

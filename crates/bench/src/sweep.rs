@@ -270,6 +270,63 @@ impl Checkpoint {
             let _ = std::fs::remove_dir_all(d);
         }
     }
+
+    /// Enumerate the stored entries: sanitized name, payload size, and
+    /// file mtime. The `.spec` sentinel and in-flight temp files are not
+    /// entries. Consumers that bound the store (the daemon's
+    /// `--cache-max-bytes` LRU sweep) sort by mtime; entries whose
+    /// metadata cannot be read are skipped — they will surface on the
+    /// next enumeration or simply be overwritten.
+    pub fn entries(&self) -> Vec<CheckpointEntry> {
+        let Some(dir) = &self.dir else {
+            return Vec::new();
+        };
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in rd.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name == SPEC_FILE || name.ends_with(".inflight") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            out.push(CheckpointEntry {
+                name,
+                bytes: meta.len(),
+                mtime: meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH),
+            });
+        }
+        out
+    }
+
+    /// Remove one recorded entry by its (possibly unsanitized) cell name.
+    /// Returns whether a file was actually removed — concurrent sweepers
+    /// may race for the same entry, and only one of them wins.
+    pub fn remove(&self, cell: &str) -> bool {
+        match self.path(cell) {
+            Some(p) => std::fs::remove_file(p).is_ok(),
+            None => false,
+        }
+    }
+}
+
+/// One stored checkpoint entry, as listed by [`Checkpoint::entries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// Sanitized file name — for content-addressed consumers (the daemon
+    /// cache) this is the cache key itself, which [`Checkpoint::path`]
+    /// sanitizes to itself.
+    pub name: String,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Last-modified time of the entry file. Recording (and re-recording)
+    /// an entry refreshes it, which is what makes an mtime sweep LRU
+    /// rather than insertion-order FIFO.
+    pub mtime: std::time::SystemTime,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -572,6 +629,56 @@ mod tests {
         assert!(!ck.enabled());
         ck.record("x", "1 2 3|");
         assert_eq!(ck.lookup("x"), None);
+        assert!(ck.entries().is_empty());
+        assert!(!ck.remove("x"));
+    }
+
+    #[test]
+    fn entries_enumerate_payload_files_only() {
+        let ck = temp_store("entries");
+        assert!(ck.entries().is_empty(), "fresh store has no entries");
+        ck.record("fig/a/p1", "1 2 3|one");
+        ck.record("deadbeef00000000", "v1 ok cycles=9");
+        let mut entries = ck.entries();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(entries.len(), 2, "the .spec sentinel is not an entry");
+        assert_eq!(entries[0].name, "deadbeef00000000");
+        assert_eq!(entries[0].bytes, "v1 ok cycles=9".len() as u64);
+        assert_eq!(entries[1].name, "fig_a_p1", "names come back sanitized");
+        assert_eq!(entries[1].bytes, "1 2 3|one".len() as u64);
+        ck.clear();
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_entry() {
+        let ck = temp_store("remove");
+        ck.record("a/b", "1 1 1|x");
+        ck.record("c/d", "2 2 2|y");
+        assert!(ck.remove("a/b"), "present entry removes");
+        assert!(!ck.remove("a/b"), "second removal finds nothing");
+        assert_eq!(ck.lookup("a/b"), None);
+        assert_eq!(ck.lookup("c/d"), Some("2 2 2|y".to_string()));
+        // Sanitized and unsanitized spellings address the same file.
+        assert!(ck.remove("c_d"));
+        assert_eq!(ck.entries().len(), 0);
+        ck.clear();
+    }
+
+    #[test]
+    fn rerecording_refreshes_the_entry_mtime() {
+        let ck = temp_store("touch");
+        ck.record("old", "1 1 1|");
+        let first = ck.entries().remove(0).mtime;
+        // File mtimes can be coarse; retry briefly until the clock ticks.
+        for _ in 0..50 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            ck.record("old", "1 1 1|");
+            if ck.entries().remove(0).mtime > first {
+                ck.clear();
+                return;
+            }
+        }
+        panic!("re-record never advanced the entry mtime");
     }
 
     #[test]

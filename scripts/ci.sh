@@ -81,10 +81,14 @@ if ! diff <(grep '"sim"' "$w1") <(grep '"sim"' "$w4"); then
 fi
 
 echo "== archgraphd daemon smoke =="
-# Serve two of the same suite cells through the daemon and diff the
-# streamed fingerprints byte-for-byte against the W=1 bench output from
-# the previous leg; replay must be fully cache-served; shutdown must be
-# clean (exit 0, socket removed). See scripts/daemon_smoke.sh.
+# Serve the FULL bench suite through the daemon and diff every streamed
+# fingerprint byte-for-byte against the W=1 bench output from the
+# previous leg. The leg also pins the serving hardening end to end: a
+# 1-cell job must complete mid-sweep under --jobs 1 (round-robin
+# fairness), `list` must track per-cell cache status, a tiny
+# --cache-max-bytes daemon must evict and still re-run identically, and
+# shutdown must be clean (exit 0, socket removed). See
+# scripts/daemon_smoke.sh.
 scripts/daemon_smoke.sh "$w1"
 
 echo "== bench regression check =="

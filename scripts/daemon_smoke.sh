@@ -1,18 +1,28 @@
 #!/usr/bin/env bash
 # Daemon smoke leg: prove archgraphd serves the exact same experiment the
-# bench driver runs, end to end over the wire.
+# bench driver runs, end to end over the wire — now through the fair
+# (round-robin) scheduler and the bounded cache.
 #
-#   1. start archgraphd on a temp Unix socket with a fresh cache;
-#   2. submit two bench-suite cells through archgraph-client and assert
-#      every streamed "sim" fingerprint is BYTE-identical to the same
-#      cell in a --bin bench output (passed as $1);
-#   3. resubmit the same cells and assert both are served with
-#      "cached":true and the identical fingerprints;
-#   4. shut the daemon down through the client and assert it exits 0 and
-#      removes its socket file.
+# Leg 1 — fair-share daemon (--jobs 1, fresh cache):
+#   1. `list` cold: every bench-suite cell is reported, none cached;
+#   2. submit the FULL suite as job A in the background; once A starts
+#      streaming cells, submit a 1-cell job B (a raw spec, not in the
+#      suite) and assert B completes while A is still mid-sweep — the
+#      round-robin scheduler must not make B wait behind A's backlog;
+#   3. wait for A and assert every streamed "sim" fingerprint is
+#      BYTE-identical to the same cell in a --bin bench output ($1);
+#   4. resubmit the suite: all cells served with "cached":true and the
+#      identical fingerprints; `list` now reports every cell cached;
+#   5. shut the daemon down through the client (exit 0, socket removed).
+#
+# Leg 2 — bounded-cache daemon (--cache-max-bytes far below one payload):
+#   6. submit three suite cells, assert `status` reports evictions;
+#   7. resubmit: nothing is cache-served (everything was evicted), yet
+#      every fingerprint is still byte-identical — eviction is safe, a
+#      miss just re-runs; clean shutdown again.
 #
 # Usage:  scripts/daemon_smoke.sh BENCH_JSON
-#   BENCH_JSON is any bench driver output containing the probed cells
+#   BENCH_JSON is any bench driver output containing the full suite
 #   (ci.sh passes the W=1 run it already produced for the partitioned
 #   identity leg).
 
@@ -20,7 +30,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
 BENCH_JSON="${1:?usage: scripts/daemon_smoke.sh BENCH_JSON}"
-CELLS=(fig2/mta/p8 bfs/smp/p8)
 
 DAEMON=target/release/archgraphd
 CLIENT=target/release/archgraph-client
@@ -29,7 +38,6 @@ if [[ ! -x "$DAEMON" || ! -x "$CLIENT" ]]; then
 fi
 
 WORK="$(mktemp -d /tmp/archgraphd-smoke.XXXXXX)"
-SOCK="$WORK/archgraphd.sock"
 DPID=""
 cleanup() {
     if [[ -n "$DPID" ]] && kill -0 "$DPID" 2>/dev/null; then
@@ -40,29 +48,46 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$DAEMON" --socket "$SOCK" --jobs 2 --cache-dir "$WORK/cache" &
-DPID=$!
-for _ in $(seq 1 300); do
-    [[ -S "$SOCK" ]] && break
-    if ! kill -0 "$DPID" 2>/dev/null; then
-        echo "daemon_smoke: FAIL — daemon died before binding its socket" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-[[ -S "$SOCK" ]] || { echo "daemon_smoke: FAIL — socket never appeared" >&2; exit 1; }
+fail() {
+    echo "daemon_smoke: FAIL — $1" >&2
+    exit 1
+}
 
-echo "-- submit (fresh): ${CELLS[*]}"
-"$CLIENT" --socket "$SOCK" submit "${CELLS[@]}" > "$WORK/first.jsonl"
-echo "-- submit (replay): ${CELLS[*]}"
-"$CLIENT" --socket "$SOCK" submit "${CELLS[@]}" > "$WORK/second.jsonl"
+start_daemon() { # SOCKET ARGS...
+    local sock="$1"
+    shift
+    "$DAEMON" --socket "$sock" "$@" &
+    DPID=$!
+    for _ in $(seq 1 300); do
+        [[ -S "$sock" ]] && break
+        kill -0 "$DPID" 2>/dev/null || fail "daemon died before binding its socket"
+        sleep 0.1
+    done
+    [[ -S "$sock" ]] || fail "socket never appeared"
+}
 
-python3 - "$BENCH_JSON" "$WORK/first.jsonl" "$WORK/second.jsonl" <<'EOF'
+stop_daemon() { # SOCKET
+    "$CLIENT" --socket "$1" shutdown > /dev/null
+    wait "$DPID" || fail "daemon exited nonzero on clean shutdown"
+    DPID=""
+    [[ -e "$1" ]] && fail "socket file survived shutdown"
+    return 0
+}
+
+# Shared checker: every "cell" event in a job stream must match the bench
+# output byte-for-byte, with the expected cache disposition. The cache
+# key excludes the engine pin (determinism contract), so engine-pinned
+# suite variants legitimately hit the cache once their unpinned twin has
+# run — a "fresh" stream therefore allows cached:true only for a cell
+# whose cache key already completed earlier in the same stream.
+cat > "$WORK/check.py" <<'EOF'
 import json, sys
 
-bench_path, first_path, second_path = sys.argv[1], sys.argv[2], sys.argv[3]
-bench = json.load(open(bench_path))
-bench_cells = {c["name"]: c for c in bench["cells"]}
+bench_path, stream_path, expect, min_cells, list_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4]), sys.argv[5],
+)
+bench_cells = {c["name"]: c for c in json.load(open(bench_path))["cells"]}
+key_of = {c["name"]: c["key"] for c in json.load(open(list_path))["cells"]}
 
 # Raw "sim" renderings from the bench JSON, for the byte-level check.
 bench_raw = {}
@@ -74,61 +99,152 @@ for line in open(bench_path):
     elif s.startswith('"sim":') and current is not None:
         bench_raw[current] = s.split('"sim": ', 1)[1]
 
-def check(path, expect_cached):
-    seen = {}
-    for line in open(path):
-        ev = json.loads(line)
-        t = ev.get("type")
-        if t == "error":
-            sys.exit(f"daemon_smoke: FAIL — daemon error: {ev}")
-        if t == "done":
-            if ev["failed"] != 0 or ev["cancelled"] != 0:
-                sys.exit(f"daemon_smoke: FAIL — job not fully ok: {ev}")
-        if t != "cell":
-            continue
-        name = ev["name"]
-        if "error" in ev:
-            sys.exit(f"daemon_smoke: FAIL — cell {name} failed: {ev['error']}")
-        if ev["cached"] != expect_cached:
-            sys.exit(f"daemon_smoke: FAIL — {name}: cached={ev['cached']}, expected {expect_cached}")
-        if name not in bench_cells:
-            sys.exit(f"daemon_smoke: FAIL — {name} not in the bench output")
-        if ev["sim"] != bench_cells[name]["sim"]:
-            sys.exit(
-                f"daemon_smoke: FAIL — {name} fingerprint drift: "
-                f"daemon {ev['sim']} vs bench {bench_cells[name]['sim']}"
-            )
-        # Byte identity of the rendered sim object: the daemon line ends
-        # "...,\"sim\":{ ... }}" — strip the event's closing brace.
-        daemon_sim = line.split('"sim":', 1)[1].strip()
-        assert daemon_sim.endswith("}}"), daemon_sim
-        daemon_sim = daemon_sim[:-1]
-        if daemon_sim != bench_raw[name]:
-            sys.exit(
-                f"daemon_smoke: FAIL — {name} sim rendering differs byte-wise: "
-                f"daemon {daemon_sim!r} vs bench {bench_raw[name]!r}"
-            )
-        seen[name] = ev["sim"]
-    return seen
-
-first = check(first_path, expect_cached=False)
-second = check(second_path, expect_cached=True)
-if first != second:
-    sys.exit(f"daemon_smoke: FAIL — replay changed results: {first} vs {second}")
-if not first:
-    sys.exit("daemon_smoke: FAIL — no cell results streamed")
-print(f"daemon_smoke: {len(first)} cells byte-identical to bench, replay fully cached")
+seen = {}
+seen_keys = set()
+for line in open(stream_path):
+    ev = json.loads(line)
+    t = ev.get("type")
+    if t == "error":
+        sys.exit(f"daemon_smoke: FAIL — daemon error: {ev}")
+    if t == "done" and (ev["failed"] != 0 or ev["cancelled"] != 0):
+        sys.exit(f"daemon_smoke: FAIL — job not fully ok: {ev}")
+    if t != "cell":
+        continue
+    name = ev["name"]
+    if "error" in ev:
+        sys.exit(f"daemon_smoke: FAIL — cell {name} failed: {ev['error']}")
+    if expect == "cached":
+        if not ev["cached"]:
+            sys.exit(f"daemon_smoke: FAIL — {name}: uncached on a warm replay")
+    elif ev["cached"] and key_of.get(name) not in seen_keys:
+        sys.exit(
+            f"daemon_smoke: FAIL — {name}: cache-served, but its experiment "
+            f"never ran in this stream"
+        )
+    seen_keys.add(key_of.get(name))
+    if name not in bench_cells:
+        sys.exit(f"daemon_smoke: FAIL — {name} not in the bench output")
+    if ev["sim"] != bench_cells[name]["sim"]:
+        sys.exit(
+            f"daemon_smoke: FAIL — {name} fingerprint drift: "
+            f"daemon {ev['sim']} vs bench {bench_cells[name]['sim']}"
+        )
+    # Byte identity of the rendered sim object: the daemon line ends
+    # "...,\"sim\":{ ... }}" — strip the event's closing brace.
+    daemon_sim = line.split('"sim":', 1)[1].strip()
+    assert daemon_sim.endswith("}}"), daemon_sim
+    if daemon_sim[:-1] != bench_raw[name]:
+        sys.exit(
+            f"daemon_smoke: FAIL — {name} sim rendering differs byte-wise: "
+            f"daemon {daemon_sim[:-1]!r} vs bench {bench_raw[name]!r}"
+        )
+    seen[name] = ev["sim"]
+if len(seen) < min_cells:
+    sys.exit(
+        f"daemon_smoke: FAIL — only {len(seen)} cells streamed, "
+        f"expected at least {min_cells}"
+    )
+print(f"daemon_smoke: {len(seen)} cells byte-identical to bench ({expect})")
 EOF
 
-echo "-- shutdown"
-"$CLIENT" --socket "$SOCK" shutdown > /dev/null
-if ! wait "$DPID"; then
-    echo "daemon_smoke: FAIL — daemon exited nonzero on clean shutdown" >&2
-    exit 1
+# ---------------------------------------------------------------- leg 1
+SOCK="$WORK/archgraphd.sock"
+start_daemon "$SOCK" --jobs 1 --cache-dir "$WORK/cache"
+
+echo "-- list (cold cache)"
+"$CLIENT" --socket "$SOCK" list > "$WORK/list_cold.json"
+python3 - "$WORK/list_cold.json" "$WORK/names" <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+assert len(cells) >= 30, f"suite lists only {len(cells)} cells"
+bad = [c["name"] for c in cells if c["cached"]]
+assert not bad, f"cold cache but cells report cached: {bad}"
+assert all(c["key"] for c in cells), "list entries must carry cache keys"
+with open(sys.argv[2], "w") as f:
+    f.write("\n".join(c["name"] for c in cells) + "\n")
+print(f"daemon_smoke: list reports {len(cells)} suite cells, none cached")
+EOF
+mapfile -t SUITE < "$WORK/names"
+
+echo "-- submit full suite (job A, background) + 1-cell job B"
+"$CLIENT" --socket "$SOCK" submit "${SUITE[@]}" > "$WORK/first.jsonl" &
+APID=$!
+for _ in $(seq 1 600); do
+    grep -q '"type":"cell"' "$WORK/first.jsonl" 2>/dev/null && break
+    kill -0 "$APID" 2>/dev/null || break
+    sleep 0.1
+done
+grep -q '"type":"cell"' "$WORK/first.jsonl" || fail "suite job never streamed a cell"
+
+# Job B is a raw 1-cell spec (not a suite cell, so never cache-served).
+# Under round-robin it must land within a couple of cell-times even
+# though job A still has a deep backlog on the single worker.
+"$CLIENT" --socket "$SOCK" submit-json \
+    '{"kernel":"color","machine":"mta","p":2,"n":96,"m":288}' \
+    > "$WORK/b.jsonl" || fail "interleaved 1-cell job failed"
+cp "$WORK/first.jsonl" "$WORK/first_at_b.jsonl"
+if grep -q '"type":"done"' "$WORK/first_at_b.jsonl"; then
+    fail "suite job finished before the interleaved job — scheduler is not fair"
 fi
-DPID=""
-if [[ -e "$SOCK" ]]; then
-    echo "daemon_smoke: FAIL — socket file survived shutdown" >&2
-    exit 1
+python3 - "$WORK/b.jsonl" <<'EOF'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1])]
+done = [e for e in events if e.get("type") == "done"]
+assert done and done[-1]["ok"] == 1 and done[-1]["failed"] == 0, events
+EOF
+echo "daemon_smoke: 1-cell job completed mid-sweep (fair interleaving)"
+
+if ! wait "$APID"; then
+    fail "suite job exited nonzero"
 fi
-echo "daemon_smoke: daemon served, cached, and shut down cleanly"
+python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/first.jsonl" fresh 30 "$WORK/list_cold.json"
+
+echo "-- submit full suite (replay)"
+"$CLIENT" --socket "$SOCK" submit "${SUITE[@]}" > "$WORK/second.jsonl"
+python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/second.jsonl" cached 30 "$WORK/list_cold.json"
+
+echo "-- list (warm cache)"
+"$CLIENT" --socket "$SOCK" list > "$WORK/list_warm.json"
+python3 - "$WORK/list_warm.json" <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+bad = [c["name"] for c in cells if not c["cached"]]
+assert not bad, f"suite was just run, but cells report uncached: {bad}"
+print(f"daemon_smoke: list reports all {len(cells)} suite cells cached")
+EOF
+
+echo "-- shutdown (leg 1)"
+stop_daemon "$SOCK"
+
+# ---------------------------------------------------------------- leg 2
+SOCK2="$WORK/archgraphd-bounded.sock"
+start_daemon "$SOCK2" --jobs 2 --cache-dir "$WORK/cache-bounded" --cache-max-bytes 16
+
+EVICT_CELLS=(fig2/mta/p8 bfs/smp/p8 color/mta/p8)
+echo "-- bounded cache: submit ${EVICT_CELLS[*]} under --cache-max-bytes 16"
+"$CLIENT" --socket "$SOCK2" submit "${EVICT_CELLS[@]}" > "$WORK/evict_first.jsonl"
+python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/evict_first.jsonl" fresh 3 "$WORK/list_cold.json"
+
+"$CLIENT" --socket "$SOCK2" status > "$WORK/status_bounded.json"
+python3 - "$WORK/status_bounded.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert st["evictions"] >= 1, f"bounded cache never evicted: {st}"
+assert st["cache_bytes"] <= 16, f"cache exceeds its bound: {st}"
+assert "cache_entries" in st and "evicted_bytes" in st, st
+print(
+    f"daemon_smoke: bounded cache evicted {st['evictions']} entries "
+    f"({st['evicted_bytes']} bytes), footprint {st['cache_bytes']} bytes"
+)
+EOF
+
+# Every payload exceeds the 16-byte bound, so nothing survives the sweep:
+# the re-run is fully uncached yet must reproduce the exact same bytes.
+"$CLIENT" --socket "$SOCK2" submit "${EVICT_CELLS[@]}" > "$WORK/evict_second.jsonl"
+python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/evict_second.jsonl" fresh 3 "$WORK/list_cold.json"
+echo "daemon_smoke: post-eviction re-run is uncached and byte-identical"
+
+echo "-- shutdown (leg 2)"
+stop_daemon "$SOCK2"
+
+echo "daemon_smoke: fair scheduling, suite identity, bounded cache all verified"
