@@ -9,9 +9,10 @@
 //!   list                      bench suite with per-cell cache status
 //!   shutdown                  ask the daemon to drain and exit
 //!   cancel JOB                cancel a job by id (e.g. j3)
-//!   submit [--budget-cycles N] CELL [CELL...]
+//!   submit [--budget-cycles N] [--budget-host-ms N] CELL [CELL...]
 //!                             run bench-suite cells by name, optionally
-//!                             metered by a job cycle budget
+//!                             metered by a job cycle budget and/or a
+//!                             host wall-clock cap
 //!   submit-json JSON          run raw cell specs (an object or array)
 //! ```
 //!
@@ -35,7 +36,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: archgraph-client (--socket PATH | --tcp ADDR) [--token SECRET] \
          (ping | status | list | shutdown | cancel JOB | \
-         submit [--budget-cycles N] CELL... | submit-json JSON)"
+         submit [--budget-cycles N] [--budget-host-ms N] CELL... | submit-json JSON)"
     );
     exit(2);
 }
@@ -59,14 +60,20 @@ fn build_request(cmd: &str, rest: &[String]) -> (String, bool) {
         "submit" => {
             let mut rest = rest;
             let mut budget = String::new();
-            if rest.first().map(String::as_str) == Some("--budget-cycles") {
+            // Budget flags may appear in either order, before the cells.
+            loop {
+                let (flag, key) = match rest.first().map(String::as_str) {
+                    Some("--budget-cycles") => ("--budget-cycles", "budget_cycles"),
+                    Some("--budget-host-ms") => ("--budget-host-ms", "budget_host_ms"),
+                    _ => break,
+                };
                 if rest.len() < 2 {
-                    usage("--budget-cycles requires a value");
+                    usage(&format!("{flag} requires a value"));
                 }
                 let n: u64 = rest[1]
                     .parse()
-                    .unwrap_or_else(|_| usage("--budget-cycles requires an integer"));
-                budget = format!(r#","budget_cycles":{n}"#);
+                    .unwrap_or_else(|_| usage(&format!("{flag} requires an integer")));
+                budget.push_str(&format!(r#","{key}":{n}"#));
                 rest = &rest[2..];
             }
             if rest.is_empty() {

@@ -30,7 +30,9 @@ use archgraph_bench::CellSpec;
 /// Configuration stamp for the cache directory. Reusing the checkpoint
 /// store's spec-sentinel machinery: a directory stamped with a different
 /// string (older daemon, different payload schema) is discarded on open.
-pub const CACHE_SPEC: &str = "archgraphd-cache-v1";
+/// v2: recency moved from file mtimes to logical stamp sidecars — v1
+/// directories carry no stamps, so their entries would never be listed.
+pub const CACHE_SPEC: &str = "archgraphd-cache-v2";
 
 /// Simulated fingerprint as stored and served: owned label/value pairs
 /// in render order.
@@ -72,8 +74,8 @@ impl Cache {
     }
 
     /// Open (or create) the cache rooted at `dir`, evicting
-    /// least-recently-used entries (by file mtime) after each record
-    /// until the total payload size fits under `max_bytes`.
+    /// least-recently-used entries (by logical recency stamp) after each
+    /// record until the total payload size fits under `max_bytes`.
     pub fn open_bounded(dir: PathBuf, max_bytes: Option<u64>) -> Cache {
         Cache {
             store: Checkpoint::at_spec(dir, CACHE_SPEC),
@@ -100,21 +102,23 @@ impl Cache {
     /// content address) completed before. Undecodable entries read as
     /// misses — the cell simply re-runs and overwrites them.
     ///
-    /// A hit re-records the payload so the entry's file mtime advances:
-    /// that is the "recently used" half of the LRU bound, and it keeps
-    /// hot suite cells resident while one-off sweeps age out.
+    /// A hit touches the entry so its recency stamp advances: that is
+    /// the "recently used" half of the LRU bound, and it keeps hot suite
+    /// cells resident while one-off sweeps age out. The stamp is a
+    /// monotonic logical tick, so a burst of hits within one filesystem
+    /// clock tick still records true recency order.
     pub fn lookup(&self, spec: &CellSpec) -> Option<Sim> {
         let payload = self.store.lookup(&spec.cache_key())?;
         let sim = decode(&payload)?;
         if self.max_bytes.is_some() {
-            self.store.record(&spec.cache_key(), &payload);
+            self.store.touch(&spec.cache_key());
         }
         Some(sim)
     }
 
     /// Would `lookup` hit for `spec`? Unlike `lookup`, this does not
-    /// touch the entry's mtime — `list` probes every suite cell and
-    /// must not count as use.
+    /// touch the entry's recency stamp — `list` probes every suite cell
+    /// and must not count as use.
     pub fn contains(&self, spec: &CellSpec) -> bool {
         self.store
             .lookup(&spec.cache_key())
@@ -145,8 +149,10 @@ impl Cache {
     /// Evict least-recently-used entries until the total payload size is
     /// within `max_bytes`. Eviction is always *safe* — the cache is a
     /// pure memo over deterministic runs, so a victimised entry costs a
-    /// re-run, never a wrong answer. Ties on mtime break by name so the
-    /// victim order is deterministic on coarse-clock filesystems.
+    /// re-run, never a wrong answer. Recency is the monotonic logical
+    /// stamp (file mtimes are too coarse to order a burst of touches);
+    /// ties — only possible if stamps were hand-edited — break by name
+    /// so the victim order stays deterministic.
     fn sweep(&self) {
         let Some(max) = self.max_bytes else { return };
         let mut entries = self.store.entries();
@@ -154,7 +160,7 @@ impl Cache {
         if total <= max {
             return;
         }
-        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.name.cmp(&b.name)));
+        entries.sort_by(|a, b| a.stamp.cmp(&b.stamp).then_with(|| a.name.cmp(&b.name)));
         let mut evicted = 0u64;
         let mut evicted_bytes = 0u64;
         for victim in &entries {
@@ -317,6 +323,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir);
     }
 
+    /// No sleeps: recency is a logical stamp, so back-to-back records
+    /// within one filesystem clock tick still evict in true LRU order.
     #[test]
     fn bounded_cache_evicts_oldest_first() {
         // Room for exactly two 14-byte payloads.
@@ -325,9 +333,7 @@ mod tests {
         let b = find("bfs/smp/p8").unwrap();
         let c = find("color/mta/p8").unwrap();
         cache.record(&a, &one_pair(1));
-        std::thread::sleep(std::time::Duration::from_millis(30));
         cache.record(&b, &one_pair(2));
-        std::thread::sleep(std::time::Duration::from_millis(30));
         cache.record(&c, &one_pair(3));
         assert!(!cache.contains(&a), "oldest entry is the victim");
         assert!(cache.contains(&b));
@@ -346,12 +352,9 @@ mod tests {
         let b = find("bfs/smp/p8").unwrap();
         let c = find("color/mta/p8").unwrap();
         cache.record(&a, &one_pair(1));
-        std::thread::sleep(std::time::Duration::from_millis(30));
         cache.record(&b, &one_pair(2));
-        std::thread::sleep(std::time::Duration::from_millis(30));
         // Touch `a`: it becomes the most recently used entry...
         assert_eq!(cache.lookup(&a), Some(one_pair(1)));
-        std::thread::sleep(std::time::Duration::from_millis(30));
         cache.record(&c, &one_pair(3));
         // ...so the sweep for `c` victimises `b` instead.
         assert!(cache.contains(&a), "touched entry survives");
@@ -367,9 +370,7 @@ mod tests {
         let b = find("bfs/smp/p8").unwrap();
         let c = find("color/mta/p8").unwrap();
         cache.record(&a, &one_pair(1));
-        std::thread::sleep(std::time::Duration::from_millis(30));
         cache.record(&b, &one_pair(2));
-        std::thread::sleep(std::time::Duration::from_millis(30));
         assert!(cache.contains(&a), "peek sees the entry");
         cache.record(&c, &one_pair(3));
         assert!(!cache.contains(&a), "peek did not save `a` from eviction");

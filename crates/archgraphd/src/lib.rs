@@ -7,7 +7,8 @@
 //! `--allow-remote` and a `--token` bearer secret are configured. The
 //! daemon validates specs, schedules cells across a bounded worker pool
 //! round-robin across jobs (admission-controlled, optionally metered by
-//! a per-job cycle budget), streams per-cell results as they complete,
+//! a per-job cycle budget and/or a per-job host wall-clock cap checked
+//! at cell boundaries), streams per-cell results as they complete,
 //! and caches completed cells by content-addressed spec fingerprint —
 //! optionally bounded with LRU eviction — so repeated and restarted
 //! sweeps are nearly free.

@@ -15,6 +15,7 @@
 //! {"op":"list"}
 //! {"op":"submit","cells":[ <spec>, ... ]}
 //! {"op":"submit","cells":[ <spec>, ... ],"budget_cycles":N}
+//! {"op":"submit","cells":[ <spec>, ... ],"budget_host_ms":N}
 //! ```
 //!
 //! A cell `<spec>` is either a bench-suite reference
@@ -28,7 +29,12 @@
 //!
 //! `submit` may carry an optional `budget_cycles` quota: the job's
 //! cells are metered against it and fail with a structured
-//! `BudgetExceeded` error once it runs out (cache hits are free).
+//! `BudgetExceeded` error once it runs out (cache hits are free). An
+//! optional `budget_host_ms` caps the job's *host* wall-clock instead:
+//! simulated cycles say nothing about how long a pathological spec
+//! occupies a worker, so the host cap is checked at every cell boundary
+//! and the remaining cells fail with the same structured error shape.
+//! The two budgets compose; either alone may be present.
 //!
 //! `list` answers one `{"type":"list","cells":[...]}` line enumerating
 //! the bench suite with each cell's content-address `key` and a
@@ -70,6 +76,8 @@ pub enum Request {
         cells: Vec<CellSpec>,
         /// Optional cycle quota for the whole job.
         budget_cycles: Option<u64>,
+        /// Optional host wall-clock cap (milliseconds) for the whole job.
+        budget_host_ms: Option<u64>,
     },
 }
 
@@ -106,15 +114,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             if obj
                 .keys()
-                .any(|k| k != "op" && k != "cells" && k != "budget_cycles")
+                .any(|k| k != "op" && k != "cells" && k != "budget_cycles" && k != "budget_host_ms")
             {
-                return Err("submit accepts only \"op\", \"cells\", and \"budget_cycles\"".into());
+                return Err("submit accepts only \"op\", \"cells\", \"budget_cycles\", \
+                            and \"budget_host_ms\""
+                    .into());
             }
             let budget_cycles = match v.get("budget_cycles") {
                 None => None,
                 Some(b) => Some(
                     b.as_u64()
                         .ok_or("\"budget_cycles\" must be a non-negative integer")?,
+                ),
+            };
+            let budget_host_ms = match v.get("budget_host_ms") {
+                None => None,
+                Some(b) => Some(
+                    b.as_u64()
+                        .ok_or("\"budget_host_ms\" must be a non-negative integer")?,
                 ),
             };
             let mut specs = Vec::with_capacity(cells_json.len());
@@ -124,6 +141,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Submit {
                 cells: specs,
                 budget_cycles,
+                budget_host_ms,
             })
         }
         other => Err(format!(
@@ -357,6 +375,8 @@ mod tests {
             r#"{"op":"submit","extra":true,"cells":[{"cell":"fig2/mta/p8"}]}"#,
             r#"{"op":"submit","budget_cycles":-4,"cells":[{"cell":"fig2/mta/p8"}]}"#,
             r#"{"op":"submit","budget_cycles":"lots","cells":[{"cell":"fig2/mta/p8"}]}"#,
+            r#"{"op":"submit","budget_host_ms":-1,"cells":[{"cell":"fig2/mta/p8"}]}"#,
+            r#"{"op":"submit","budget_host_ms":"ages","cells":[{"cell":"fig2/mta/p8"}]}"#,
         ] {
             let err = parse_request(bad).expect_err(bad);
             // The error doubles as the protocol reply; it must render.
@@ -375,6 +395,7 @@ mod tests {
         let Request::Submit {
             cells,
             budget_cycles,
+            budget_host_ms,
         } = req
         else {
             panic!("not a submit")
@@ -382,6 +403,7 @@ mod tests {
         assert_eq!(cells[0], find("fig2/mta/p8").unwrap());
         assert_eq!(cells[1], find("msf/native").unwrap());
         assert_eq!(budget_cycles, None, "budgets are opt-in");
+        assert_eq!(budget_host_ms, None, "host budgets are opt-in");
     }
 
     #[test]
@@ -394,6 +416,24 @@ mod tests {
             panic!("not a submit")
         };
         assert_eq!(budget_cycles, Some(500_000));
+    }
+
+    #[test]
+    fn submit_parses_an_optional_host_budget() {
+        let req = parse_request(
+            r#"{"op":"submit","budget_host_ms":2500,"budget_cycles":9,"cells":[{"cell":"fig2/mta/p8"}]}"#,
+        )
+        .unwrap();
+        let Request::Submit {
+            budget_host_ms,
+            budget_cycles,
+            ..
+        } = req
+        else {
+            panic!("not a submit")
+        };
+        assert_eq!(budget_host_ms, Some(2_500));
+        assert_eq!(budget_cycles, Some(9), "the two budgets compose");
     }
 
     #[test]

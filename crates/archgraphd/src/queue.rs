@@ -25,6 +25,16 @@
 //! its budget by up to one in-flight cell per worker; the budget is a
 //! quota, not a hard real-time bound.
 //!
+//! Cycle budgets meter *simulated* time only, so a pathological spec
+//! (huge `n` at a tiny cycle cost, or a fault plan that crawls) can
+//! burn unbounded host wall-clock inside its quota. `budget_host_ms`
+//! closes that hole: the job's host clock starts at admission and is
+//! checked at every cell boundary — an expired job fails its remaining
+//! cells with the same structural `BudgetExceeded` shape instead of
+//! occupying workers. The in-flight cell is never interrupted (cells
+//! are the scheduling quantum), so the cap can overshoot by up to one
+//! cell-time per worker, exactly like the cycle quota.
+//!
 //! Results stream back per job over an [`mpsc`] channel the submitter
 //! provides: one [`Event::Cell`] per cell as it completes (cache hit,
 //! fresh run, failure, or cancellation), then one [`Event::Done`] with
@@ -169,6 +179,20 @@ struct BudgetState {
     remaining: u64,
 }
 
+/// Host wall-clock cap for a job: the clock starts at admission.
+struct HostBudget {
+    total_ms: u64,
+    started: std::time::Instant,
+}
+
+impl HostBudget {
+    /// `Some(elapsed_ms)` once the cap has expired.
+    fn expired(&self) -> Option<u64> {
+        let elapsed = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        (elapsed >= self.total_ms).then_some(elapsed)
+    }
+}
+
 struct JobState {
     cancelled: bool,
     /// Cells not yet picked up by a worker, in submit order.
@@ -178,6 +202,7 @@ struct JobState {
     summary: JobSummary,
     tx: Sender<Event>,
     budget: Option<BudgetState>,
+    host_budget: Option<HostBudget>,
 }
 
 #[derive(Default)]
@@ -230,11 +255,21 @@ enum BudgetGate {
     },
     /// Quota already exhausted: fail the cell without running it.
     Exhausted { total: u64 },
+    /// The job's host wall-clock cap expired: fail without running.
+    HostExpired { total_ms: u64, elapsed: u64 },
 }
 
 /// The structured failure message for a job that ran out of budget.
 fn budget_exceeded(total: u64, detail: &str) -> String {
     format!("BudgetExceeded: job budget of {total} cycles exhausted ({detail})")
+}
+
+/// The structured failure message for a job whose host-time cap expired.
+fn host_budget_exceeded(total_ms: u64, elapsed_ms: u64) -> String {
+    format!(
+        "BudgetExceeded: job host-time budget of {total_ms} ms exhausted \
+         ({elapsed_ms} ms elapsed; cell skipped without running)"
+    )
 }
 
 /// The cycle charge of a completed fingerprint: the simulated `cycles`
@@ -293,13 +328,15 @@ impl Scheduler {
     }
 
     /// Enqueue a job of already-validated cells, optionally metered by a
-    /// cycle budget. Events stream to `tx`. Returns the job id and cell
-    /// count, or a structured rejection (shutdown in progress, empty
-    /// job, or the admission bound).
+    /// cycle budget and/or a host wall-clock cap (whose clock starts
+    /// here, at admission). Events stream to `tx`. Returns the job id
+    /// and cell count, or a structured rejection (shutdown in progress,
+    /// empty job, or the admission bound).
     pub fn submit(
         &self,
         specs: Vec<CellSpec>,
         budget_cycles: Option<u64>,
+        budget_host_ms: Option<u64>,
         tx: Sender<Event>,
     ) -> Result<(String, usize), String> {
         if specs.is_empty() {
@@ -340,6 +377,10 @@ impl Scheduler {
                 budget: budget_cycles.map(|total| BudgetState {
                     total,
                     remaining: total,
+                }),
+                host_budget: budget_host_ms.map(|total_ms| HostBudget {
+                    total_ms,
+                    started: std::time::Instant::now(),
                 }),
             },
         );
@@ -463,7 +504,20 @@ fn worker_loop(inner: &Inner) {
             match inner.cache.lookup(&task.spec) {
                 Some(sim) => CellStatus::Done { sim, cached: true },
                 None => {
-                    let gate = {
+                    // Host-time cap, checked at the cell boundary: an
+                    // expired job fails its remaining cells without
+                    // occupying a worker. Probed before the cycle gate —
+                    // wall-clock exhaustion is the stronger claim.
+                    let host_expired = {
+                        let st = inner.state.lock().expect("scheduler lock");
+                        st.jobs
+                            .get(&job)
+                            .and_then(|j| j.host_budget.as_ref())
+                            .and_then(|h| h.expired().map(|elapsed| (h.total_ms, elapsed)))
+                    };
+                    let gate = if let Some((total_ms, elapsed)) = host_expired {
+                        BudgetGate::HostExpired { total_ms, elapsed }
+                    } else {
                         let st = inner.state.lock().expect("scheduler lock");
                         match st.jobs.get(&job).and_then(|j| j.budget.as_ref()) {
                             None => BudgetGate::Unlimited,
@@ -476,6 +530,9 @@ fn worker_loop(inner: &Inner) {
                         }
                     };
                     match gate {
+                        BudgetGate::HostExpired { total_ms, elapsed } => CellStatus::Failed {
+                            error: host_budget_exceeded(total_ms, elapsed),
+                        },
                         BudgetGate::Exhausted { total } => CellStatus::Failed {
                             error: budget_exceeded(total, "cell skipped without running"),
                         },
@@ -644,13 +701,15 @@ mod tests {
         let (b_tx, b_rx) = mpsc::channel();
         let (c_tx, c_rx) = mpsc::channel();
         sched
-            .submit(vec![spec(1), spec(2), spec(3)], None, a_tx)
+            .submit(vec![spec(1), spec(2), spec(3)], None, None, a_tx)
             .expect("job A");
         started.recv().expect("A cell 0 in flight");
         sched
-            .submit(vec![spec(4), spec(5)], None, b_tx)
+            .submit(vec![spec(4), spec(5)], None, None, b_tx)
             .expect("job B");
-        sched.submit(vec![spec(6)], None, c_tx).expect("job C");
+        sched
+            .submit(vec![spec(6)], None, None, c_tx)
+            .expect("job C");
         for _ in 0..6 {
             gate.send(()).expect("release");
         }
@@ -691,12 +750,14 @@ mod tests {
         // most one more before the ring reaches the newcomer).
         let (big_tx, big_rx) = mpsc::channel();
         let big: Vec<CellSpec> = (0..100).map(|_| spec(1)).collect();
-        sched.submit(big, None, big_tx).expect("100-cell sweep");
+        sched
+            .submit(big, None, None, big_tx)
+            .expect("100-cell sweep");
         started.recv().expect("sweep cell 0 in flight");
 
         let (small_tx, small_rx) = mpsc::channel();
         sched
-            .submit(vec![spec(2)], None, small_tx)
+            .submit(vec![spec(2)], None, None, small_tx)
             .expect("1-cell job");
         for _ in 0..101 {
             gate.send(()).expect("release");
@@ -727,7 +788,7 @@ mod tests {
 
         let (tx1, rx1) = mpsc::channel();
         sched
-            .submit(vec![spec(1)], None, tx1)
+            .submit(vec![spec(1)], None, None, tx1)
             .expect("first job admitted");
         // Wait until the worker has *picked up* the cell: the queue is
         // empty, the cell is in-flight, and exactly one slot remains.
@@ -735,11 +796,11 @@ mod tests {
 
         let (tx2, rx2) = mpsc::channel();
         sched
-            .submit(vec![spec(2)], None, tx2)
+            .submit(vec![spec(2)], None, None, tx2)
             .expect("one queued cell fits");
         let (tx3, _rx3) = mpsc::channel();
         let err = sched
-            .submit(vec![spec(3)], None, tx3)
+            .submit(vec![spec(3)], None, None, tx3)
             .expect_err("bound exceeded");
         assert!(err.contains("queue full"), "structured rejection: {err}");
         assert!(err.contains("admission bound of 1"), "{err}");
@@ -751,7 +812,9 @@ mod tests {
         assert_eq!((s1.ok, s2.ok), (1, 1));
         // Backlog drained: the bound frees up again.
         let (tx4, rx4) = mpsc::channel();
-        sched.submit(vec![spec(4)], None, tx4).expect("slot freed");
+        sched
+            .submit(vec![spec(4)], None, None, tx4)
+            .expect("slot freed");
         started.recv().expect("worker started cell 4");
         gate.send(()).unwrap();
         let (_, s4) = drain(&rx4);
@@ -770,7 +833,9 @@ mod tests {
             let sched = Arc::new(Scheduler::new(1, 4, Cache::disabled(), runner));
 
             let (tx0, rx0) = mpsc::channel();
-            sched.submit(vec![spec(9)], None, tx0).expect("pilot job");
+            sched
+                .submit(vec![spec(9)], None, None, tx0)
+                .expect("pilot job");
             started.recv().expect("worker parked on the pilot cell");
 
             let barrier = Arc::new(std::sync::Barrier::new(2));
@@ -782,7 +847,7 @@ mod tests {
                         let (tx, rx) = mpsc::channel();
                         barrier.wait();
                         let admitted = sched
-                            .submit(vec![spec(1), spec(2), spec(3)], None, tx)
+                            .submit(vec![spec(1), spec(2), spec(3)], None, None, tx)
                             .is_ok();
                         (admitted, rx)
                     })
@@ -819,7 +884,7 @@ mod tests {
 
         let (tx, rx) = mpsc::channel();
         let (job, _) = sched
-            .submit(vec![spec(1), spec(2), spec(3)], None, tx)
+            .submit(vec![spec(1), spec(2), spec(3)], None, None, tx)
             .unwrap();
         started.recv().expect("cell 0 in flight");
         assert!(sched.cancel(&job), "active job cancels");
@@ -848,7 +913,7 @@ mod tests {
 
         let (tx, rx) = mpsc::channel();
         let (job, _) = sched
-            .submit(vec![spec(1), spec(2), spec(3), spec(4)], None, tx)
+            .submit(vec![spec(1), spec(2), spec(3), spec(4)], None, None, tx)
             .unwrap();
         started.recv().expect("cell 0 in flight");
         assert_eq!(sched.snapshot().queued, 3, "three cells pending");
@@ -911,7 +976,7 @@ mod tests {
         // second trips the clamped watchdog, the third never runs.
         let (tx, rx) = mpsc::channel();
         sched
-            .submit(vec![spec(1), spec(2), spec(3)], Some(100), tx)
+            .submit(vec![spec(1), spec(2), spec(3)], Some(100), None, tx)
             .unwrap();
         let (cells, sum) = drain(&rx);
         assert!(matches!(
@@ -945,7 +1010,7 @@ mod tests {
 
         // The pool is not starved: a fresh unbudgeted job runs fine.
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(4)], None, tx).unwrap();
+        sched.submit(vec![spec(4)], None, None, tx).unwrap();
         let (_, sum) = drain(&rx);
         assert_eq!(sum.ok, 1);
         sched.shutdown_and_join();
@@ -968,14 +1033,16 @@ mod tests {
 
         // Warm the cache without a budget.
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(1)], None, tx).unwrap();
+        sched.submit(vec![spec(1)], None, None, tx).unwrap();
         let (_, sum) = drain(&rx);
         assert_eq!(sum.ok, 1);
 
         // Budget 0 = serve-from-cache-only: the warm cell hits, the
         // cold one fails structurally without running.
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(1), spec(2)], Some(0), tx).unwrap();
+        sched
+            .submit(vec![spec(1), spec(2)], Some(0), None, tx)
+            .unwrap();
         let (cells, sum) = drain(&rx);
         assert_eq!(
             cells[0].status,
@@ -994,6 +1061,67 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir);
     }
 
+    /// `budget_host_ms: 0` expires at the first cell boundary, which
+    /// makes the wall-clock path deterministic to test: every cold cell
+    /// fails structurally without a run, while cache hits stay free.
+    #[test]
+    fn host_budget_fails_cells_at_the_boundary_without_running() {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraphd-queue-test-{}-host-budget",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let calls = Arc::new(Mutex::new(0usize));
+        let sched = Scheduler::new(
+            1,
+            64,
+            Cache::open(dir.clone()),
+            metered_runner(Arc::clone(&calls)),
+        );
+
+        // Warm one cell with no budgets, then submit warm + cold under
+        // an already-expired host cap.
+        let (tx, rx) = mpsc::channel();
+        sched.submit(vec![spec(1)], None, None, tx).unwrap();
+        let (_, sum) = drain(&rx);
+        assert_eq!(sum.ok, 1);
+
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(vec![spec(1), spec(2)], None, Some(0), tx)
+            .unwrap();
+        let (cells, sum) = drain(&rx);
+        assert!(
+            matches!(&cells[0].status, CellStatus::Done { cached: true, .. }),
+            "cache hits are free under an expired host cap: {:?}",
+            cells[0].status
+        );
+        let CellStatus::Failed { error } = &cells[1].status else {
+            panic!("cold cell must fail: {:?}", cells[1].status);
+        };
+        assert!(
+            error.starts_with("BudgetExceeded: job host-time budget of 0 ms"),
+            "structural host-budget failure: {error}"
+        );
+        assert!(error.contains("cell skipped without running"), "{error}");
+        assert_eq!((sum.ok, sum.cached, sum.failed), (1, 1, 1));
+        assert_eq!(*calls.lock().unwrap(), 1, "only the warm-up ever ran");
+        let stats = sched.snapshot().stats;
+        assert_eq!(stats.cells_run, 1, "host-budget skips are not runs");
+        assert_eq!(stats.failures, 1);
+
+        // A generous cap is invisible; the two budgets compose.
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(vec![spec(3)], Some(1000), Some(60 * 60 * 1000), tx)
+            .unwrap();
+        let (cells, sum) = drain(&rx);
+        assert!(matches!(&cells[0].status, CellStatus::Done { .. }));
+        assert_eq!(sum.ok, 1);
+        sched.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
     #[test]
     fn a_cells_own_max_cycles_trip_is_not_a_budget_failure() {
         let calls = Arc::new(Mutex::new(0usize));
@@ -1005,7 +1133,9 @@ mod tests {
         let mut tight = spec(1);
         tight.max_cycles = Some(10);
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![tight, spec(2)], Some(1000), tx).unwrap();
+        sched
+            .submit(vec![tight, spec(2)], Some(1000), None, tx)
+            .unwrap();
         let (cells, sum) = drain(&rx);
         let CellStatus::Failed { error } = &cells[0].status else {
             panic!("tight cell must fail: {:?}", cells[0].status);
@@ -1042,7 +1172,7 @@ mod tests {
         let sched = Scheduler::new(1, 64, Cache::open(dir.clone()), runner);
 
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(1)], None, tx).unwrap();
+        sched.submit(vec![spec(1)], None, None, tx).unwrap();
         let (cells, sum) = drain(&rx);
         assert_eq!(
             cells[0].status,
@@ -1057,7 +1187,7 @@ mod tests {
         let mut pinned = spec(1);
         pinned.engine = Some(archgraph_mta_sim::machine::MtaEngine::Compiled);
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![pinned], None, tx).unwrap();
+        sched.submit(vec![pinned], None, None, tx).unwrap();
         let (cells, sum) = drain(&rx);
         assert_eq!(
             cells[0].status,
@@ -1099,6 +1229,7 @@ mod tests {
         sched
             .submit(
                 vec![archgraph_bench::cells::find("fig2/mta/p8").unwrap()],
+                None,
                 None,
                 tx,
             )
@@ -1145,7 +1276,7 @@ mod tests {
 
         let (tx, rx) = mpsc::channel();
         sched
-            .submit(vec![spec(1), spec(13), spec(2)], None, tx)
+            .submit(vec![spec(1), spec(13), spec(2)], None, None, tx)
             .unwrap();
         let (cells, sum) = drain(&rx);
         assert_eq!(
@@ -1162,7 +1293,7 @@ mod tests {
 
         // Re-submitting the poisoned cell re-runs it: failures don't cache.
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(13)], None, tx).unwrap();
+        sched.submit(vec![spec(13)], None, None, tx).unwrap();
         let (_, sum) = drain(&rx);
         assert_eq!((sum.failed, sum.cached), (1, 0));
         assert_eq!(*calls.lock().unwrap(), 4, "poisoned cell ran twice");
@@ -1177,7 +1308,9 @@ mod tests {
         let sched = Scheduler::new(1, 64, Cache::disabled(), runner);
 
         let (tx, rx) = mpsc::channel();
-        sched.submit(vec![spec(1), spec(2)], None, tx).unwrap();
+        sched
+            .submit(vec![spec(1), spec(2)], None, None, tx)
+            .unwrap();
         started.recv().expect("cell 0 in flight");
         // Release both gates so the drain can never deadlock regardless
         // of whether cell 1 starts before the shutdown flag lands.
@@ -1193,7 +1326,7 @@ mod tests {
 
         let (tx, _rx) = mpsc::channel();
         let err = sched
-            .submit(vec![spec(3)], None, tx)
+            .submit(vec![spec(3)], None, None, tx)
             .expect_err("post-shutdown");
         assert!(err.contains("shutting down"), "{err}");
         sched.shutdown_and_join(); // idempotent

@@ -347,7 +347,8 @@ fn handle_client(conn: Conn, sched: &Scheduler, stop: &AtomicBool, token: Option
             Ok(Request::Submit {
                 cells,
                 budget_cycles,
-            }) => stream_job(&mut w, sched, cells, budget_cycles),
+                budget_host_ms,
+            }) => stream_job(&mut w, sched, cells, budget_cycles, budget_host_ms),
         };
         if ok.and_then(|()| w.flush()).is_err() {
             return;
@@ -361,9 +362,10 @@ fn stream_job(
     sched: &Scheduler,
     cells: Vec<archgraph_bench::CellSpec>,
     budget_cycles: Option<u64>,
+    budget_host_ms: Option<u64>,
 ) -> io::Result<()> {
     let (tx, rx) = mpsc::channel();
-    let (job, n) = match sched.submit(cells, budget_cycles, tx) {
+    let (job, n) = match sched.submit(cells, budget_cycles, budget_host_ms, tx) {
         Ok(accepted) => accepted,
         Err(msg) => return writeln!(w, "{}", protocol::error(&msg)),
     };

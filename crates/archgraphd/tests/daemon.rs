@@ -419,6 +419,21 @@ fn budgeted_jobs_fail_structurally_and_list_serves_the_suite() {
     assert_eq!(done.get("failed").and_then(Json::as_u64), Some(2));
     assert_eq!(done.get("ok").and_then(Json::as_u64), Some(0));
 
+    // A pre-expired host-time cap fails cold cells at the boundary,
+    // without ever running them.
+    let request = format!(
+        r#"{{"op":"submit","budget_host_ms":0,"cells":[{}]}}"#,
+        r#"{"kernel":"color","machine":"mta","p":2,"n":128,"m":384}"#
+    );
+    let (cells, done) = run_job(&daemon, &request);
+    let msg = cells[0]
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("host-capped cell fails with an error");
+    assert!(msg.contains("host-time budget"), "{msg}");
+    assert!(msg.contains("cell skipped without running"), "{msg}");
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(1));
+
     // The same job without a budget completes; with an ample budget the
     // cached results are then free even under budget 1.
     let (cells, done) = run_job(&daemon, &submit_line(&[128, 160]));

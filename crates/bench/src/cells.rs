@@ -49,6 +49,9 @@ pub enum Kernel {
     Color,
     /// Load-balanced frontier BFS.
     Bfs,
+    /// readfe/writeef-contended per-vertex accumulation (MTA-only: the
+    /// cell exists to exercise full/empty tag contention).
+    Sync,
     /// Euler-tour list ranking on a random tree.
     Euler,
     /// Minimum spanning forest (Borůvka-over-SV), native execution.
@@ -69,6 +72,7 @@ impl Kernel {
             Kernel::Table1Cc => "table1-cc",
             Kernel::Color => "color",
             Kernel::Bfs => "bfs",
+            Kernel::Sync => "sync",
             Kernel::Euler => "euler",
             Kernel::Msf => "msf",
             Kernel::Biconn => "biconn",
@@ -86,6 +90,7 @@ impl Kernel {
             "table1-cc" => Kernel::Table1Cc,
             "color" => Kernel::Color,
             "bfs" => Kernel::Bfs,
+            "sync" => Kernel::Sync,
             "euler" => Kernel::Euler,
             "msf" => Kernel::Msf,
             "biconn" => Kernel::Biconn,
@@ -207,6 +212,9 @@ impl CellSpec {
         {
             return Err("table1 cells are MTA-only (the table is MTA utilization)".into());
         }
+        if self.kernel == Kernel::Sync && self.machine != MachineKind::Mta {
+            return Err("sync is MTA-only (it exercises full/empty tag contention)".into());
+        }
         if self.machine != MachineKind::Native && (self.p == 0 || self.p > 64) {
             return Err(format!("p={} out of range (1..=64)", self.p));
         }
@@ -219,6 +227,7 @@ impl CellSpec {
                 | Kernel::Table1Cc
                 | Kernel::Color
                 | Kernel::Bfs
+                | Kernel::Sync
                 | Kernel::Msf
                 | Kernel::Biconn
         );
@@ -340,6 +349,13 @@ impl CellSpec {
                 fp.push(("levels", r.level_count as u64));
                 fp
             }
+            // Validation already rejected non-MTA machines for sync.
+            (Kernel::Sync, _) => {
+                let r = kernels::sync_mta_cell(self.p, self.n, self.m);
+                let mut fp = mta_fingerprint(&r.report);
+                fp.push(("checksum", r.checksum));
+                fp
+            }
             (Kernel::Euler, MachineKind::Mta) => {
                 mta_fingerprint(&kernels::euler_mta_cell(self.p, self.n).report)
             }
@@ -369,6 +385,7 @@ pub fn default_size(kernel: Kernel) -> (usize, usize) {
         | Kernel::Table1Cc
         | Kernel::Color
         | Kernel::Bfs
+        | Kernel::Sync
         | Kernel::Msf
         | Kernel::Biconn => (N_GRAPH, M_GRAPH),
         Kernel::Euler => (N_TREE, 0),
@@ -465,6 +482,21 @@ pub fn bench_suite() -> Vec<(&'static str, CellSpec)> {
         ("bfs/mta-compiled/p8", mta_eng(Bfs, 8, Compiled)),
         ("bfs/mta-partitioned/p8", mta_eng(Bfs, 8, Partitioned)),
         ("bfs/smp/p8", smp(Bfs, 8)),
+        ("sync/mta/p8", mta(Sync, 8)),
+        // The readfe-contended cell pinned at W = 1 and W = 4: the two
+        // specs share one cache key (workers never change results), so
+        // the baseline holding identical fingerprints for both *is* the
+        // sharded-merge determinism claim, enforced on every bench run.
+        ("sync/mta-partitioned/w1/p8", {
+            let mut s = mta_eng(Sync, 8, Partitioned);
+            s.workers = Some(1);
+            s
+        }),
+        ("sync/mta-partitioned/w4/p8", {
+            let mut s = mta_eng(Sync, 8, Partitioned);
+            s.workers = Some(4);
+            s
+        }),
         ("euler/mta/p8", mta(Euler, 8)),
         ("euler/smp/p8", smp(Euler, 8)),
         ("msf/native", native(Msf)),
@@ -508,7 +540,7 @@ mod tests {
     #[test]
     fn suite_names_are_unique_and_specs_valid() {
         let suite = bench_suite();
-        assert_eq!(suite.len(), 30, "the committed baseline has 30 cells");
+        assert_eq!(suite.len(), 33, "the committed baseline has 33 cells");
         let mut names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

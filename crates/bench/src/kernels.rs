@@ -27,6 +27,10 @@ use archgraph_graph::bfs::bfs_levels;
 use archgraph_graph::csr::Csr;
 use archgraph_graph::rng::Rng;
 use archgraph_graph::unionfind::same_partition;
+use archgraph_mta_sim::isa::Reg;
+use archgraph_mta_sim::machine::MtaMachine;
+use archgraph_mta_sim::parloop::{dynamic_loop_grained_mem, LoopRegs};
+use archgraph_mta_sim::report::{combine, RunReport};
 
 use crate::workloads::make_graph;
 
@@ -106,6 +110,68 @@ pub fn euler_smp_cell(p: usize, n: usize) -> EulerSmpSim {
     r
 }
 
+/// Result of the readfe-contended sync cell.
+#[derive(Debug, Clone)]
+pub struct SyncMtaSim {
+    /// Combined report (cycles, issue counts).
+    pub report: RunReport,
+    /// Sum over the accumulator array; order-independent, so identical
+    /// on every engine and at every worker count.
+    pub checksum: u64,
+}
+
+/// Simulate the readfe-contended accumulation cell: every arc `u→w`
+/// atomically folds its arc id into `acc[w]` through a `readfe` /
+/// `writeef` pair, so each vertex's accumulator word serializes its
+/// in-arcs through the full/empty tag. High-degree vertices make this
+/// the suite's most tag-contended region — the cell exists to keep the
+/// Partitioned engine's blocked-retry replay path under the bench
+/// baseline, not just the differential tests.
+pub fn sync_mta_cell(p: usize, n: usize, m: usize) -> SyncMtaSim {
+    let params = MtaParams::mta2();
+    let g = make_graph(n, m, GRAPH_SEED);
+    let csr = Csr::from_edge_list(&g);
+    let na = csr.arc_count();
+    let words = na + n + 16;
+    let mut mach = MtaMachine::with_memory_words(params, p, words);
+
+    let adj_base = {
+        let vals: Vec<i64> = csr.targets.iter().map(|&t| t as i64).collect();
+        mach.memory_mut().alloc_init(&vals)
+    };
+    let acc_base = mach.memory_mut().alloc_init(&vec![0i64; n]);
+    let counter_addr = mach.memory_mut().alloc(1);
+    let size_addr = mach.memory_mut().alloc(1);
+    mach.memory_mut().poke(size_addr, na as i64);
+
+    let regs = LoopRegs::standard();
+    let mut b = archgraph_mta_sim::isa::ProgramBuilder::new();
+    let (w, t, s) = (Reg(6), Reg(7), Reg(8));
+    dynamic_loop_grained_mem(&mut b, counter_addr, size_addr, 8, regs, |b| {
+        b.load(w, regs.idx, adj_base as i64);
+        b.readfe(t, w, acc_base as i64); // empty the word, park rivals
+        b.addi(s, regs.idx, 1); // arc ids start at 1, never a no-op add
+        b.add(t, t, s);
+        b.writeef(t, w, acc_base as i64); // refill; rivals race for it
+    });
+    b.halt();
+    let prog = b.build();
+
+    mach.run(&prog, MTA_STREAMS, |_, _| {});
+
+    let acc = mach.memory().peek_slice(acc_base, n);
+    let mut oracle = vec![0i64; n];
+    for (idx, &w) in csr.targets.iter().enumerate() {
+        oracle[w as usize] += idx as i64 + 1;
+    }
+    debug_assert_eq!(acc, oracle, "sync accumulation must match the host");
+    let checksum = acc.iter().map(|&x| x as u64).sum();
+    SyncMtaSim {
+        report: combine(mach.reports()),
+        checksum,
+    }
+}
+
 /// Deterministic integers fingerprinting the native MSF cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsfNative {
@@ -159,7 +225,7 @@ pub fn biconn_native_cell(n: usize, m: usize) -> BiconnNative {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use archgraph_mta_sim::machine::{with_engine, MtaEngine};
+    use archgraph_mta_sim::machine::{with_engine, with_workers, MtaEngine};
 
     #[test]
     fn coloring_cells_are_proper_and_engine_invariant() {
@@ -186,6 +252,29 @@ mod tests {
         let mta = with_engine(MtaEngine::Trace, || euler_mta_cell(2, 128));
         let smp = euler_smp_cell(2, 128);
         assert_eq!(mta.tour.rank, smp.tour.rank);
+    }
+
+    #[test]
+    fn sync_cell_is_engine_and_worker_invariant() {
+        let base = with_engine(MtaEngine::SingleStep, || sync_mta_cell(2, 128, 384));
+        assert!(base.checksum > 0);
+        for engine in [
+            MtaEngine::Trace,
+            MtaEngine::Compiled,
+            MtaEngine::Partitioned,
+        ] {
+            let r = with_engine(engine, || sync_mta_cell(2, 128, 384));
+            assert_eq!(r.checksum, base.checksum, "{engine:?}");
+            assert_eq!(r.report.cycles, base.report.cycles, "{engine:?}");
+            assert_eq!(r.report.issued, base.report.issued, "{engine:?}");
+        }
+        for w in [1usize, 4] {
+            let r = with_workers(w, || {
+                with_engine(MtaEngine::Partitioned, || sync_mta_cell(2, 128, 384))
+            });
+            assert_eq!(r.checksum, base.checksum, "W={w}");
+            assert_eq!(r.report.cycles, base.report.cycles, "W={w}");
+        }
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub const PANIC_CELL_ENV: &str = "ARCHGRAPH_BENCH_PANIC_CELL";
 /// [`Checkpoint::path`] sanitizes to `_`.
 const SPEC_FILE: &str = ".spec";
 
+/// Suffix of the per-entry recency sidecar (`<file>.stamp`, holding one
+/// decimal logical tick).
+const STAMP_SUFFIX: &str = ".stamp";
+
 /// The ambient configuration fingerprint stamped into every checkpoint
 /// directory. Checkpoints are only resumable under the configuration
 /// that produced them: a sweep re-run under a different MTA engine,
@@ -125,9 +129,19 @@ impl CellPoint {
 
 /// Per-sweep checkpoint store: one file per completed cell under
 /// `<root>/<tag>-<scale>/`.
+///
+/// Each payload file carries a `<file>.stamp` sidecar holding a
+/// monotonic logical recency tick. Recency consumers (the daemon
+/// cache's LRU sweep) order by that tick rather than by file mtime:
+/// mtimes are coarse on many filesystems, so a burst of touches within
+/// one clock tick used to collapse into name order instead of true
+/// recency. The tick counter restarts from `max(stamps) + 1` on reopen,
+/// so recency survives a daemon restart without consulting the clock.
 #[derive(Debug)]
 pub struct Checkpoint {
     dir: Option<PathBuf>,
+    /// Next logical recency tick (see the struct docs).
+    clock: std::sync::atomic::AtomicU64,
 }
 
 impl Checkpoint {
@@ -211,12 +225,36 @@ impl Checkpoint {
             );
             return Checkpoint::disabled();
         }
-        Checkpoint { dir: Some(dir) }
+        // Resume the logical recency clock past every stamp already on
+        // disk, so entries recorded after a reopen are newer than every
+        // survivor — without this, a restarted daemon's first records
+        // would tie at zero and evict by name.
+        let mut next = 0u64;
+        if let Ok(rd) = std::fs::read_dir(&dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().ends_with(STAMP_SUFFIX) {
+                    if let Some(t) = std::fs::read_to_string(entry.path())
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u64>().ok())
+                    {
+                        next = next.max(t);
+                    }
+                }
+            }
+        }
+        Checkpoint {
+            dir: Some(dir),
+            clock: std::sync::atomic::AtomicU64::new(next.saturating_add(1)),
+        }
     }
 
     /// A store that never records anything.
     pub fn disabled() -> Checkpoint {
-        Checkpoint { dir: None }
+        Checkpoint {
+            dir: None,
+            clock: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Is this store actually writing checkpoints?
@@ -257,8 +295,50 @@ impl Checkpoint {
         let tmp = PathBuf::from(tmp_name);
         let write_and_rename =
             std::fs::write(&tmp, payload).and_then(|()| std::fs::rename(&tmp, &p));
+        match write_and_rename {
+            Ok(()) => self.write_stamp(&p),
+            Err(e) => {
+                eprintln!("warning: cannot write checkpoint {}: {e}", p.display());
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Refresh the recency stamp of an existing entry without rewriting
+    /// its payload — the "recently used" half of an LRU bound. Returns
+    /// whether the entry exists.
+    pub fn touch(&self, cell: &str) -> bool {
+        let Some(p) = self.path(cell) else {
+            return false;
+        };
+        if !p.is_file() {
+            return false;
+        }
+        self.write_stamp(&p);
+        true
+    }
+
+    /// Write a fresh logical tick into `<payload>.stamp`. Best-effort,
+    /// like payload writes; atomic for the same reason (a torn stamp
+    /// would silently demote the entry to eviction candidate #1 — see
+    /// [`Checkpoint::entries`], which skips stampless entries instead).
+    fn write_stamp(&self, payload_path: &std::path::Path) {
+        let tick = self
+            .clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut name = payload_path.as_os_str().to_os_string();
+        name.push(STAMP_SUFFIX);
+        let stamp = PathBuf::from(name);
+        let mut tmp_name = stamp.as_os_str().to_os_string();
+        tmp_name.push(".inflight");
+        let tmp = PathBuf::from(tmp_name);
+        let write_and_rename =
+            std::fs::write(&tmp, tick.to_string()).and_then(|()| std::fs::rename(&tmp, &stamp));
         if let Err(e) = write_and_rename {
-            eprintln!("warning: cannot write checkpoint {}: {e}", p.display());
+            eprintln!(
+                "warning: cannot write recency stamp {}: {e}",
+                stamp.display()
+            );
             let _ = std::fs::remove_file(&tmp);
         }
     }
@@ -272,11 +352,13 @@ impl Checkpoint {
     }
 
     /// Enumerate the stored entries: sanitized name, payload size, and
-    /// file mtime. The `.spec` sentinel and in-flight temp files are not
-    /// entries. Consumers that bound the store (the daemon's
-    /// `--cache-max-bytes` LRU sweep) sort by mtime; entries whose
-    /// metadata cannot be read are skipped — they will surface on the
-    /// next enumeration or simply be overwritten.
+    /// recency stamp. The `.spec` sentinel, stamp sidecars, and in-flight
+    /// temp files are not entries. Consumers that bound the store (the
+    /// daemon's `--cache-max-bytes` LRU sweep) sort by stamp. An entry
+    /// whose metadata or stamp cannot be read is skipped **with a
+    /// warning** rather than listed with a zero stamp: a zero would
+    /// silently make it eviction candidate #1, while skipping merely
+    /// defers it until the next touch re-stamps it.
     pub fn entries(&self) -> Vec<CheckpointEntry> {
         let Some(dir) = &self.dir else {
             return Vec::new();
@@ -287,17 +369,32 @@ impl Checkpoint {
         let mut out = Vec::new();
         for entry in rd.flatten() {
             let name = entry.file_name().to_string_lossy().into_owned();
-            if name == SPEC_FILE || name.ends_with(".inflight") {
+            if name == SPEC_FILE || name.ends_with(".inflight") || name.ends_with(STAMP_SUFFIX) {
                 continue;
             }
-            let Ok(meta) = entry.metadata() else { continue };
+            let Ok(meta) = entry.metadata() else {
+                eprintln!("warning: checkpoint entry {name} has unreadable metadata; skipping");
+                continue;
+            };
             if !meta.is_file() {
                 continue;
             }
+            let mut stamp_name = entry.path().into_os_string();
+            stamp_name.push(STAMP_SUFFIX);
+            let Some(stamp) = std::fs::read_to_string(PathBuf::from(stamp_name))
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+            else {
+                eprintln!(
+                    "warning: checkpoint entry {name} has no readable recency stamp; \
+                     skipping until it is touched or re-recorded"
+                );
+                continue;
+            };
             out.push(CheckpointEntry {
                 name,
                 bytes: meta.len(),
-                mtime: meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH),
+                stamp,
             });
         }
         out
@@ -308,7 +405,13 @@ impl Checkpoint {
     /// may race for the same entry, and only one of them wins.
     pub fn remove(&self, cell: &str) -> bool {
         match self.path(cell) {
-            Some(p) => std::fs::remove_file(p).is_ok(),
+            Some(p) => {
+                let removed = std::fs::remove_file(&p).is_ok();
+                let mut stamp_name = p.into_os_string();
+                stamp_name.push(STAMP_SUFFIX);
+                let _ = std::fs::remove_file(PathBuf::from(stamp_name));
+                removed
+            }
             None => false,
         }
     }
@@ -323,10 +426,12 @@ pub struct CheckpointEntry {
     pub name: String,
     /// Payload size in bytes.
     pub bytes: u64,
-    /// Last-modified time of the entry file. Recording (and re-recording)
-    /// an entry refreshes it, which is what makes an mtime sweep LRU
-    /// rather than insertion-order FIFO.
-    pub mtime: std::time::SystemTime,
+    /// Logical recency tick from the entry's sidecar. Recording,
+    /// re-recording, or touching an entry refreshes it, which is what
+    /// makes a stamp sweep LRU rather than insertion-order FIFO — and
+    /// unlike a file mtime it advances on every touch even within one
+    /// filesystem clock tick.
+    pub stamp: u64,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -664,21 +769,86 @@ mod tests {
         ck.clear();
     }
 
+    /// No sleeps, no clock: the logical stamp strictly advances on every
+    /// record and touch, even when all of them land within one filesystem
+    /// mtime tick (the failure mode of the old mtime-ordered LRU).
     #[test]
-    fn rerecording_refreshes_the_entry_mtime() {
+    fn rerecording_and_touching_refresh_the_entry_stamp() {
         let ck = temp_store("touch");
         ck.record("old", "1 1 1|");
-        let first = ck.entries().remove(0).mtime;
-        // File mtimes can be coarse; retry briefly until the clock ticks.
-        for _ in 0..50 {
-            std::thread::sleep(std::time::Duration::from_millis(20));
-            ck.record("old", "1 1 1|");
-            if ck.entries().remove(0).mtime > first {
-                ck.clear();
-                return;
-            }
-        }
-        panic!("re-record never advanced the entry mtime");
+        let first = ck.entries().remove(0).stamp;
+        ck.record("old", "1 1 1|");
+        let second = ck.entries().remove(0).stamp;
+        assert!(second > first, "re-record must advance the stamp");
+        assert!(ck.touch("old"), "touch finds the entry");
+        let third = ck.entries().remove(0).stamp;
+        assert!(third > second, "touch must advance the stamp");
+        assert_eq!(
+            ck.lookup("old"),
+            Some("1 1 1|".to_string()),
+            "touch leaves the payload alone"
+        );
+        assert!(!ck.touch("absent"), "touch refuses to invent entries");
+        ck.clear();
+    }
+
+    /// The recency clock survives a reopen: entries recorded by the new
+    /// handle stamp strictly newer than every survivor on disk.
+    #[test]
+    fn recency_clock_resumes_past_surviving_stamps() {
+        let dir = std::env::temp_dir().join(format!(
+            "archgraph-sweep-test-{}-clock-resume",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ck = Checkpoint::at(dir.clone());
+        ck.record("a", "1 1 1|");
+        ck.record("b", "2 2 2|");
+        let old_max = ck.entries().iter().map(|e| e.stamp).max().unwrap();
+        drop(ck);
+        let reopened = Checkpoint::at(dir.clone());
+        reopened.record("c", "3 3 3|");
+        let c = reopened
+            .entries()
+            .into_iter()
+            .find(|e| e.name == "c")
+            .unwrap();
+        assert!(
+            c.stamp > old_max,
+            "post-reopen records must be newer than every survivor \
+             ({} <= {old_max})",
+            c.stamp
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// An entry whose recency stamp is missing (torn write, manual
+    /// tampering) is skipped by `entries` — listing it with stamp 0 would
+    /// silently make it the first eviction victim. It comes back once
+    /// re-recorded.
+    #[test]
+    fn stampless_entries_are_skipped_not_first_victims() {
+        let ck = temp_store("stampless");
+        ck.record("keep", "1 1 1|");
+        ck.record("bare", "2 2 2|");
+        assert_eq!(ck.entries().len(), 2);
+        // Sever `bare`'s sidecar, as a crash between the two renames would.
+        let dir = std::env::temp_dir().join(format!(
+            "archgraph-sweep-test-{}-stampless",
+            std::process::id()
+        ));
+        std::fs::remove_file(dir.join("bare.stamp")).expect("stamp sidecar exists");
+        let listed = ck.entries();
+        assert_eq!(listed.len(), 1, "the stampless entry is not listed");
+        assert_eq!(listed[0].name, "keep");
+        assert_eq!(
+            ck.lookup("bare"),
+            Some("2 2 2|".to_string()),
+            "the payload itself is still served"
+        );
+        ck.record("bare", "2 2 2|");
+        assert_eq!(ck.entries().len(), 2, "re-recording restores the entry");
+        ck.clear();
     }
 
     #[test]

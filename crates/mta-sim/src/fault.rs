@@ -229,9 +229,11 @@ struct Block {
 }
 
 /// Per-stream blocked/halted bookkeeping for deadlock detection; one
-/// instance per issue loop (interpreter and compiled engines — the
-/// partitioned engine routes all synchronizing programs through the
-/// interpreter, and a program without sync ops cannot deadlock).
+/// instance per issue loop. The interpreter and compiled engines drive it
+/// inline; the partitioned engine's coordinator drives it during the
+/// serial control phase of each window merge, replaying sync failures and
+/// halts in global `(time, stream)` order so the diagnostics come out
+/// bit-identical.
 #[derive(Debug)]
 pub(crate) struct BlockTracker {
     blocked: Vec<Option<Block>>,
@@ -296,6 +298,13 @@ impl BlockTracker {
     /// complete the condition. Costs two integer compares when the machine
     /// is live.
     pub(crate) fn deadlock(&self, mem: &Memory) -> Option<SimError> {
+        self.deadlock_by(|addr| mem.effective_full(addr))
+    }
+
+    /// [`Self::deadlock`] with the tag probe abstracted, for callers that
+    /// cannot hold a `&Memory` (the partitioned engine probes through its
+    /// raw word view while worker threads are parked at a barrier).
+    pub(crate) fn deadlock_by(&self, effective_full: impl Fn(usize) -> bool) -> Option<SimError> {
         if self.n_blocked == 0 || self.n_blocked + self.n_halted < self.blocked.len() {
             return None;
         }
@@ -305,7 +314,7 @@ impl BlockTracker {
             let Some(b) = b else { continue };
             // readfe/readff proceed on a full word, writeef on an empty one.
             let needs_full = b.op != "writeef";
-            let full = mem.effective_full(b.addr);
+            let full = effective_full(b.addr);
             if full == needs_full {
                 return None; // that stream's next retry will succeed
             }

@@ -138,19 +138,6 @@ pub(crate) fn decode(prog: &Program, batching: bool) -> Vec<Decoded> {
         .collect()
 }
 
-/// Whether a program contains full/empty-bit synchronization. The
-/// partitioned engine's conservative window cannot resolve sync retries
-/// (their outcome depends on globally ordered tag state), so such programs
-/// take the batched interpreter path instead.
-pub(crate) fn program_has_sync(instrs: &[Instr]) -> bool {
-    instrs.iter().any(|i| {
-        matches!(
-            i,
-            Instr::ReadFE { .. } | Instr::WriteEF { .. } | Instr::ReadFF { .. }
-        )
-    })
-}
-
 /// Open-addressed map from word address to the next time (in thirds) that
 /// word can service an atomic/sync operation.
 ///
@@ -244,12 +231,14 @@ pub enum MtaEngine {
     Compiled,
     /// Partitioned time wheel: shard streams across worker partitions
     /// (whole processors each), execute bounded time windows in parallel,
-    /// and apply cross-partition memory operations serially at each
-    /// window barrier in `(time, stream_id)` order (see
-    /// [`crate::partition`]). Bit-identical to the oracle for every
-    /// worker count; the only engine that uses more than one host core
-    /// for a single region. Programs containing full/empty sync
-    /// operations fall back to the exact single-wheel path.
+    /// and apply cross-partition memory operations at each window
+    /// barrier in `(time, stream_id)` order through an address-sharded
+    /// parallel merge (see [`crate::partition`]). Full/empty sync
+    /// programs run on this path too (locally decidable outcomes ride
+    /// the window log; undecidable ones resolve at round frontiers).
+    /// Bit-identical to the oracle for every worker count — reports,
+    /// memory images, and deadlock diagnostics alike; the only engine
+    /// that uses more than one host core for a single region.
     Partitioned,
 }
 
@@ -794,16 +783,15 @@ impl MtaMachine {
             op_mix = out.op_mix;
             last_completion = out.last_completion;
             stats = out.stats;
-        } else if self.engine == MtaEngine::Partitioned && !program_has_sync(instrs) && latency >= 2
-        {
+        } else if self.engine == MtaEngine::Partitioned && latency >= 2 {
             // Partitioned time wheel: streams sharded across worker
             // partitions (whole processors each), bounded time windows,
-            // shared-memory operations applied serially at each window
-            // barrier in (time, stream_id) order. Sync (full/empty)
-            // programs take the `else` branch below instead — their
-            // retry outcomes depend on globally ordered tag state that a
-            // conservative window cannot resolve in parallel (see
-            // crate::partition docs) — so results stay exact either way.
+            // shared-memory operations applied at each window barrier in
+            // (time, stream_id) order through an address-sharded merge.
+            // Full/empty sync programs run here too: locally decidable
+            // outcomes ride the value log, undecidable ones stop their
+            // partition and are resolved at the round frontier (see
+            // crate::partition docs) — results stay exact either way.
             let out = match crate::partition::run_region(
                 prog,
                 &mut self.memory,
@@ -811,9 +799,14 @@ impl MtaMachine {
                 &mut proc_clock,
                 streams_per_proc,
                 latency,
+                retry,
                 lookahead,
                 self.workers,
                 self.max_cycles,
+                // Host-side accounting goes straight into the machine's
+                // accumulator so `windows` survives error returns (the
+                // guardrail suites assert on it for deadlocking regions).
+                &mut self.engine_stats,
             ) {
                 Ok(out) => out,
                 Err(e) => {
@@ -825,7 +818,6 @@ impl MtaMachine {
             issued_thirds = out.issued_thirds;
             op_mix = out.op_mix;
             last_completion = out.last_completion;
-            stats = out.stats;
         } else {
             // Ready queue keyed by earliest possible issue time; stream id
             // breaks ties, which combined with re-insertion at issue_time + 1
@@ -841,9 +833,10 @@ impl MtaMachine {
             // can service another atomic/sync operation.
             let mut word_free = WordFree::new();
             // Scheduling metadata per instruction (including the trace-batch
-            // gate), decoded once up front. The partitioned engine's sync
-            // fallback batches like Trace — Trace is itself oracle-exact,
-            // so the fallback is too.
+            // gate), decoded once up front. The Partitioned arm here only
+            // serves `latency < 2` parameterizations (no real machine —
+            // the window width Δ = latency − 1 would be degenerate);
+            // batching like Trace keeps it oracle-exact.
             let batching = matches!(self.engine, MtaEngine::Trace | MtaEngine::Partitioned);
             let decoded = decode(prog, batching);
             // Blocked/halted bookkeeping behind deadlock detection. Sync
@@ -1196,6 +1189,7 @@ impl MtaMachine {
         self.engine_stats.events += stats.events;
         self.engine_stats.batches += stats.batches;
         self.engine_stats.batched_instrs += stats.batched_instrs;
+        self.engine_stats.windows += stats.windows;
         self.reports.push(report.clone());
         Ok(report)
     }

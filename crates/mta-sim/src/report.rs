@@ -83,6 +83,12 @@ pub struct EngineStats {
     pub batches: u64,
     /// Instructions issued inside trace batches.
     pub batched_instrs: u64,
+    /// Window-merge rounds executed by the partitioned engine. Zero on
+    /// every other engine, so tests can assert a region really ran on
+    /// the partitioned path (there is no interpreter fallback left for
+    /// sync programs; any region the partitioned engine runs reports at
+    /// least one round).
+    pub windows: u64,
 }
 
 impl EngineStats {

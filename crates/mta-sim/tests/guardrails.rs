@@ -12,7 +12,12 @@
 //!   ever lengthen the run; stuck tag bits drive the deadlock detector.
 //! * Property test: random full/empty kernels — balanced and deliberately
 //!   unbalanced — either halt with identical reports or deadlock with
-//!   identical errors across all four engines and `W ∈ {1, 2, 4, 8}`.
+//!   identical errors across all four engines and `W ∈ {1, 2, 4, 8}`,
+//!   with [`EngineStats::windows`] proving the partitioned runs really
+//!   executed merge rounds rather than falling back to the interpreter
+//!   (the sync fallback is gone).
+//!
+//! [`EngineStats::windows`]: archgraph_mta_sim::report::EngineStats
 
 use proptest::prelude::*;
 
@@ -53,6 +58,19 @@ fn try_engine(
     }
     m.set_engine(engine);
     let out = m.try_run(prog, streams, |_, _| {});
+    // Path proof: full/empty programs no longer fall back to the
+    // interpreter — every region the partitioned engine is asked to run
+    // (halting, deadlocking, or over budget) reports at least one merge
+    // round, and no other engine reports any.
+    let windows = m.engine_stats().windows;
+    if engine == MtaEngine::Partitioned {
+        assert!(
+            windows > 0,
+            "partitioned run must execute merge rounds, not fall back"
+        );
+    } else {
+        assert_eq!(windows, 0, "{engine:?} must not count merge rounds");
+    }
     (out, m.memory().peek_slice(0, MEM_WORDS))
 }
 

@@ -64,6 +64,21 @@ if ARCHGRAPH_BENCH_PANIC_CELL="fig1/smp/Random/p1/n4096" \
 fi
 echo "-- injected panic isolated and reported (nonzero exit), as required"
 
+echo "== partitioned engine: full/empty sync programs =="
+# Phase-2 contract: programs with readfe/writeef/readff run on the real
+# partitioned path — guardrails asserts EngineStats.windows > 0, i.e. no
+# interpreter fallback — and the readfe-contended sync cell fingerprints
+# identically at pinned worker counts. This leg runs the sync-heavy
+# suites with the partitioned engine as the session default at W=1 and
+# W=4 so a tag-merge or replay divergence reports here by name.
+for w in 1 4; do
+    echo "-- ARCHGRAPH_MTA_ENGINE=partitioned ARCHGRAPH_MTA_WORKERS=$w (sync suites)"
+    ARCHGRAPH_MTA_ENGINE=partitioned ARCHGRAPH_MTA_WORKERS="$w" \
+        cargo test -q --offline -p archgraph-mta-sim --test guardrails
+    ARCHGRAPH_MTA_ENGINE=partitioned ARCHGRAPH_MTA_WORKERS="$w" \
+        cargo test -q --offline -p archgraph-bench --lib sync_cell
+done
+
 echo "== partitioned engine: worker-count identity =="
 # The partitioned engine's determinism contract: simulation fingerprints
 # must be byte-identical for every worker count. Run the bench cells
@@ -79,6 +94,15 @@ if ! diff <(grep '"sim"' "$w1") <(grep '"sim"' "$w4"); then
     echo "ci: FAIL — partitioned-engine fingerprints differ between W=1 and W=4" >&2
     exit 1
 fi
+# The sync cells must be in the diffed set: they are the suite's only
+# readfe/writeef-contended programs, and the W-identity claim is
+# strongest exactly there.
+for cell in "sync/mta/p8" "sync/mta-partitioned/w1/p8" "sync/mta-partitioned/w4/p8"; do
+    if ! grep -q "\"name\": \"$cell\"" "$w1"; then
+        echo "ci: FAIL — sync cell $cell missing from the bench suite output" >&2
+        exit 1
+    fi
+done
 
 echo "== archgraphd daemon smoke =="
 # Serve the FULL bench suite through the daemon and diff every streamed

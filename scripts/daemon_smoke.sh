@@ -33,9 +33,11 @@ BENCH_JSON="${1:?usage: scripts/daemon_smoke.sh BENCH_JSON}"
 
 DAEMON=target/release/archgraphd
 CLIENT=target/release/archgraph-client
-if [[ ! -x "$DAEMON" || ! -x "$CLIENT" ]]; then
-    cargo build --release --offline -p archgraphd
-fi
+# Always build: archgraphd is not a workspace default member, so the
+# tier-1 `cargo build --release` leg does not refresh these binaries. A
+# stale pair here once let the smoke pass against an old, smaller suite
+# (a no-op build costs well under a second when nothing changed).
+cargo build --release --offline -p archgraphd
 
 WORK="$(mktemp -d /tmp/archgraphd-smoke.XXXXXX)"
 DPID=""
@@ -153,9 +155,24 @@ start_daemon "$SOCK" --jobs 1 --cache-dir "$WORK/cache"
 
 echo "-- list (cold cache)"
 "$CLIENT" --socket "$SOCK" list > "$WORK/list_cold.json"
-python3 - "$WORK/list_cold.json" "$WORK/names" <<'EOF'
+python3 - "$WORK/list_cold.json" "$WORK/names" "$BENCH_JSON" <<'EOF'
 import json, sys
 cells = json.load(open(sys.argv[1]))["cells"]
+# The daemon's suite must be EXACTLY the bench binary's suite: a
+# name-set drift in either direction means one of the two binaries is
+# stale, and the byte-identity diff below would silently shrink.
+bench_names = set()
+for line in open(sys.argv[3]):
+    s = line.strip()
+    if s.startswith('"name":'):
+        bench_names.add(json.loads("{" + s.rstrip(",") + "}")["name"])
+daemon_names = {c["name"] for c in cells}
+missing = sorted(bench_names - daemon_names)
+extra = sorted(daemon_names - bench_names)
+assert not missing and not extra, (
+    f"daemon suite drifted from the bench output "
+    f"(missing {missing}, extra {extra}) — stale archgraphd build?"
+)
 assert len(cells) >= 30, f"suite lists only {len(cells)} cells"
 bad = [c["name"] for c in cells if c["cached"]]
 assert not bad, f"cold cache but cells report cached: {bad}"
@@ -197,11 +214,11 @@ echo "daemon_smoke: 1-cell job completed mid-sweep (fair interleaving)"
 if ! wait "$APID"; then
     fail "suite job exited nonzero"
 fi
-python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/first.jsonl" fresh 30 "$WORK/list_cold.json"
+python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/first.jsonl" fresh "${#SUITE[@]}" "$WORK/list_cold.json"
 
 echo "-- submit full suite (replay)"
 "$CLIENT" --socket "$SOCK" submit "${SUITE[@]}" > "$WORK/second.jsonl"
-python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/second.jsonl" cached 30 "$WORK/list_cold.json"
+python3 "$WORK/check.py" "$BENCH_JSON" "$WORK/second.jsonl" cached "${#SUITE[@]}" "$WORK/list_cold.json"
 
 echo "-- list (warm cache)"
 "$CLIENT" --socket "$SOCK" list > "$WORK/list_warm.json"
