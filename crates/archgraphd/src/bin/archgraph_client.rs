@@ -1,7 +1,8 @@
 //! `archgraph-client` — thin CLI for talking to a running `archgraphd`.
 //!
 //! ```text
-//! archgraph-client (--socket PATH | --tcp ADDR) [--token SECRET] COMMAND [ARGS]
+//! archgraph-client (--socket PATH | --tcp ADDR) [--token SECRET]
+//!                  [--connect-timeout-ms N] [--retries N] COMMAND [ARGS]
 //!
 //! commands:
 //!   ping                      liveness probe
@@ -19,6 +20,15 @@
 //! `--token` sends the bearer token as the connection's first line, as
 //! required by a daemon started with `--token`.
 //!
+//! `--connect-timeout-ms` bounds each TCP dial attempt, and `--retries`
+//! re-dials an unreachable daemon that many extra times with exponential
+//! backoff (100 ms, 200 ms, 400 ms, ... capped at 5 s) — useful when a
+//! script races daemon startup, or across a daemon restart. Retrying
+//! (or resubmitting after exit 3) is safe: submissions are idempotent
+//! by the cache contract — results are content-addressed by the full
+//! cell spec, so a cell that already ran replays from the cache instead
+//! of recomputing, and a half-delivered job is simply streamed again.
+//!
 //! Every protocol line the daemon sends is echoed verbatim to stdout, so
 //! scripts can parse the stream directly. Exit status: 0 on success, 1
 //! if the daemon reported an error or any submitted cell failed, 2 on
@@ -27,6 +37,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
 use archgraphd::json::{escape, Json};
 use archgraphd::server::{self, Endpoint};
@@ -35,8 +46,12 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: archgraph-client (--socket PATH | --tcp ADDR) [--token SECRET] \
+         [--connect-timeout-ms N] [--retries N] \
          (ping | status | list | shutdown | cancel JOB | \
-         submit [--budget-cycles N] [--budget-host-ms N] CELL... | submit-json JSON)"
+         submit [--budget-cycles N] [--budget-host-ms N] CELL... | submit-json JSON)\n\
+         retried/resubmitted requests are idempotent: results are \
+         content-addressed in the daemon's cache, so replays are served \
+         from it rather than recomputed"
     );
     exit(2);
 }
@@ -115,25 +130,65 @@ fn main() {
         _ => usage("first arguments must be --socket PATH or --tcp ADDR"),
     };
     let mut token: Option<String> = None;
-    let mut cmd = it.next().unwrap_or_else(|| usage("missing command"));
-    if cmd == "--token" {
-        token = Some(
+    let mut connect_timeout: Option<Duration> = None;
+    let mut retries = 0u32;
+    // Connection flags may appear in any order, before the command.
+    let cmd = loop {
+        let a = it.next().unwrap_or_else(|| usage("missing command"));
+        let mut value = |flag: &str| {
             it.next()
-                .unwrap_or_else(|| usage("--token requires a value"))
-                .clone(),
-        );
-        cmd = it.next().unwrap_or_else(|| usage("missing command"));
-    }
+                .unwrap_or_else(|| usage(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--token" => token = Some(value("--token").clone()),
+            "--connect-timeout-ms" => {
+                connect_timeout = Some(Duration::from_millis(
+                    value("--connect-timeout-ms")
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1u64)
+                        .unwrap_or_else(|| {
+                            usage("--connect-timeout-ms requires a positive integer")
+                        }),
+                ))
+            }
+            "--retries" => {
+                retries = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--retries requires an integer"))
+            }
+            _ => break a,
+        }
+    };
     let rest: Vec<String> = it.cloned().collect();
     let (request, streams) = build_request(cmd, &rest);
 
-    let conn = server::connect(&endpoint).unwrap_or_else(|e| {
-        eprintln!(
-            "error: cannot reach archgraphd at {}: {e}",
-            endpoint.describe()
-        );
-        exit(3);
-    });
+    // Dial, re-dialing unreachable daemons with exponential backoff.
+    // Retrying is safe even around a `submit`: the connection either
+    // failed before the request was sent, or the whole job replays from
+    // the daemon's content-addressed cache.
+    let mut attempt = 0u32;
+    let conn = loop {
+        match server::connect_with(&endpoint, connect_timeout) {
+            Ok(c) => break c,
+            Err(e) if attempt < retries => {
+                let backoff_ms = 100u64.saturating_mul(1 << attempt.min(16)).min(5_000);
+                attempt += 1;
+                eprintln!(
+                    "warning: cannot reach archgraphd at {}: {e}; retry {attempt}/{retries} in {backoff_ms} ms",
+                    endpoint.describe()
+                );
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: cannot reach archgraphd at {}: {e}",
+                    endpoint.describe()
+                );
+                exit(3);
+            }
+        }
+    };
     let reader = BufReader::new(match conn.try_clone() {
         Ok(c) => c,
         Err(e) => {

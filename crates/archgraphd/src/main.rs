@@ -3,7 +3,7 @@
 //! ```text
 //! archgraphd [--socket PATH | --tcp ADDR] [--jobs N] [--max-queue N]
 //!            [--cache-dir DIR|off] [--cache-max-bytes N]
-//!            [--allow-remote --token SECRET]
+//!            [--idle-timeout-ms N] [--allow-remote --token SECRET]
 //! ```
 //!
 //! Defaults: a Unix socket at `./archgraphd.sock`, 2 workers, a 64-cell
@@ -31,7 +31,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: archgraphd [--socket PATH | --tcp ADDR] [--jobs N] \
          [--max-queue N] [--cache-dir DIR|off] [--cache-max-bytes N] \
-         [--allow-remote --token SECRET]"
+         [--idle-timeout-ms N] [--allow-remote --token SECRET]"
     );
     exit(2);
 }
@@ -48,6 +48,7 @@ fn main() {
     let mut cache_dir = String::from(".archgraphd-cache");
     let mut cache_max_bytes: Option<u64> = None;
     let mut security = Security::default();
+    let mut idle_timeout: Option<std::time::Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -80,6 +81,15 @@ fn main() {
                         .unwrap_or_else(|_| usage("--cache-max-bytes requires an integer")),
                 )
             }
+            "--idle-timeout-ms" => {
+                idle_timeout = Some(std::time::Duration::from_millis(
+                    value("--idle-timeout-ms")
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1u64)
+                        .unwrap_or_else(|| usage("--idle-timeout-ms requires a positive integer")),
+                ))
+            }
             "--allow-remote" => security.allow_remote = true,
             "--token" => security.token = Some(value("--token")),
             other => usage(&format!("unknown argument {other:?}")),
@@ -109,6 +119,6 @@ fn main() {
     );
 
     let stop = Arc::new(AtomicBool::new(false));
-    let reason = server::serve(listener, sched, stop, security.token);
+    let reason = server::serve(listener, sched, stop, security.token, idle_timeout);
     eprintln!("archgraphd: drained and shut down cleanly ({reason})");
 }

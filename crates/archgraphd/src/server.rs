@@ -111,6 +111,26 @@ impl Conn {
             Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
         }
     }
+
+    /// Arm a read deadline: any read blocking longer than `dur` fails
+    /// with `WouldBlock`/`TimedOut` instead of parking forever.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(dur),
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+/// Does this I/O error mean a read deadline expired (rather than the
+/// peer hanging up)? Unix sockets report `WouldBlock`, TCP on some
+/// platforms `TimedOut`.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 impl Read for Conn {
@@ -207,6 +227,14 @@ pub fn bind_secured(ep: &Endpoint, security: &Security) -> io::Result<Listener> 
 
 /// Dial the endpoint (client side).
 pub fn connect(ep: &Endpoint) -> io::Result<Conn> {
+    connect_with(ep, None)
+}
+
+/// Dial the endpoint with an optional connect deadline. Unix-domain
+/// connects are local and effectively instant (the kernel either has a
+/// listener or it does not), so the deadline only governs TCP, where it
+/// bounds each candidate address resolved from the spec.
+pub fn connect_with(ep: &Endpoint, timeout: Option<Duration>) -> io::Result<Conn> {
     match ep {
         Endpoint::Unix(path) => {
             #[cfg(unix)]
@@ -222,7 +250,22 @@ pub fn connect(ep: &Endpoint) -> io::Result<Conn> {
                 ))
             }
         }
-        Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
+        Endpoint::Tcp(addr) => match timeout {
+            None => TcpStream::connect(addr).map(Conn::Tcp),
+            Some(dur) => {
+                let mut last = io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{addr}: no addresses resolved"),
+                );
+                for candidate in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&candidate, dur) {
+                        Ok(s) => return Ok(Conn::Tcp(s)),
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            }
+        },
     }
 }
 
@@ -257,6 +300,7 @@ pub fn serve(
     sched: Arc<Scheduler>,
     stop: Arc<AtomicBool>,
     token: Option<String>,
+    idle_timeout: Option<Duration>,
 ) -> &'static str {
     let token = Arc::new(token);
     let reason = loop {
@@ -278,7 +322,9 @@ pub fn serve(
                 // Detached: dies with the process after the drain.
                 let _ = thread::Builder::new()
                     .name("archgraphd-client".to_string())
-                    .spawn(move || handle_client(conn, &sched, &stop, token.as_deref()));
+                    .spawn(move || {
+                        handle_client(conn, &sched, &stop, token.as_deref(), idle_timeout)
+                    });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
             Err(e) => {
@@ -300,16 +346,43 @@ pub fn serve(
 /// a write fails, or the client asked for shutdown. With a token set,
 /// the connection's first line must be the bare token: a match is
 /// silent (the client just proceeds), anything else answers a
-/// structured error and closes the connection.
-fn handle_client(conn: Conn, sched: &Scheduler, stop: &AtomicBool, token: Option<&str>) {
+/// structured error and closes the connection. With an idle timeout
+/// set, a connection whose next request (or auth line) does not arrive
+/// within the deadline gets one structured error line and is closed —
+/// idle clients cannot pin handler threads forever.
+fn handle_client(
+    conn: Conn,
+    sched: &Scheduler,
+    stop: &AtomicBool,
+    token: Option<&str>,
+    idle_timeout: Option<Duration>,
+) {
     let Ok(read_half) = conn.try_clone() else {
         return;
     };
+    if idle_timeout.is_some() && read_half.set_read_timeout(idle_timeout).is_err() {
+        return;
+    }
     let reader = BufReader::new(read_half);
     let mut w = conn;
     let mut lines = reader.lines();
+    let idle_close = |w: &mut Conn| {
+        let ms = idle_timeout.map_or(0, |d| d.as_millis());
+        let _ = writeln!(
+            w,
+            "{}",
+            protocol::error(&format!("idle timeout: no request within {ms} ms"))
+        );
+        let _ = w.flush();
+    };
     if let Some(expect) = token {
         let presented = lines.next();
+        if let Some(Err(e)) = &presented {
+            if is_timeout(e) {
+                idle_close(&mut w);
+                return;
+            }
+        }
         let authed = matches!(&presented, Some(Ok(first)) if first.trim() == expect);
         if !authed {
             let _ = writeln!(
@@ -322,7 +395,14 @@ fn handle_client(conn: Conn, sched: &Scheduler, stop: &AtomicBool, token: Option
         }
     }
     for line in lines {
-        let Ok(line) = line else { return };
+        let line = match line {
+            Ok(line) => line,
+            Err(e) if is_timeout(&e) => {
+                idle_close(&mut w);
+                return;
+            }
+            Err(_) => return,
+        };
         if line.trim().is_empty() {
             continue;
         }

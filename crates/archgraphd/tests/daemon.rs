@@ -518,6 +518,91 @@ fn a_token_gated_daemon_refuses_unauthenticated_connections() {
 }
 
 #[test]
+fn idle_connections_get_a_structured_timeout_and_a_close() {
+    let root = temp_root("idle");
+    let daemon = start_daemon_with_args(&root, 1, &[], &["--idle-timeout-ms", "300"]);
+
+    // A connection that never sends a request: one structured error
+    // line naming the deadline, then EOF.
+    let (mut r, _w) = dial(&daemon);
+    let err = recv(&mut r);
+    assert_eq!(err.get("type").and_then(Json::as_str), Some("error"));
+    assert!(
+        err.get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("idle timeout"),
+        "{err:?}"
+    );
+    let mut line = String::new();
+    assert_eq!(
+        r.read_line(&mut line).unwrap(),
+        0,
+        "connection closed after the idle timeout"
+    );
+
+    // The deadline is per-request, not per-connection: a session that
+    // keeps talking stays alive well past the 300 ms budget.
+    let (mut r, mut w) = dial(&daemon);
+    for _ in 0..4 {
+        std::thread::sleep(Duration::from_millis(150));
+        send(&mut w, r#"{"op":"ping"}"#);
+        assert_eq!(
+            recv(&mut r).get("type").and_then(Json::as_str),
+            Some("pong")
+        );
+    }
+
+    shutdown_and_reap(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn the_client_retries_connects_with_backoff_across_daemon_startup() {
+    let root = temp_root("retry");
+    let sock = root.join("archgraphd.sock");
+    let sock_str = sock.to_str().unwrap().to_string();
+
+    // Spawn the client before any daemon exists: with --retries it keeps
+    // re-dialing with backoff, so a daemon that comes up moments later
+    // still serves the request. (Retried submissions are idempotent by
+    // the content-addressed cache contract, so retrying is always safe.)
+    let client = Command::new(CLIENT)
+        .args(["--socket", &sock_str, "--retries", "8", "ping"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn retrying client");
+    std::thread::sleep(Duration::from_millis(250));
+    let daemon = start_daemon(&root, 1, &[]);
+    let out = client.wait_with_output().expect("client output");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains(r#""type":"pong""#));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("retry"),
+        "the backoff warning names the retry: {out:?}"
+    );
+
+    // Retries exhausted against nothing is still exit 3.
+    let gone = Command::new(CLIENT)
+        .args([
+            "--socket",
+            root.join("nope.sock").to_str().unwrap(),
+            "--retries",
+            "2",
+            "--connect-timeout-ms",
+            "100",
+            "ping",
+        ])
+        .output()
+        .expect("run client against nothing");
+    assert_eq!(gone.status.code(), Some(3), "{gone:?}");
+
+    shutdown_and_reap(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn non_loopback_tcp_binds_are_refused_at_startup() {
     let root = temp_root("tcp-refuse");
     let out = Command::new(DAEMON)

@@ -286,11 +286,14 @@ impl CellSpec {
     }
 
     /// Execute the cell and produce its `sim` fingerprint. Scoped
-    /// overrides (engine, workers, cycle budget) are applied only where
-    /// `Some`; the fault plan is **not** applied here — callers that honor
-    /// `self.faults` (the daemon) wrap this in `with_fault_plan`, while
-    /// `--bin bench` runs ambient like it always has. Panics on simulator
-    /// failure (watchdog, deadlock); run under `sweep::isolate`.
+    /// overrides (engine, workers, cycle budget, fault plan) are applied
+    /// only where `Some`: a spec carrying `faults` runs under exactly
+    /// that plan wherever it executes — `--bin bench`, the daemon, or a
+    /// test — so degradation cells fingerprint identically everywhere. A
+    /// spec without `faults` leaves the ambient configuration in charge,
+    /// matching the historical behaviour of `--bin bench`. Panics on
+    /// simulator failure (watchdog, deadlock); run under
+    /// `sweep::isolate`.
     pub fn run(&self) -> Fingerprint {
         let body = || self.dispatch();
         let body = || match self.workers {
@@ -299,6 +302,14 @@ impl CellSpec {
         };
         let body = || match self.engine {
             Some(e) => with_engine(e, body),
+            None => body(),
+        };
+        let body = || match &self.faults {
+            Some(spec) => {
+                let plan = archgraph_mta_sim::FaultPlan::parse(spec)
+                    .expect("validate() accepted this fault spec");
+                archgraph_mta_sim::with_fault_plan(Some(plan), body)
+            }
             None => body(),
         };
         match self.max_cycles {
@@ -501,6 +512,36 @@ pub fn bench_suite() -> Vec<(&'static str, CellSpec)> {
         ("euler/smp/p8", smp(Euler, 8)),
         ("msf/native", native(Msf)),
         ("biconn/native", native(Biconn)),
+        // Degradation cells: the same kernels under pinned structural
+        // fault plans. Their fingerprints are part of the committed
+        // baseline, so a change to fault *semantics* (not just engine
+        // scheduling) shows up as a bench diff — and each plan still
+        // obeys the determinism contract (any engine, any W, same
+        // fingerprint; the chaos soak sweeps that grid).
+        ("bfs/mta/p8+stall", {
+            let mut s = mta(Bfs, 8);
+            s.faults = Some("stall=30,stall-period=300:7".into());
+            s
+        }),
+        ("color/mta/p8+link", {
+            let mut s = mta(Color, 8);
+            s.faults = Some("link-latency=60,rate=1:7".into());
+            s
+        }),
+        ("fig1/mta/random/p8+brownout", {
+            let mut s = mta(Fig1(Random), 8);
+            s.faults = Some("brownout=4,brownout-at=3000,brownout-for=30000:7".into());
+            s
+        }),
+        // All three structural axes at once, on the readfe-contended
+        // kernel, through the partitioned engine's window merge.
+        ("sync/mta-partitioned/w4/p8+struct", {
+            let mut s = mta_eng(Sync, 8, Partitioned);
+            s.workers = Some(4);
+            s.faults =
+                Some("stall=30,stall-period=300,link-latency=60,brownout=2,rate=1:11".into());
+            s
+        }),
     ]
 }
 
@@ -540,7 +581,7 @@ mod tests {
     #[test]
     fn suite_names_are_unique_and_specs_valid() {
         let suite = bench_suite();
-        assert_eq!(suite.len(), 33, "the committed baseline has 33 cells");
+        assert_eq!(suite.len(), 37, "the committed baseline has 37 cells");
         let mut names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
@@ -627,6 +668,40 @@ mod tests {
             "{}",
             err.message
         );
+    }
+
+    #[test]
+    fn degradation_cells_perturb_results_and_stay_engine_invariant() {
+        // A small off-suite variant keeps this fast. The faulted spec
+        // must cost cycles over its clean twin (the plan is real) and
+        // fingerprint identically from another engine at several worker
+        // counts (the determinism contract extends to degraded runs).
+        // Note the speculative color kernel's *work* may legitimately
+        // shift under a plan — racy speculation reads whatever the
+        // perturbed schedule exposes — which is exactly why the plan
+        // must be part of the cache key.
+        let mut clean = CellSpec::new(Kernel::Color, MachineKind::Mta, 2);
+        clean.engine = Some(MtaEngine::Trace);
+        clean.n = 128;
+        clean.m = 384;
+        let mut faulted = clean.clone();
+        faulted.faults =
+            Some("stall=30,stall-period=300,link-latency=60,brownout=2,rate=0:7".into());
+        let fp_clean = clean.run();
+        let fp_faulted = faulted.run();
+        assert_eq!(fp_clean[0].0, "cycles");
+        assert!(
+            fp_faulted[0].1 > fp_clean[0].1,
+            "the combined plan must cost cycles ({} <= {})",
+            fp_faulted[0].1,
+            fp_clean[0].1
+        );
+        let mut part = faulted.clone();
+        part.engine = Some(MtaEngine::Partitioned);
+        for w in [1usize, 4] {
+            part.workers = Some(w);
+            assert_eq!(part.run(), fp_faulted, "partitioned W={w} diverged");
+        }
     }
 
     #[test]

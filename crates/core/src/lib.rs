@@ -17,6 +17,9 @@
 //!   model; the simulators are cross-validated against these in tests.
 //! * [`experiment`] — a small measurement harness: repeated trials, robust
 //!   summary statistics, speedup/utilization computations.
+//! * [`fault`] — deterministic, engine-invariant fault plans (latency
+//!   spikes, stuck tags, per-processor stalls, degraded links, brownouts)
+//!   consumed by both simulators.
 //! * [`report`] — fixed-width table and CSV rendering shared by the figure
 //!   regeneration binaries.
 //!
@@ -28,6 +31,7 @@
 pub mod cost;
 pub mod error;
 pub mod experiment;
+pub mod fault;
 pub mod machine;
 pub mod plot;
 pub mod predict;
@@ -37,5 +41,6 @@ pub mod shared;
 pub use cost::Complexity;
 pub use error::{BlockedStream, SimError};
 pub use experiment::{Measurement, Trials};
+pub use fault::{with_fault_plan, FaultPlan, FAULTS_ENV};
 pub use machine::{MtaParams, SmpParams};
 pub use shared::SharedSlice;

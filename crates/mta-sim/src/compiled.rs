@@ -590,7 +590,9 @@ pub(crate) fn run_region(
             continue;
         }
 
-        let issue_at = e.max(proc_clock[proc]);
+        // Per-processor stall windows: pure (proc, seed) adjustment,
+        // identical in every engine (DESIGN.md §8).
+        let issue_at = memory.fault_stall_adjust(proc, e.max(proc_clock[proc]));
 
         // A batch attempt can only succeed when at least two issue slots
         // fit under the horizon; `peek`'s fast path (a same-time remnant
@@ -603,7 +605,9 @@ pub(crate) fn run_region(
                 Some((h, _)) => h,
                 None => u64::MAX,
             }
-            .min(budget_thirds.saturating_add(1));
+            .min(budget_thirds.saturating_add(1))
+            // No batched slot may land inside a stall window.
+            .min(memory.fault_next_stall(proc, issue_at));
             if limit.saturating_sub(issue_at) >= 2 {
                 if let Some(done) = try_run(limit, &mut rr, cp, u, pc, issue_at, &mut op_mix) {
                     proc_clock[proc] = done.clock;
@@ -675,7 +679,8 @@ pub(crate) fn run_region(
                 LOAD => {
                     let a = (rr.v(u.a) + u.imm) as usize;
                     let v = memory.load(a);
-                    let done = issue_at + latency + memory.fault_extra_latency(a);
+                    let done =
+                        issue_at + latency + memory.fault_mem_extra(proc, a, issue_at, latency);
                     rr.set(u.dst, v, done);
                     ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                     last_completion = last_completion.max(done);
@@ -683,7 +688,8 @@ pub(crate) fn run_region(
                 STORE => {
                     let a = (rr.v(u.b) + u.imm) as usize;
                     memory.store(a, rr.v(u.a));
-                    let done = issue_at + latency + memory.fault_extra_latency(a);
+                    let done =
+                        issue_at + latency + memory.fault_mem_extra(proc, a, issue_at, latency);
                     ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                     last_completion = last_completion.max(done);
                 }
@@ -695,7 +701,9 @@ pub(crate) fn run_region(
                             let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
-                            let done = service + latency + memory.fault_extra_latency(a);
+                            let done = service
+                                + latency
+                                + memory.fault_mem_extra(proc, a, issue_at, latency);
                             rr.set(u.dst, v, done);
                             ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                             last_completion = last_completion.max(done);
@@ -717,7 +725,8 @@ pub(crate) fn run_region(
                         let slot = word_free.slot(a);
                         let service = (*slot).max(issue_at);
                         *slot = service + 3;
-                        let done = service + latency + memory.fault_extra_latency(a);
+                        let done =
+                            service + latency + memory.fault_mem_extra(proc, a, issue_at, latency);
                         ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                         last_completion = last_completion.max(done);
                     } else {
@@ -737,7 +746,9 @@ pub(crate) fn run_region(
                             let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
-                            let done = service + latency + memory.fault_extra_latency(a);
+                            let done = service
+                                + latency
+                                + memory.fault_mem_extra(proc, a, issue_at, latency);
                             rr.set(u.dst, v, done);
                             ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                             last_completion = last_completion.max(done);
@@ -759,7 +770,8 @@ pub(crate) fn run_region(
                     let slot = word_free.slot(a);
                     let service = (*slot).max(issue_at);
                     *slot = service + 3;
-                    let done = service + latency + memory.fault_extra_latency(a);
+                    let done =
+                        service + latency + memory.fault_mem_extra(proc, a, issue_at, latency);
                     rr.set(u.dst, old, done);
                     ring_push(&mut streams[idx], &mut olen[idx], &mut ofront[idx], done);
                     last_completion = last_completion.max(done);

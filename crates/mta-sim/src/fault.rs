@@ -1,35 +1,31 @@
-//! Deterministic fault injection and deadlock bookkeeping.
+//! Fault injection (re-exported from `archgraph-core`) and deadlock
+//! bookkeeping.
 //!
 //! # Fault injection below the engine layer
 //!
-//! A [`FaultPlan`] perturbs a run in ways that exercise the guardrails —
-//! latency spikes on memory operations, stuck full/empty bits, delayed
-//! sync-retry wakeups — while staying **deterministic and engine-invariant**:
-//! every decision is a pure function of the *memory address* and the plan's
-//! seed, never of host time, host thread, or the order in which an engine
-//! happens to visit operations. That is what lets the same plan perturb
-//! SingleStep, Trace, Compiled and Partitioned bit-identically: the
-//! partitioned engine's workers compute an address's extra latency locally,
-//! in parallel, and arrive at exactly the numbers the serial engines do.
+//! The deterministic [`FaultPlan`] — latency spikes, stuck full/empty
+//! bits, delayed sync-retry wakeups on an address-keyed axis, plus the
+//! structural axis of per-processor stalls, degraded links, and
+//! brownouts — lives in [`archgraph_core::fault`] so both simulated
+//! machines consume one plan. This module re-exports it under its
+//! historical `archgraph_mta_sim` paths.
 //!
-//! The plan lives *below* the engines, attached to the shared [`Memory`]
-//! image (stuck bits are applied inside `readfe`/`writeef`/`readff`
-//! themselves); engines only consult the pure per-address helpers when
-//! computing completion and wakeup times.
+//! On the MTA the plan lives *below* the engines, attached to the shared
+//! [`Memory`] image (stuck bits are applied inside
+//! `readfe`/`writeef`/`readff` themselves); engines only consult the
+//! pure helpers when computing issue, completion and wakeup times:
 //!
-//! Plans come from `ARCHGRAPH_FAULTS=<spec>:<seed>`, where `<spec>` is a
-//! comma-separated list of:
+//! * every engine's `issue_at = max(event, proc_clock)` is mapped
+//!   through [`FaultPlan::stall_adjust`], and batching engines cap
+//!   private runs at [`FaultPlan::next_stall_start`] so no instruction
+//!   issues inside a stall window;
+//! * every memory-op completion adds
+//!   [`FaultPlan::extra_mem_latency`]`(proc, addr, issue_at, latency)`,
+//!   which folds the address-keyed spike, the degraded-link penalty and
+//!   the brownout multiplier into one pure quantity the partitioned
+//!   merge recomputes identically from its logged ops.
 //!
-//! | item | effect |
-//! |---|---|
-//! | `mem-latency=<thirds>` | affected addresses' memory ops complete `<thirds>` later |
-//! | `stuck-full` | affected words' full/empty bit is stuck full |
-//! | `stuck-empty` | affected words' full/empty bit is stuck empty |
-//! | `wake-delay=<thirds>` | failed sync ops on affected addresses retry `<thirds>` later |
-//! | `rate=<log2>` | one address in `2^log2` is affected (default 4) |
-//!
-//! e.g. `ARCHGRAPH_FAULTS=mem-latency=30:7` or
-//! `ARCHGRAPH_FAULTS=stuck-empty,rate=0:1` (`rate=0` hits every address).
+//! See DESIGN.md §8 for the invariance argument.
 //!
 //! # Deadlock bookkeeping
 //!
@@ -50,171 +46,9 @@
 
 use archgraph_core::error::{BlockedStream, SimError};
 
+pub use archgraph_core::fault::{with_fault_plan, FaultPlan, FAULTS_ENV};
+
 use crate::memory::Memory;
-
-/// Environment variable holding the fault plan, `<spec>:<seed>`.
-pub const FAULTS_ENV: &str = "ARCHGRAPH_FAULTS";
-
-/// A deterministic, seeded fault-injection plan. See the module docs for
-/// the spec grammar and the determinism contract.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FaultPlan {
-    seed: u64,
-    /// Extra completion latency (thirds of a cycle) on affected addresses.
-    mem_latency: u64,
-    /// Extra retry delay (thirds) for failed sync ops on affected addresses.
-    wake_delay: u64,
-    /// Affected words read as permanently full.
-    stuck_full: bool,
-    /// Affected words read as permanently empty.
-    stuck_empty: bool,
-    /// One address in `2^rate_log2` is affected.
-    rate_log2: u32,
-}
-
-std::thread_local! {
-    static FAULT_OVERRIDE: std::cell::RefCell<Option<Option<FaultPlan>>> =
-        const { std::cell::RefCell::new(None) };
-}
-
-/// Run `f` with every [`Memory`] constructed on this thread using exactly
-/// `plan` — `Some(plan)` injects that plan, `None` forces a clean memory
-/// even when [`FAULTS_ENV`] is set in the ambient environment. The sweep
-/// daemon uses this so a job's fault plan is part of its spec, never
-/// inherited from the daemon's environment (its result cache is keyed by
-/// the spec, so an ambient plan leaking in would poison the cache).
-/// Panic-safe and nestable; the previous override is restored on exit.
-pub fn with_fault_plan<R>(plan: Option<FaultPlan>, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<Option<FaultPlan>>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            FAULT_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
-        }
-    }
-    let _restore = Restore(FAULT_OVERRIDE.with(|c| c.borrow_mut().replace(plan)));
-    f()
-}
-
-/// SplitMix64 finalizer: a cheap, well-mixed hash so "one address in 2^k"
-/// picks an arbitrary-looking but fully deterministic subset.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-impl FaultPlan {
-    /// Parse a `<spec>:<seed>` string. Errors name the offending item.
-    pub fn parse(s: &str) -> Result<FaultPlan, String> {
-        let (spec, seed) = s
-            .rsplit_once(':')
-            .ok_or_else(|| format!("fault plan {s:?} is missing the `:<seed>` suffix"))?;
-        let seed: u64 = seed
-            .parse()
-            .map_err(|_| format!("fault-plan seed {seed:?} is not an unsigned integer"))?;
-        let mut plan = FaultPlan {
-            seed,
-            mem_latency: 0,
-            wake_delay: 0,
-            stuck_full: false,
-            stuck_empty: false,
-            rate_log2: 4,
-        };
-        for item in spec.split(',') {
-            let (key, val) = match item.split_once('=') {
-                Some((k, v)) => (k, Some(v)),
-                None => (item, None),
-            };
-            let num = |what: &str| -> Result<u64, String> {
-                val.ok_or_else(|| format!("fault item `{item}` needs `={what}`"))?
-                    .parse()
-                    .map_err(|_| format!("fault item `{item}`: value is not an unsigned integer"))
-            };
-            match key {
-                "mem-latency" => plan.mem_latency = num("thirds")?,
-                "wake-delay" => plan.wake_delay = num("thirds")?,
-                "rate" => {
-                    let r = num("log2")?;
-                    if r > 63 {
-                        return Err(format!("fault item `{item}`: rate must be <= 63"));
-                    }
-                    plan.rate_log2 = r as u32;
-                }
-                "stuck-full" if val.is_none() => plan.stuck_full = true,
-                "stuck-empty" if val.is_none() => plan.stuck_empty = true,
-                _ => return Err(format!("unrecognized fault item `{item}`")),
-            }
-        }
-        if plan.stuck_full && plan.stuck_empty {
-            return Err("a word cannot be stuck both full and empty".into());
-        }
-        Ok(plan)
-    }
-
-    /// The plan configured via [`FAULTS_ENV`], if any. Parsed once and
-    /// cached; a malformed spec panics with the parse error (a bad plan
-    /// must not silently run a clean experiment).
-    pub fn from_env() -> Option<&'static FaultPlan> {
-        use std::sync::OnceLock;
-        static CACHE: OnceLock<Option<FaultPlan>> = OnceLock::new();
-        CACHE
-            .get_or_init(|| {
-                std::env::var(FAULTS_ENV)
-                    .ok()
-                    .map(|s| FaultPlan::parse(&s).unwrap_or_else(|e| panic!("{FAULTS_ENV}: {e}")))
-            })
-            .as_ref()
-    }
-
-    /// The plan for newly constructed memories on this thread: the
-    /// [`with_fault_plan`] override if one is active (its `None` forces a
-    /// clean memory even when [`FAULTS_ENV`] is set), else the
-    /// environment plan.
-    pub(crate) fn configured() -> Option<FaultPlan> {
-        if let Some(forced) = FAULT_OVERRIDE.with(|c| c.borrow().clone()) {
-            return forced;
-        }
-        FaultPlan::from_env().cloned()
-    }
-
-    /// Is `addr` in the affected subset? Pure function of `(addr, seed)`.
-    #[inline]
-    pub fn affects(&self, addr: usize) -> bool {
-        let mask = (1u64 << self.rate_log2) - 1;
-        mix(addr as u64 ^ self.seed) & mask == 0
-    }
-
-    /// Extra completion latency (thirds) for a memory op on `addr`.
-    #[inline]
-    pub fn extra_latency(&self, addr: usize) -> u64 {
-        if self.mem_latency != 0 && self.affects(addr) {
-            self.mem_latency
-        } else {
-            0
-        }
-    }
-
-    /// Extra retry delay (thirds) for a failed sync op on `addr`.
-    #[inline]
-    pub fn extra_wake_delay(&self, addr: usize) -> u64 {
-        if self.wake_delay != 0 && self.affects(addr) {
-            self.wake_delay
-        } else {
-            0
-        }
-    }
-
-    /// The tag state forced on `addr`, if any (`Some(true)` = stuck full).
-    #[inline]
-    pub fn stuck_tag(&self, addr: usize) -> Option<bool> {
-        if (self.stuck_full || self.stuck_empty) && self.affects(addr) {
-            Some(self.stuck_full)
-        } else {
-            None
-        }
-    }
-}
 
 /// One stream's current blocked spell: it has failed the sync op at `pc`
 /// on `addr` at least once, most recently unresolved.
@@ -337,63 +171,6 @@ impl BlockTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parse_full_grammar() {
-        let p = FaultPlan::parse("mem-latency=30,wake-delay=9,rate=3:42").unwrap();
-        assert_eq!(p.seed, 42);
-        assert_eq!(p.mem_latency, 30);
-        assert_eq!(p.wake_delay, 9);
-        assert_eq!(p.rate_log2, 3);
-        assert!(!p.stuck_full && !p.stuck_empty);
-        let p = FaultPlan::parse("stuck-empty:1").unwrap();
-        assert!(p.stuck_empty);
-    }
-
-    #[test]
-    fn parse_rejects_malformed_specs() {
-        for bad in [
-            "mem-latency=30", // no seed
-            "mem-latency:x",  // bad seed
-            "mem-latency:7",  // missing value
-            "bogus:7",        // unknown item
-            "stuck-full=1:7", // flag with value
-            "rate=64:7",      // rate too large
-            "stuck-full,stuck-empty:7",
-        ] {
-            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
-        }
-    }
-
-    #[test]
-    fn affects_is_seeded_and_rate_limited() {
-        let p = FaultPlan::parse("mem-latency=10,rate=2:7").unwrap();
-        let hit: Vec<usize> = (0..4096).filter(|&a| p.affects(a)).collect();
-        // 1-in-4 rate: binomial(4096, 1/4) stays comfortably in this band.
-        assert!(hit.len() > 512 && hit.len() < 1536, "{}", hit.len());
-        let p2 = FaultPlan::parse("mem-latency=10,rate=2:8").unwrap();
-        let hit2: Vec<usize> = (0..4096).filter(|&a| p2.affects(a)).collect();
-        assert_ne!(hit, hit2, "different seeds pick different subsets");
-        // rate=0 hits everything.
-        let all = FaultPlan::parse("mem-latency=10,rate=0:7").unwrap();
-        assert!((0..4096).all(|a| all.affects(a)));
-    }
-
-    #[test]
-    fn helpers_respect_the_affected_subset() {
-        let p = FaultPlan::parse("mem-latency=30,wake-delay=9,stuck-empty,rate=1:3").unwrap();
-        for a in 0..256 {
-            if p.affects(a) {
-                assert_eq!(p.extra_latency(a), 30);
-                assert_eq!(p.extra_wake_delay(a), 9);
-                assert_eq!(p.stuck_tag(a), Some(false));
-            } else {
-                assert_eq!(p.extra_latency(a), 0);
-                assert_eq!(p.extra_wake_delay(a), 0);
-                assert_eq!(p.stuck_tag(a), None);
-            }
-        }
-    }
 
     #[test]
     fn with_fault_plan_scopes_the_override() {

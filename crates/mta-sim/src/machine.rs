@@ -898,7 +898,13 @@ impl MtaMachine {
                         break 'ev;
                     }
 
-                    let issue_at = e.max(proc_clock[proc]);
+                    // A stalled processor issues nothing inside its fault
+                    // windows: the pure per-(proc, seed) adjustment pushes
+                    // the issue slot past the window end, identically in
+                    // every engine (DESIGN.md §8).
+                    let issue_at = self
+                        .memory
+                        .fault_stall_adjust(proc, e.max(proc_clock[proc]));
 
                     // Trace fast path: execute the whole *private* run starting
                     // at this pc — the ALU body plus a trailing branch/jump/halt
@@ -922,8 +928,12 @@ impl MtaMachine {
                     // into further private runs (a loop of `add; bne` iterations
                     // can retire in a single visit).
                     if d.batchable {
-                        let limit =
-                            batch_limit(&mut wheel, id).min(budget_thirds.saturating_add(1));
+                        // Stall windows additionally cap the horizon: no
+                        // batched slot may land inside one. Conservative
+                        // caps are exact by the batch-extent lemma.
+                        let limit = batch_limit(&mut wheel, id)
+                            .min(budget_thirds.saturating_add(1))
+                            .min(self.memory.fault_next_stall(proc, issue_at));
                         if let Some(done) =
                             try_batch(limit, s, instrs, &decoded, d, issue_at, &mut op_mix)
                         {
@@ -997,7 +1007,9 @@ impl MtaMachine {
                         Instr::Load { dst, addr, off } => {
                             let a = (s.regs[addr.0 as usize] + off) as usize;
                             let v = self.memory.load(a);
-                            let done = issue_at + latency + self.memory.fault_extra_latency(a);
+                            let done = issue_at
+                                + latency
+                                + self.memory.fault_mem_extra(proc, a, issue_at, latency);
                             wreg!(dst, v, done);
                             s.out_push(done);
                             last_completion = last_completion.max(done);
@@ -1005,7 +1017,9 @@ impl MtaMachine {
                         Instr::Store { src, addr, off } => {
                             let a = (s.regs[addr.0 as usize] + off) as usize;
                             self.memory.store(a, s.regs[src.0 as usize]);
-                            let done = issue_at + latency + self.memory.fault_extra_latency(a);
+                            let done = issue_at
+                                + latency
+                                + self.memory.fault_mem_extra(proc, a, issue_at, latency);
                             s.out_push(done);
                             last_completion = last_completion.max(done);
                         }
@@ -1017,8 +1031,9 @@ impl MtaMachine {
                                     let slot = word_free.slot(a);
                                     let service = (*slot).max(issue_at);
                                     *slot = service + 3;
-                                    let done =
-                                        service + latency + self.memory.fault_extra_latency(a);
+                                    let done = service
+                                        + latency
+                                        + self.memory.fault_mem_extra(proc, a, issue_at, latency);
                                     wreg!(dst, v, done);
                                     s.out_push(done);
                                     last_completion = last_completion.max(done);
@@ -1041,7 +1056,9 @@ impl MtaMachine {
                                 let slot = word_free.slot(a);
                                 let service = (*slot).max(issue_at);
                                 *slot = service + 3;
-                                let done = service + latency + self.memory.fault_extra_latency(a);
+                                let done = service
+                                    + latency
+                                    + self.memory.fault_mem_extra(proc, a, issue_at, latency);
                                 s.out_push(done);
                                 last_completion = last_completion.max(done);
                             } else {
@@ -1062,8 +1079,9 @@ impl MtaMachine {
                                     let slot = word_free.slot(a);
                                     let service = (*slot).max(issue_at);
                                     *slot = service + 3;
-                                    let done =
-                                        service + latency + self.memory.fault_extra_latency(a);
+                                    let done = service
+                                        + latency
+                                        + self.memory.fault_mem_extra(proc, a, issue_at, latency);
                                     wreg!(dst, v, done);
                                     s.out_push(done);
                                     last_completion = last_completion.max(done);
@@ -1091,7 +1109,9 @@ impl MtaMachine {
                             let slot = word_free.slot(a);
                             let service = (*slot).max(issue_at);
                             *slot = service + 3;
-                            let done = service + latency + self.memory.fault_extra_latency(a);
+                            let done = service
+                                + latency
+                                + self.memory.fault_mem_extra(proc, a, issue_at, latency);
                             wreg!(dst, old, done);
                             s.out_push(done);
                             last_completion = last_completion.max(done);

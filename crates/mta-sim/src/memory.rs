@@ -214,6 +214,42 @@ impl Memory {
         }
     }
 
+    /// Total extra completion latency (thirds) for a memory op by
+    /// processor `proc` on `addr`, issued at `issue_at` with base
+    /// latency `latency`, under the active fault plan: the address-keyed
+    /// spike plus the structural degraded-link and brownout axes. Zero
+    /// without a plan. Every engine computes completion times through
+    /// this one helper with identical inputs — that is the whole
+    /// engine-invariance argument (DESIGN.md §8).
+    #[inline]
+    pub fn fault_mem_extra(&self, proc: usize, addr: usize, issue_at: u64, latency: u64) -> u64 {
+        match &self.fault {
+            None => 0,
+            Some(p) => p.extra_mem_latency(proc, addr, issue_at, latency),
+        }
+    }
+
+    /// The first time ≥ `t` at which processor `proc` may issue under the
+    /// active fault plan's stall windows; `t` itself without a plan.
+    #[inline]
+    pub fn fault_stall_adjust(&self, proc: usize, t: u64) -> u64 {
+        match &self.fault {
+            None => t,
+            Some(p) => p.stall_adjust(proc, t),
+        }
+    }
+
+    /// The start of the first stall window strictly after `t` for `proc`
+    /// (`u64::MAX` when nothing stalls): the batching engines' private
+    /// runs are capped here.
+    #[inline]
+    pub fn fault_next_stall(&self, proc: usize, t: u64) -> u64 {
+        match &self.fault {
+            None => u64::MAX,
+            Some(p) => p.next_stall_start(proc, t),
+        }
+    }
+
     /// Extra retry delay (thirds) a failed sync op on `addr` suffers
     /// under the active fault plan. Zero without a plan.
     #[inline]

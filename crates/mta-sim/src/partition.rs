@@ -166,15 +166,45 @@ struct Env<'a> {
     budget_thirds: u64,
     /// Copy of the memory image's fault plan. Workers never touch
     /// [`Memory`], yet completion times must carry injected latency;
-    /// every fault decision is a pure function of `(addr, seed)`, so a
-    /// worker-local copy perturbs identically to the merge's own image.
+    /// every fault decision is a pure function of `(seed, addr)` or — on
+    /// the structural axis — of `(seed, proc, issue_at)`, quantities the
+    /// logged [`MemOp`] carries, so a worker-local copy perturbs
+    /// identically to the merge's own image.
     fault: Option<FaultPlan>,
 }
 
 impl Env<'_> {
+    /// Issuing processor of global stream `id` (fault decisions on the
+    /// structural axis are keyed by processor, not stream).
     #[inline]
-    fn extra_latency(&self, addr: usize) -> u64 {
-        self.fault.as_ref().map_or(0, |f| f.extra_latency(addr))
+    fn proc_of(&self, id: u32) -> usize {
+        id as usize / self.streams_per_proc
+    }
+
+    /// Combined extra completion latency for a memory op (address spike
+    /// plus degraded link plus brownout), all pure functions of
+    /// quantities the logged op carries, so the worker that issues and
+    /// the shard that merges compute the identical number.
+    #[inline]
+    fn mem_extra(&self, proc: usize, addr: usize, issue_at: u64) -> u64 {
+        self.fault.as_ref().map_or(0, |f| {
+            f.extra_mem_latency(proc, addr, issue_at, self.latency)
+        })
+    }
+
+    /// First non-stalled issue time ≥ `t` for `proc`.
+    #[inline]
+    fn stall_adjust(&self, proc: usize, t: u64) -> u64 {
+        self.fault.as_ref().map_or(t, |f| f.stall_adjust(proc, t))
+    }
+
+    /// Start of the next stall window strictly after `t` for `proc`
+    /// (`u64::MAX` when nothing stalls): a batching horizon.
+    #[inline]
+    fn next_stall(&self, proc: usize, t: u64) -> u64 {
+        self.fault
+            .as_ref()
+            .map_or(u64::MAX, |f| f.next_stall_start(proc, t))
     }
 
     #[inline]
@@ -383,7 +413,7 @@ fn apply_shard(sh: &mut ShardState, fr: (u64, u32), env: &Env) {
         // every op on this word lands in this shard, and this thread is
         // the only one applying this shard this phase.
         let w = unsafe { env.words.word(op.addr) };
-        let extra = env.extra_latency(op.addr);
+        let extra = env.mem_extra(env.proc_of(op.id), op.addr, op.issue_at);
         match op.kind {
             MemKind::Load { dst } => {
                 let v = memory::word_load(w, &mut sh.counters);
@@ -805,7 +835,9 @@ impl Partition<'_> {
                 self.wheel.push(e, id);
                 continue;
             }
-            let issue_at = e.max(self.proc_clock[pi]);
+            // Same stall adjustment as the serial engines: a processor in a
+            // stall window issues nothing until the window closes.
+            let issue_at = env.stall_adjust(proc, e.max(self.proc_clock[pi]));
 
             if d.batchable && self.cnt[li] == 0 {
                 // Local front is the exact same-processor horizon (whole
@@ -815,7 +847,8 @@ impl Partition<'_> {
                 // write can bury one unnoticed.
                 let limit = batch_limit(&mut self.wheel, id)
                     .min(we)
-                    .min(env.budget_thirds.saturating_add(1));
+                    .min(env.budget_thirds.saturating_add(1))
+                    .min(env.next_stall(proc, issue_at));
                 if let Some(done) = try_batch(
                     limit,
                     s,
@@ -902,7 +935,7 @@ impl Partition<'_> {
                 }
                 Instr::Load { dst, addr, off } => {
                     let a = (s.regs[addr.0 as usize] + off) as usize;
-                    let done = issue_at + env.latency + env.extra_latency(a);
+                    let done = issue_at + env.latency + env.mem_extra(proc, a, issue_at);
                     let fid = self.fix_seq;
                     self.fix_seq += 1;
                     let di = dst.0 as usize;
@@ -938,7 +971,7 @@ impl Partition<'_> {
                             val: s.regs[src.0 as usize],
                         },
                     });
-                    s.out_push(issue_at + env.latency + env.extra_latency(a));
+                    s.out_push(issue_at + env.latency + env.mem_extra(proc, a, issue_at));
                 }
                 Instr::FetchAdd {
                     dst,
@@ -951,7 +984,7 @@ impl Partition<'_> {
                     // the word hotspot and rewrites ready/ring with the
                     // true `service + latency` (injected latency only
                     // adds, so the bound survives fault plans too).
-                    let done_lb = issue_at + env.latency + env.extra_latency(a);
+                    let done_lb = issue_at + env.latency + env.mem_extra(proc, a, issue_at);
                     let slot = s.out_next_slot();
                     let fid = self.fix_seq;
                     self.fix_seq += 1;
@@ -1034,7 +1067,7 @@ impl Partition<'_> {
                             // Logged like a fetch-add: provisional ring
                             // slot + ready lower bound until the merge's
                             // hotspot-serialized fix lands.
-                            let done_lb = issue_at + env.latency + env.extra_latency(a);
+                            let done_lb = issue_at + env.latency + env.mem_extra(proc, a, issue_at);
                             let slot = s.out_next_slot();
                             let fid = self.fix_seq;
                             self.fix_seq += 1;
@@ -1475,7 +1508,9 @@ pub(crate) fn run_region(
                                     let wf = sh.word_free.slot(op.addr);
                                     let service = (*wf).max(op.issue_at);
                                     *wf = service + 3;
-                                    service + latency + env.extra_latency(op.addr)
+                                    service
+                                        + latency
+                                        + env.mem_extra(env.proc_of(op.id), op.addr, op.issue_at)
                                 };
                                 ctl_completion = ctl_completion.max(done);
                                 if op.pc as usize + 1 >= instrs.len() {

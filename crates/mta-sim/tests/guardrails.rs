@@ -400,6 +400,124 @@ fn stuck_tag_fault_drives_the_deadlock_detector() {
     }
 }
 
+/// The structural fault axis — per-processor stalls, degraded links,
+/// brownouts, and all three at once — perturbs every engine identically
+/// at every worker count, never changes what executes, and only ever
+/// lengthens the schedule.
+#[test]
+fn structural_faults_are_engine_invariant_and_monotone() {
+    let (prog, mem_init) = walk_kernel();
+    let run = |engine: MtaEngine, plan: Option<&FaultPlan>| {
+        let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), 2, 1 << 12);
+        m.memory_mut().alloc(MEM_WORDS);
+        poke_all(&mut m, &mem_init);
+        m.memory_mut().set_fault_plan(plan.cloned());
+        m.set_engine(engine);
+        let rep = m.try_run(&prog, 4, |_, _| {}).expect("kernel still halts");
+        (rep, m.memory().peek_slice(0, MEM_WORDS))
+    };
+    let (clean, _) = run(MtaEngine::SingleStep, None);
+    for spec in [
+        "stall=30,stall-period=300:7",
+        "link-latency=60,rate=1:7",
+        "brownout=4,brownout-at=300,brownout-for=3000:7",
+        "stall=30,stall-period=300,link-latency=60,brownout=2,rate=1:7",
+    ] {
+        let plan = FaultPlan::parse(spec).expect("plan parses");
+        let (faulted, mem_faulted) = run(MtaEngine::SingleStep, Some(&plan));
+        assert_eq!(
+            faulted.issued, clean.issued,
+            "{spec}: faults must not change the work"
+        );
+        assert_eq!(faulted.op_mix, clean.op_mix, "{spec}");
+        assert_eq!(faulted.mem, clean.mem, "{spec}");
+        assert!(
+            faulted.cycles >= clean.cycles,
+            "{spec}: structural faults can only lengthen the run ({} < {})",
+            faulted.cycles,
+            clean.cycles
+        );
+        for engine in [
+            MtaEngine::Trace,
+            MtaEngine::Compiled,
+            MtaEngine::Partitioned,
+        ] {
+            for w in [1usize, 2, 4, 8] {
+                let (rep, mem_out) = with_workers(w, || run(engine, Some(&plan)));
+                assert_eq!(rep, faulted, "{engine:?} W={w} diverged under {spec}");
+                assert_eq!(
+                    mem_out, mem_faulted,
+                    "{engine:?} W={w} memory diverged under {spec}"
+                );
+            }
+        }
+    }
+}
+
+/// Stall windows genuinely cost time: a plan whose windows cover a tenth
+/// of every period must lengthen a memory-heavy kernel on every engine
+/// (guarding against the adjustment silently short-circuiting).
+#[test]
+fn stall_windows_lengthen_the_schedule() {
+    let (prog, mem_init) = walk_kernel();
+    let run = |plan: Option<&FaultPlan>| {
+        let mut m = MtaMachine::with_memory_words(MtaParams::tiny_for_tests(), 2, 1 << 12);
+        m.memory_mut().alloc(MEM_WORDS);
+        poke_all(&mut m, &mem_init);
+        m.memory_mut().set_fault_plan(plan.cloned());
+        m.try_run(&prog, 4, |_, _| {}).expect("kernel halts").cycles
+    };
+    let clean = run(None);
+    let plan = FaultPlan::parse("stall=90,stall-period=300:7").unwrap();
+    let stalled = run(Some(&plan));
+    assert!(
+        stalled > clean,
+        "stalls must lengthen the run ({stalled} <= {clean})"
+    );
+}
+
+/// A deadlock reached *through* a structural fault plan still produces
+/// the bit-identical diagnostic from every engine at every worker count:
+/// stalls and link delays shift the schedule, but the detection cycle and
+/// the parked set are schedule-invariant.
+#[test]
+fn structural_faults_preserve_deadlock_identity() {
+    let plan =
+        FaultPlan::parse("stall=30,stall-period=300,link-latency=60,brownout=2,rate=1:11").unwrap();
+    for &(p, streams) in &[(1usize, 2usize), (2, 4)] {
+        let prog = unbalanced_handshake((p * streams) as i64);
+        let (oracle, mem_oracle) = try_engine(
+            &prog,
+            MtaEngine::SingleStep,
+            p,
+            streams,
+            &[1],
+            Some(&plan),
+            None,
+        );
+        assert!(
+            matches!(oracle, Err(SimError::Deadlock { .. })),
+            "over-consuming kernel must still deadlock under faults: {oracle:?}"
+        );
+        for engine in [
+            MtaEngine::Trace,
+            MtaEngine::Compiled,
+            MtaEngine::Partitioned,
+        ] {
+            for w in [1usize, 2, 4, 8] {
+                let (out, mem_out) = with_workers(w, || {
+                    try_engine(&prog, engine, p, streams, &[1], Some(&plan), None)
+                });
+                assert_eq!(
+                    out, oracle,
+                    "{engine:?} W={w} deadlock diverged under the structural plan"
+                );
+                assert_eq!(mem_out, mem_oracle, "{engine:?} W={w} memory diverged");
+            }
+        }
+    }
+}
+
 /// Build a full/empty kernel where the lower half of the streams each
 /// perform `prod_reps` `writeef`s and the upper half `cons_reps`
 /// `readfe`s against the same word. Balanced counts halt; unbalanced

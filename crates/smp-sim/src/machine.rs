@@ -14,7 +14,7 @@ use crate::prefetch::Prefetcher;
 use crate::stats::RunStats;
 use crate::tlb::Tlb;
 use archgraph_core::error::configured_max_cycles;
-use archgraph_core::{SimError, SmpParams};
+use archgraph_core::{FaultPlan, SimError, SmpParams};
 
 /// Base address and element size of a simulated array allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +40,14 @@ pub struct ProcCtx {
     prefetch: Prefetcher,
     tlb: Tlb,
     params: SmpParams,
+    /// This processor's machine-wide index (stall windows key on it).
+    proc: usize,
+    /// The structural subset of the ambient fault plan: per-processor
+    /// stalls and brownouts apply to the SMP machine; the address-keyed
+    /// axis and degraded links are MTA-only (the SMP model has no
+    /// tag bits and no per-shard network). Captured at machine
+    /// construction so [`archgraph_core::with_fault_plan`] scoping works.
+    fault: Option<FaultPlan>,
     /// Cycle clock (monotone across the whole run; phases diff it).
     clock: f64,
     compute_cycles: f64,
@@ -55,13 +63,15 @@ pub struct ProcCtx {
 }
 
 impl ProcCtx {
-    fn new(params: &SmpParams) -> Self {
+    fn new(params: &SmpParams, proc: usize, fault: Option<FaultPlan>) -> Self {
         ProcCtx {
             l1: Cache::new(params.l1_bytes, params.line_bytes, params.l1_assoc),
             l2: Cache::new(params.l2_bytes, params.line_bytes, params.l2_assoc),
             prefetch: Prefetcher::new(params.prefetch_streams, params.prefetch_trigger),
             tlb: Tlb::new(params.tlb_entries, params.page_bytes),
             params: params.clone(),
+            proc,
+            fault,
             clock: 0.0,
             compute_cycles: 0.0,
             mem_stall_cycles: 0.0,
@@ -76,10 +86,32 @@ impl ProcCtx {
         }
     }
 
+    /// Push the clock to the end of the current stall window, if this
+    /// processor sits in one. Stalled time is idle time: it stretches the
+    /// clock but lands in none of the busy-cycle buckets.
+    #[inline]
+    fn fault_stall(&mut self) {
+        if let Some(f) = &self.fault {
+            if f.has_stalls() {
+                self.clock = f.stall_adjust_cycles(self.proc, self.clock);
+            }
+        }
+    }
+
+    /// The machine-wide brownout multiplier on main-memory charges at the
+    /// current clock (1.0 when no brownout is in effect).
+    #[inline]
+    fn brownout_mult(&self) -> f64 {
+        self.fault
+            .as_ref()
+            .map_or(1.0, |f| f.brownout_mult_at_cycle(self.clock))
+    }
+
     /// Simulated load from a byte address. Charges L1/L2/memory latency
     /// according to residency (plus a TLB-miss trap when the page is not
     /// mapped); trains the stream prefetcher on misses.
     pub fn read(&mut self, addr: u64) {
+        self.fault_stall();
         self.loads += 1;
         if !self.tlb.access(addr) {
             self.clock += self.params.tlb_miss_cycles as f64;
@@ -97,12 +129,16 @@ impl ProcCtx {
             self.mem_accesses += 1;
             self.bus_lines += 1;
             let line = addr / self.params.line_bytes as u64;
+            // Main-memory charges stretch under a brownout; cache hits
+            // do not (the brownout models the memory system, not the
+            // processor-side hierarchy).
+            let mult = self.brownout_mult();
             if self.prefetch.on_miss(line) {
                 // The stream prefetcher had the line in flight; the
                 // processor sees roughly an L2 fill.
-                self.clock += self.params.l2_latency as f64;
+                self.clock += self.params.l2_latency as f64 * mult;
             } else {
-                self.clock += self.params.mem_latency as f64;
+                self.clock += self.params.mem_latency as f64 * mult;
             }
             self.l1.install(addr);
             self.l2.install(addr);
@@ -115,6 +151,7 @@ impl ProcCtx {
     /// buffers hide part of the round trip — and moves two bus lines:
     /// the allocation fill and the eventual write-back).
     pub fn write(&mut self, addr: u64) {
+        self.fault_stall();
         self.stores += 1;
         if !self.tlb.access(addr) {
             self.clock += self.params.tlb_miss_cycles as f64;
@@ -131,7 +168,7 @@ impl ProcCtx {
         } else {
             self.mem_accesses += 1;
             self.bus_lines += 2;
-            self.clock += self.params.store_miss_cycles as f64;
+            self.clock += self.params.store_miss_cycles as f64 * self.brownout_mult();
             self.l1.install(addr);
             self.l2.install(addr);
         }
@@ -150,6 +187,7 @@ impl ProcCtx {
 
     /// Charge `n` non-memory instructions at the effective CPI.
     pub fn compute(&mut self, n: u64) {
+        self.fault_stall();
         self.instructions += n;
         self.clock += n as f64 * self.params.compute_cpi;
         self.compute_cycles += n as f64 * self.params.compute_cpi;
@@ -202,7 +240,10 @@ impl SmpMachine {
             "machine has only {} processors",
             params.max_processors
         );
-        let procs = (0..p).map(|_| ProcCtx::new(&params)).collect();
+        let fault = FaultPlan::configured();
+        let procs = (0..p)
+            .map(|i| ProcCtx::new(&params, i, fault.clone()))
+            .collect();
         SmpMachine {
             params,
             procs,
@@ -636,6 +677,50 @@ mod tests {
         let mut m = tiny(1);
         m.set_max_cycles(1);
         m.phase("runaway", |_, ctx| ctx.compute(1_000_000));
+    }
+
+    #[test]
+    fn structural_faults_stall_and_brown_out_the_clock() {
+        use archgraph_core::{with_fault_plan, FaultPlan};
+        let run = |plan: Option<FaultPlan>| {
+            with_fault_plan(plan, || {
+                let mut m = tiny(2);
+                let a = m.alloc_elems::<u32>(4096);
+                m.phase("mixed", |proc, ctx| {
+                    for i in 0..2048usize {
+                        let idx = (i * 31 + proc * 7) % 4096;
+                        if i % 4 == 0 {
+                            ctx.write_elem(a, idx);
+                        } else {
+                            ctx.read_elem(a, idx);
+                        }
+                        ctx.compute(3);
+                    }
+                });
+                (m.cycles(), m.stats())
+            })
+        };
+        let (clean, cs) = run(None);
+        // Stalls stretch the clock but leave the work counters alone.
+        let stall = FaultPlan::parse("stall=300,stall-period=3000:7").unwrap();
+        let (stalled, ss) = run(Some(stall));
+        assert!(stalled > clean, "stall windows must cost time");
+        assert_eq!(ss.instructions, cs.instructions);
+        assert_eq!(ss.accesses(), cs.accesses());
+        assert_eq!(ss.mem_accesses, cs.mem_accesses);
+        // A brownout quadruples main-memory charges from cycle 0 on.
+        let (browned, bs) = run(Some(FaultPlan::parse("brownout=4:7").unwrap()));
+        assert!(browned > clean, "brownout must cost time");
+        assert_eq!(bs.accesses(), cs.accesses());
+        // The address-keyed axis is MTA-only: no SMP effect at all.
+        let spike = FaultPlan::parse("mem-latency=300,rate=0:7").unwrap();
+        let (spiked, _) = run(Some(spike));
+        assert_eq!(spiked, clean);
+        // Determinism: the same plan costs the same cycles again.
+        let (stalled2, _) = run(Some(
+            FaultPlan::parse("stall=300,stall-period=3000:7").unwrap(),
+        ));
+        assert_eq!(stalled2, stalled);
     }
 
     #[test]

@@ -115,6 +115,16 @@ echo "== archgraphd daemon smoke =="
 # scripts/daemon_smoke.sh.
 scripts/daemon_smoke.sh "$w1"
 
+echo "== chaos soak: structural-fault invariance (small grid) =="
+# Sweep the small structural-fault grid (stalls, degraded links,
+# brownouts, and a combined plan) across engine/worker pins, asserting
+# byte-identical fingerprints under every plan. The nightly workflow
+# runs the same script with --full: a wider grid plus a SIGTERM/restart
+# of archgraphd under an ambient fault plan.
+chaos_dir="$(mktemp -d)"
+trap 'rm -f "$w1" "$w4"; rm -rf "$chaos_dir"' EXIT
+scripts/chaos_soak.sh "$chaos_dir"
+
 echo "== bench regression check =="
 scripts/bench_check.sh
 
